@@ -1,0 +1,78 @@
+// Ablation: which machine mechanism produces which coupling regime?
+//
+// DESIGN.md attributes the paper's three regimes to specific mechanisms:
+//   * constructive coupling (W/A)  <- pipelined producer-fresh cache reuse,
+//     which disappears without a second cache level to miss into;
+//   * destructive coupling growth with P (S)  <- skew decorrelation at
+//     synchronisation points;
+//   * absolute communication growth  <- bandwidth contention.
+// This bench re-runs the BT studies with each mechanism removed and shows
+// the regimes collapsing accordingly.
+
+#include <cstdio>
+#include <vector>
+
+#include "coupling/study.hpp"
+#include "machine/config.hpp"
+#include "npb/bt/bt_model.hpp"
+#include "report/table.hpp"
+
+namespace {
+
+using namespace kcoup;
+
+double mean_coupling(npb::ProblemClass cls, int procs, std::size_t q,
+                     const machine::MachineConfig& cfg) {
+  auto modeled = npb::bt::make_modeled_bt(cls, procs, cfg);
+  const coupling::StudyOptions options{{q}, {}};
+  const auto r = coupling::run_study(modeled->app(), options);
+  double mean = 0.0;
+  for (const auto& c : r.by_length[0].chains) mean += c.coupling();
+  return mean / static_cast<double>(r.by_length[0].chains.size());
+}
+
+}  // namespace
+
+int main() {
+  const machine::MachineConfig base = machine::ibm_sp_p2sc();
+  const machine::MachineConfig no_l2 = machine::without_l2(base);
+  const machine::MachineConfig no_imb = machine::without_imbalance(base);
+  const machine::MachineConfig no_cont = machine::without_contention(base);
+
+  report::Table t("Ablation: mean BT coupling value per machine variant");
+  t.set_header({"Configuration", "full machine", "no L2", "no imbalance",
+                "no contention"});
+
+  struct Row {
+    const char* label;
+    npb::ProblemClass cls;
+    int procs;
+    std::size_t q;
+  };
+  const Row rows[] = {
+      {"Class S, P=16, q=2 (destructive regime)", npb::ProblemClass::kS, 16, 2},
+      {"Class W, P=4, q=3 (constructive regime)", npb::ProblemClass::kW, 4, 3},
+      {"Class A, P=9, q=4 (constructive regime)", npb::ProblemClass::kA, 9, 4},
+  };
+  for (const Row& r : rows) {
+    t.add_row({r.label,
+               report::format_coupling(mean_coupling(r.cls, r.procs, r.q, base)),
+               report::format_coupling(mean_coupling(r.cls, r.procs, r.q, no_l2)),
+               report::format_coupling(mean_coupling(r.cls, r.procs, r.q, no_imb)),
+               report::format_coupling(
+                   mean_coupling(r.cls, r.procs, r.q, no_cont))});
+  }
+  std::printf("%s\n", t.to_string().c_str());
+
+  const double s_full = mean_coupling(npb::ProblemClass::kS, 16, 2, base);
+  const double s_noimb = mean_coupling(npb::ProblemClass::kS, 16, 2, no_imb);
+  const double w_full = mean_coupling(npb::ProblemClass::kW, 4, 3, base);
+  std::printf(
+      "SHAPE CHECK [machine ablation]: removing imbalance moves the Class S "
+      "coupling\nfrom %.4f toward <= %.4f (%s), and the full machine keeps "
+      "Class W constructive\n(%.4f < 1: %s).\n",
+      s_full, s_noimb,
+      s_noimb < s_full ? "as expected" : "MISMATCH",
+      w_full, w_full < 1.0 ? "as expected" : "MISMATCH");
+  return 0;
+}

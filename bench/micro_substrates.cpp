@@ -1,0 +1,123 @@
+// Google-benchmark microbenchmarks of the substrates themselves: how fast
+// the machine model prices work, how fast the deterministic message-passing
+// runtime moves messages, and the throughput of the two line solvers.
+// These guard against performance regressions in the simulation substrate
+// (a full Class B study prices ~10^5 kernel invocations).
+
+#include <benchmark/benchmark.h>
+
+#include <random>
+#include <vector>
+
+#include "coupling/study.hpp"
+#include "machine/machine.hpp"
+#include "npb/bt/bt_model.hpp"
+#include "npb/common/blocktri.hpp"
+#include "npb/common/penta.hpp"
+#include "simmpi/simmpi.hpp"
+
+namespace {
+
+using namespace kcoup;
+
+void BM_MachineExecute(benchmark::State& state) {
+  machine::Machine m(machine::ibm_sp_p2sc());
+  const auto r1 = m.register_region("a", 1 << 20);
+  const auto r2 = m.register_region("b", 1 << 22);
+  machine::WorkProfile p;
+  p.kernel = 1;
+  p.flops = 1e6;
+  p.accesses = {
+      machine::RegionAccess{r1, machine::AccessKind::kRead, 1 << 20, 1.0},
+      machine::RegionAccess{r2, machine::AccessKind::kWrite, 1 << 22},
+  };
+  p.pipeline_stages = 32;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m.execute_seconds(p));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MachineExecute);
+
+void BM_CouplingStudyBtClassS(benchmark::State& state) {
+  for (auto _ : state) {
+    auto modeled = npb::bt::make_modeled_bt(npb::ProblemClass::kS, 4,
+                                            machine::ibm_sp_p2sc());
+    const coupling::StudyOptions options{{2}, {}};
+    benchmark::DoNotOptimize(coupling::run_study(modeled->app(), options));
+  }
+}
+BENCHMARK(BM_CouplingStudyBtClassS);
+
+void BM_SimmpiPingPong(benchmark::State& state) {
+  const auto msgs = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    const simmpi::RunResult r =
+        simmpi::run(2, {}, [msgs](simmpi::Comm& c) {
+          std::vector<double> buf(64);
+          for (int i = 0; i < msgs; ++i) {
+            if (c.rank() == 0) {
+              c.send<double>(1, 0, buf);
+              c.recv<double>(1, 1, buf);
+            } else {
+              c.recv<double>(0, 0, buf);
+              c.send<double>(0, 1, buf);
+            }
+          }
+        });
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * msgs);
+}
+BENCHMARK(BM_SimmpiPingPong)->Arg(64)->Arg(512);
+
+void BM_BlockTriSolve(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::mt19937 rng(5);
+  std::uniform_real_distribution<double> dist(-0.3, 0.3);
+  std::vector<npb::BlockTriRow> rows(n);
+  for (std::size_t m = 0; m < n; ++m) {
+    for (auto& v : rows[m].a) v = m > 0 ? dist(rng) : 0.0;
+    for (auto& v : rows[m].c) v = m + 1 < n ? dist(rng) : 0.0;
+    for (auto& v : rows[m].b) v = dist(rng);
+    for (int i = 0; i < 5; ++i) {
+      rows[m].b[static_cast<std::size_t>(i * 5 + i)] += 5.0;
+    }
+    for (auto& v : rows[m].r) v = dist(rng);
+  }
+  std::vector<npb::Vec5> x(n);
+  std::vector<npb::BlockTriState> scratch(n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(npb::blocktri_solve_line(rows, x, scratch));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<long>(n));
+}
+BENCHMARK(BM_BlockTriSolve)->Arg(64)->Arg(256);
+
+void BM_PentaSolve(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::mt19937 rng(5);
+  std::uniform_real_distribution<double> dist(-0.5, 0.5);
+  std::vector<npb::PentaRow> rows(n);
+  for (std::size_t m = 0; m < n; ++m) {
+    npb::PentaRow& r = rows[m];
+    r.a = m >= 2 ? dist(rng) : 0.0;
+    r.b = m >= 1 ? dist(rng) : 0.0;
+    r.d = m + 1 < n ? dist(rng) : 0.0;
+    r.e = m + 2 < n ? dist(rng) : 0.0;
+    r.c = 3.0;
+    r.r = dist(rng);
+  }
+  std::vector<double> x(n);
+  std::vector<npb::PentaState> scratch(n);
+  for (auto _ : state) {
+    npb::penta_solve_line(rows, x, scratch);
+    benchmark::DoNotOptimize(x.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<long>(n));
+}
+BENCHMARK(BM_PentaSolve)->Arg(64)->Arg(1024);
+
+}  // namespace
+
+BENCHMARK_MAIN();

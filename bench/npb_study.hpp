@@ -1,0 +1,36 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "bench/bench_util.hpp"
+#include "machine/config.hpp"
+#include "npb/common/modeled_app.hpp"
+#include "npb/common/problem.hpp"
+
+namespace kcoup::bench {
+
+/// Run a coupling study of one modeled application builder across processor
+/// counts on a machine configuration.
+template <typename MakeApp>
+StudyAcrossProcs study_across_procs(MakeApp&& make_app,
+                                    const std::vector<int>& procs,
+                                    const std::vector<std::size_t>& lengths,
+                                    const machine::MachineConfig& config) {
+  StudyAcrossProcs out;
+  out.procs = procs;
+  coupling::StudyOptions options;
+  options.chain_lengths = lengths;
+  for (int p : procs) {
+    auto modeled = make_app(p, config);
+    if (out.kernel_names.empty()) {
+      for (const auto* k : modeled->app().loop) {
+        out.kernel_names.push_back(k->name());
+      }
+    }
+    out.results.push_back(coupling::run_study(modeled->app(), options));
+  }
+  return out;
+}
+
+}  // namespace kcoup::bench

@@ -1,0 +1,68 @@
+// Coupling database example: persist measured couplings to CSV and reuse
+// them to predict a configuration that was never chain-measured — the
+// reduced-experiment workflow of the paper's future-work section.
+
+#include <cstdio>
+#include <sstream>
+
+#include "coupling/database.hpp"
+#include "coupling/study.hpp"
+#include "machine/config.hpp"
+#include "npb/bt/bt_model.hpp"
+#include "report/table.hpp"
+#include "trace/stats.hpp"
+
+using namespace kcoup;
+
+int main() {
+  const machine::MachineConfig cfg = machine::ibm_sp_p2sc();
+
+  // --- Session 1: measure BT Class A couplings at 9 processors, save. ----
+  coupling::CouplingDatabase db;
+  {
+    auto modeled = npb::bt::make_modeled_bt(npb::ProblemClass::kA, 9, cfg);
+    const coupling::StudyOptions options{{4}, {}};
+    const auto r = coupling::run_study(modeled->app(), options);
+    db.record("BT", "A", 9, r.by_length[0].chains);
+  }
+  std::stringstream csv;
+  db.save_csv(csv);
+  std::printf("Stored %zu coupling records; CSV:\n%s\n", db.size(),
+              csv.str().c_str());
+
+  // --- Session 2: load the CSV and predict 25 processors without any chain
+  // measurements there (only the five cheap isolated-kernel measurements).
+  coupling::CouplingDatabase loaded;
+  loaded.load_csv(csv);
+
+  auto target = npb::bt::make_modeled_bt(npb::ProblemClass::kA, 25, cfg);
+  const coupling::LoopApplication& app = target->app();
+  coupling::MeasurementHarness harness(&app, {});
+  const double actual = harness.actual_total();
+
+  coupling::PredictionInputs in;
+  in.isolated_means = harness.all_isolated_means();
+  in.iterations = app.iterations;
+  for (std::size_t i = 0; i < app.prologue.size(); ++i) {
+    in.prologue_s += harness.prologue_mean(i);
+  }
+  for (std::size_t i = 0; i < app.epilogue.size(); ++i) {
+    in.epilogue_s += harness.epilogue_mean(i);
+  }
+
+  const auto reused = loaded.reuse_chains_for("BT", "A", 25, 4, app.loop_size());
+  const double reuse_pred = coupling::reuse_prediction(in, reused);
+  const double summ_pred = coupling::summation_prediction(in);
+
+  report::Table t("BT Class A @ 25 processors, predicted from P=9 couplings");
+  t.set_header({"predictor", "seconds", "relative error", "chain measurements"});
+  t.add_row({"Actual", report::format_seconds(actual), "-", "-"});
+  t.add_row({"Summation", report::format_seconds(summ_pred),
+             report::format_percent(trace::relative_error(summ_pred, actual)),
+             "0"});
+  t.add_row({"Coupling (reused from P=9)", report::format_seconds(reuse_pred),
+             report::format_percent(trace::relative_error(reuse_pred, actual)),
+             "0 at target (5 at donor)"});
+  std::printf("%s\n", t.to_string().c_str());
+  return 0;
+}

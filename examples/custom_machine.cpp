@@ -1,0 +1,77 @@
+// Custom machine configurations: how coupling values depend on the memory
+// subsystem (the paper's closing observation ties the number of coupling
+// transitions to "the memory subsystem of the processor architecture").
+//
+// This example builds machines that differ only in L2 capacity and sweeps
+// the modeled BT Class W couplings across them, then repeats the experiment
+// on the generic_smp preset to show a different architecture produces
+// different coupling values for the same application.
+
+#include <cstdio>
+#include <vector>
+
+#include "coupling/study.hpp"
+#include "machine/config.hpp"
+#include "npb/bt/bt_model.hpp"
+#include "report/table.hpp"
+
+using namespace kcoup;
+
+namespace {
+
+double mean_coupling(const machine::MachineConfig& cfg) {
+  auto modeled = npb::bt::make_modeled_bt(npb::ProblemClass::kW, 4, cfg);
+  const coupling::StudyOptions options{{3}, {}};
+  const auto r = coupling::run_study(modeled->app(), options);
+  double mean = 0.0;
+  for (const auto& c : r.by_length[0].chains) mean += c.coupling();
+  return mean / static_cast<double>(r.by_length[0].chains.size());
+}
+
+}  // namespace
+
+int main() {
+  std::printf("BT Class W (4 processors), mean 3-kernel coupling on machines\n"
+              "differing only in L2 capacity:\n\n");
+
+  report::Table t("Coupling vs L2 capacity");
+  t.set_header({"L2 capacity", "mean coupling C_S"});
+  for (std::size_t mib : {1, 2, 4, 8, 16, 64}) {
+    machine::MachineConfig cfg = machine::ibm_sp_p2sc();
+    cfg.cache[1].capacity_bytes = mib * 1024 * 1024;
+    cfg.name = std::to_string(mib) + "MiB-L2";
+    t.add_row({std::to_string(mib) + " MiB",
+               report::format_coupling(mean_coupling(cfg))});
+  }
+  std::printf("%s\n", t.to_string().c_str());
+
+  // A machine you define entirely yourself.
+  machine::MachineConfig mine;
+  mine.name = "my-workstation";
+  mine.flops_per_second = 8e9;
+  mine.cache.push_back(machine::CacheLevel{48 * 1024, 0.03e-9});
+  mine.cache.push_back(machine::CacheLevel{2 * 1024 * 1024, 0.1e-9});
+  mine.cache.push_back(machine::CacheLevel{36 * 1024 * 1024, 0.3e-9});
+  mine.memory_seconds_per_byte = 1.5e-9;
+  mine.net_latency_s = 2e-6;
+  mine.net_seconds_per_byte = 0.08e-9;
+  mine.net_contention_coeff = 0.1;
+  mine.sync_latency_s = 1e-6;
+  mine.imbalance_coeff = 0.2;
+
+  report::Table cmp("Same application, three architectures");
+  cmp.set_header({"machine", "mean coupling C_S"});
+  cmp.add_row({"ibm-sp-p2sc (paper testbed model)",
+               report::format_coupling(mean_coupling(machine::ibm_sp_p2sc()))});
+  cmp.add_row({"generic-smp preset",
+               report::format_coupling(mean_coupling(machine::generic_smp()))});
+  cmp.add_row({"my-workstation (hand-built)",
+               report::format_coupling(mean_coupling(mine))});
+  std::printf("%s\n", cmp.to_string().c_str());
+
+  std::printf("Coupling is a property of the application *and* the machine —\n"
+              "the same kernels couple differently on different memory\n"
+              "subsystems, which is why coupling values must be measured per\n"
+              "architecture before they can parameterise a model.\n");
+  return 0;
+}

@@ -1,0 +1,97 @@
+// Quickstart: the whole kcoup workflow on a three-kernel toy application.
+//
+//   1. describe your application as a cyclic loop of kernels,
+//   2. measure isolated kernels, kernel chains, and the real run,
+//   3. compute coupling values C_S = P_S / sum P_k (paper eq. 2),
+//   4. turn them into per-kernel coefficients (paper section 3),
+//   5. predict T = Tinit + I * sum_k alpha_k T_k + Tfinal and compare with
+//      the traditional summation prediction.
+//
+// The toy kernels share a fake "cache": a kernel runs 20 % faster when it
+// immediately follows a different kernel (constructive coupling), which is
+// exactly the inter-kernel data reuse the paper measures in NPB BT/SP/LU.
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "coupling/kernel.hpp"
+#include "coupling/study.hpp"
+#include "report/table.hpp"
+
+using namespace kcoup;
+
+namespace {
+
+/// Toy environment: remembers which kernel ran last, like a cache would.
+struct Environment {
+  int last = -1;
+  double invoke(int id, double base) {
+    const double t = (last != -1 && last != id) ? 0.8 * base : base;
+    last = id;
+    return t;
+  }
+};
+
+}  // namespace
+
+int main() {
+  Environment env;
+
+  // Step 1: describe the application.  CallableKernel wraps any callable
+  // returning the invocation's seconds; real users plug in ModeledKernel
+  // (machine model) or stopwatch-timed real code.
+  coupling::CallableKernel smooth("Smooth", [&] { return env.invoke(0, 0.010); });
+  coupling::CallableKernel flux("Flux", [&] { return env.invoke(1, 0.014); });
+  coupling::CallableKernel update("Update", [&] { return env.invoke(2, 0.006); });
+
+  coupling::LoopApplication app;
+  app.name = "toy-stencil";
+  app.loop = {&smooth, &flux, &update};
+  app.iterations = 100;
+  app.reset = [&] { env.last = -1; };
+
+  // Steps 2-5: run_study does the measurements and both predictions.
+  coupling::StudyOptions options;
+  options.chain_lengths = {2, 3};
+  const coupling::StudyResult r = coupling::run_study(app, options);
+
+  std::printf("Application: %s, %d iterations of %zu kernels\n\n", app.name.c_str(),
+              app.iterations, app.loop_size());
+
+  report::Table means("Isolated kernel means (P_k)");
+  means.set_header({"kernel", "seconds"});
+  for (std::size_t k = 0; k < app.loop_size(); ++k) {
+    means.add_row({app.loop[k]->name(),
+                   report::format_seconds(r.isolated_means[k])});
+  }
+  std::printf("%s\n", means.to_string().c_str());
+
+  for (const auto& cl : r.by_length) {
+    report::Table chains("Coupling values, chains of " +
+                         std::to_string(cl.length) + " (C_S = P_S / sum P_k)");
+    chains.set_header({"chain", "P_S", "sum P_k", "C_S"});
+    for (const auto& c : cl.chains) {
+      chains.add_row({c.label, report::format_seconds(c.chain_time),
+                      report::format_seconds(c.isolated_sum),
+                      report::format_coupling(c.coupling())});
+    }
+    std::printf("%s\n", chains.to_string().c_str());
+  }
+
+  report::Table pred("Predictions vs reality");
+  pred.set_header({"predictor", "seconds", "relative error"});
+  pred.add_row({"Actual", report::format_seconds(r.actual_s), "-"});
+  pred.add_row({"Summation", report::format_seconds(r.summation_s),
+                report::format_percent(r.summation_error)});
+  for (const auto& cl : r.by_length) {
+    pred.add_row({"Coupling (q=" + std::to_string(cl.length) + ")",
+                  report::format_seconds(cl.prediction_s),
+                  report::format_percent(cl.relative_error)});
+  }
+  std::printf("%s\n", pred.to_string().c_str());
+
+  std::printf("Summation ignores the 20 %% adjacency discount and overshoots;\n"
+              "the coupling predictor folds it into the coefficients.\n");
+  return 0;
+}

@@ -1,0 +1,73 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "coupling/measurement.hpp"
+
+namespace kcoup::coupling {
+
+/// Coupling measurement of one cyclic chain of adjacent loop kernels,
+/// C_S = P_S / sum_{k in S} P_k  (paper eq. 2; eq. 1 is length == 2).
+struct ChainCoupling {
+  std::size_t start = 0;   ///< loop index of the first kernel in the chain
+  std::size_t length = 0;  ///< number of kernels in the chain
+  std::vector<std::size_t> members;  ///< loop indices, in chain order
+  std::string label;                 ///< "Copy_Faces, X_Solve, ..."
+  double chain_time = 0.0;           ///< P_S: one chain traversal, seconds
+  double isolated_sum = 0.0;         ///< sum of the members' isolated P_k
+
+  /// The coupling value C_S.  < 1 constructive, > 1 destructive, == 1 none.
+  [[nodiscard]] double coupling() const { return chain_time / isolated_sum; }
+
+  [[nodiscard]] bool contains(std::size_t kernel_index) const;
+};
+
+/// Measure the N cyclic chains of `length` adjacent kernels of the
+/// application's main loop (one chain starting at each loop position).
+/// `isolated_means` must be the harness's all_isolated_means().
+[[nodiscard]] std::vector<ChainCoupling> measure_chains(
+    const MeasurementHarness& harness, std::size_t length,
+    std::span<const double> isolated_means);
+
+/// The paper's composition algebra (§3): the coefficient of kernel k is the
+/// average of the coupling values of every measured chain containing k,
+/// weighted by each chain's measured time:
+///
+///   alpha_k = sum_{S : k in S} C_S * P_S  /  sum_{S : k in S} P_S
+///
+/// For length-2 chains over four kernels this reduces exactly to the
+/// paper's explicit alpha..delta expressions (verified by unit test).
+[[nodiscard]] std::vector<double> coupling_coefficients(
+    std::size_t kernel_count, std::span<const ChainCoupling> chains);
+
+/// Ablation variant: plain (unweighted) average of the coupling values of
+/// the chains containing each kernel.  The paper motivates the time
+/// weighting with "a large coupling value for a pair of kernels that
+/// attribute very little to the execution time" (§3); this variant lets the
+/// ablation bench quantify how much the weighting matters.
+[[nodiscard]] std::vector<double> coupling_coefficients_unweighted(
+    std::size_t kernel_count, std::span<const ChainCoupling> chains);
+
+/// Inputs shared by the predictors.  `isolated_means` are the per-invocation
+/// kernel models E_k / iterations; following the paper's case studies, the
+/// per-kernel "analytical model" is the measured isolated mean scaled by the
+/// kernel's invocation count.
+struct PredictionInputs {
+  std::vector<double> isolated_means;  ///< per loop kernel, seconds
+  double prologue_s = 0.0;             ///< one-shot kernels before the loop
+  double epilogue_s = 0.0;             ///< one-shot kernels after the loop
+  int iterations = 1;
+};
+
+/// The traditional baseline (§4.1): T = Tinit + I * sum_k T_k + Tfinal.
+[[nodiscard]] double summation_prediction(const PredictionInputs& in);
+
+/// The paper's coupling predictor: T = Tinit + I * sum_k alpha_k T_k +
+/// Tfinal, with alpha from coupling_coefficients().
+[[nodiscard]] double coupling_prediction(const PredictionInputs& in,
+                                         std::span<const ChainCoupling> chains);
+
+}  // namespace kcoup::coupling

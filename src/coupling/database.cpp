@@ -1,0 +1,155 @@
+#include "coupling/database.hpp"
+
+#include <cmath>
+#include <istream>
+#include <limits>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace kcoup::coupling {
+
+void CouplingDatabase::record(const std::string& application,
+                              const std::string& config, int ranks,
+                              std::span<const ChainCoupling> chains) {
+  for (const ChainCoupling& c : chains) {
+    CouplingRecord r;
+    r.key = CouplingKey{application, config, ranks, c.length, c.start};
+    r.chain_time = c.chain_time;
+    r.isolated_sum = c.isolated_sum;
+    record(std::move(r));
+  }
+}
+
+void CouplingDatabase::record(CouplingRecord rec) {
+  // Replace an existing record for the same key.
+  for (CouplingRecord& r : records_) {
+    if (r.key == rec.key) {
+      r = std::move(rec);
+      return;
+    }
+  }
+  records_.push_back(std::move(rec));
+}
+
+std::optional<CouplingRecord> CouplingDatabase::find(
+    const CouplingKey& key) const {
+  for (const CouplingRecord& r : records_) {
+    if (r.key == key) return r;
+  }
+  return std::nullopt;
+}
+
+std::optional<CouplingRecord> CouplingDatabase::find_nearest_ranks(
+    const CouplingKey& key) const {
+  const CouplingRecord* best = nullptr;
+  double best_distance = std::numeric_limits<double>::infinity();
+  for (const CouplingRecord& r : records_) {
+    if (r.key.application != key.application || r.key.config != key.config ||
+        r.key.chain_length != key.chain_length ||
+        r.key.chain_start != key.chain_start) {
+      continue;
+    }
+    const double d = std::fabs(std::log(static_cast<double>(r.key.ranks)) -
+                               std::log(static_cast<double>(key.ranks)));
+    if (d < best_distance) {
+      best_distance = d;
+      best = &r;
+    }
+  }
+  if (best == nullptr) return std::nullopt;
+  return *best;
+}
+
+std::optional<CouplingRecord> CouplingDatabase::find_other_config(
+    const CouplingKey& key, const std::string& preferred_config) const {
+  const CouplingRecord* fallback = nullptr;
+  for (const CouplingRecord& r : records_) {
+    if (r.key.application != key.application || r.key.ranks != key.ranks ||
+        r.key.chain_length != key.chain_length ||
+        r.key.chain_start != key.chain_start ||
+        r.key.config == key.config) {
+      continue;
+    }
+    if (r.key.config == preferred_config) return r;
+    if (fallback == nullptr) fallback = &r;
+  }
+  if (fallback == nullptr) return std::nullopt;
+  return *fallback;
+}
+
+std::vector<ChainCoupling> CouplingDatabase::reuse_chains_for(
+    const std::string& application, const std::string& config, int ranks,
+    std::size_t chain_length, std::size_t loop_size) const {
+  std::vector<ChainCoupling> chains;
+  for (std::size_t start = 0; start < loop_size; ++start) {
+    const auto donor = find_nearest_ranks(
+        CouplingKey{application, config, ranks, chain_length, start});
+    if (!donor.has_value()) return {};
+    ChainCoupling c;
+    c.start = start;
+    c.length = chain_length;
+    for (std::size_t i = 0; i < chain_length; ++i) {
+      c.members.push_back((start + i) % loop_size);
+    }
+    c.label = "reused(P=" + std::to_string(donor->key.ranks) + ")";
+    c.chain_time = donor->chain_time;
+    c.isolated_sum = donor->isolated_sum;
+    chains.push_back(std::move(c));
+  }
+  return chains;
+}
+
+void CouplingDatabase::save_csv(std::ostream& out) const {
+  out << "application,config,ranks,chain_length,chain_start,chain_time,"
+         "isolated_sum\n";
+  for (const CouplingRecord& r : records_) {
+    out << r.key.application << ',' << r.key.config << ',' << r.key.ranks
+        << ',' << r.key.chain_length << ',' << r.key.chain_start << ','
+        << r.chain_time << ',' << r.isolated_sum << '\n';
+  }
+}
+
+void CouplingDatabase::load_csv(std::istream& in) {
+  std::string line;
+  if (!std::getline(in, line)) {
+    throw std::runtime_error("CouplingDatabase::load_csv: empty input");
+  }
+  std::size_t line_no = 1;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    std::istringstream ls(line);
+    CouplingRecord r;
+    std::string ranks, length, start, chain_time, isolated;
+    if (!std::getline(ls, r.key.application, ',') ||
+        !std::getline(ls, r.key.config, ',') || !std::getline(ls, ranks, ',') ||
+        !std::getline(ls, length, ',') || !std::getline(ls, start, ',') ||
+        !std::getline(ls, chain_time, ',') || !std::getline(ls, isolated)) {
+      throw std::runtime_error(
+          "CouplingDatabase::load_csv: malformed line " +
+          std::to_string(line_no));
+    }
+    try {
+      r.key.ranks = std::stoi(ranks);
+      r.key.chain_length = static_cast<std::size_t>(std::stoul(length));
+      r.key.chain_start = static_cast<std::size_t>(std::stoul(start));
+      r.chain_time = std::stod(chain_time);
+      r.isolated_sum = std::stod(isolated);
+    } catch (const std::exception&) {
+      throw std::runtime_error(
+          "CouplingDatabase::load_csv: bad number on line " +
+          std::to_string(line_no));
+    }
+    record(std::move(r));
+  }
+}
+
+double reuse_prediction(const PredictionInputs& in,
+                        std::span<const ChainCoupling> donor) {
+  // The donor supplies the coupling values (and their relative time
+  // weights); the target supplies fresh isolated means and counts.
+  return coupling_prediction(in, donor);
+}
+
+}  // namespace kcoup::coupling

@@ -1,0 +1,98 @@
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "coupling/analysis.hpp"
+
+namespace kcoup::coupling {
+
+/// Identifies one measured coupling value: which application, which
+/// configuration (problem class / grid), how many processors, and which
+/// cyclic chain of the main loop.
+struct CouplingKey {
+  std::string application;  ///< e.g. "BT"
+  std::string config;       ///< e.g. "W" (problem class or grid label)
+  int ranks = 1;
+  std::size_t chain_length = 0;
+  std::size_t chain_start = 0;
+
+  [[nodiscard]] bool operator==(const CouplingKey&) const = default;
+};
+
+/// One stored measurement.
+struct CouplingRecord {
+  CouplingKey key;
+  double chain_time = 0.0;    ///< P_S on the donor configuration
+  double isolated_sum = 0.0;  ///< sum of P_k on the donor configuration
+  [[nodiscard]] double coupling() const { return chain_time / isolated_sum; }
+};
+
+/// A persistent store of measured coupling values — the paper's stated
+/// future work: "determining which coupling values must be obtained and
+/// which values can be reused, thereby reducing the number of needed
+/// experiments" (§6).
+///
+/// The reuse policy exploits the paper's empirical finding that coupling
+/// values go through only a *finite number of transitions* as problem size
+/// and processor count scale (§4.1.4): within a plateau, a coupling
+/// measured at one configuration transfers to nearby ones.  Reusing a
+/// donor's couplings requires only the N cheap isolated measurements at the
+/// target configuration instead of N chain measurements per chain length.
+class CouplingDatabase {
+ public:
+  /// Record every chain of one study.
+  void record(const std::string& application, const std::string& config,
+              int ranks, std::span<const ChainCoupling> chains);
+
+  /// Record a single measurement.
+  void record(CouplingRecord record);
+
+  [[nodiscard]] std::size_t size() const { return records_.size(); }
+
+  /// Exact lookup.
+  [[nodiscard]] std::optional<CouplingRecord> find(const CouplingKey& key) const;
+
+  /// Reuse lookup: the record for the same application/config/chain with
+  /// the processor count nearest to `ranks` (log-scale distance; exact hits
+  /// included).  Returns nullopt if no candidate exists.
+  [[nodiscard]] std::optional<CouplingRecord> find_nearest_ranks(
+      const CouplingKey& key) const;
+
+  /// Reuse lookup across configurations: the record for the same
+  /// application/ranks/chain whose config label differs (e.g. reuse Class W
+  /// couplings when predicting Class A).  Prefers `preferred_config` if
+  /// present, otherwise any other config.
+  [[nodiscard]] std::optional<CouplingRecord> find_other_config(
+      const CouplingKey& key, const std::string& preferred_config) const;
+
+  /// Assemble a full chain set for the target (application, config, ranks,
+  /// chain_length) by reusing the nearest-ranks donor for each chain start.
+  /// Returns an empty vector if any chain has no donor.
+  [[nodiscard]] std::vector<ChainCoupling> reuse_chains_for(
+      const std::string& application, const std::string& config, int ranks,
+      std::size_t chain_length, std::size_t loop_size) const;
+
+  /// CSV round-trip (header + one record per line).
+  void save_csv(std::ostream& out) const;
+  /// Appends records from CSV; throws std::runtime_error on malformed input.
+  void load_csv(std::istream& in);
+
+  [[nodiscard]] const std::vector<CouplingRecord>& records() const {
+    return records_;
+  }
+
+ private:
+  std::vector<CouplingRecord> records_;
+};
+
+/// Coupling prediction using reused chain couplings (from a donor
+/// configuration) with freshly measured isolated means at the target:
+/// the paper's reduced-experiment workflow.
+[[nodiscard]] double reuse_prediction(const PredictionInputs& in,
+                                      std::span<const ChainCoupling> donor);
+
+}  // namespace kcoup::coupling

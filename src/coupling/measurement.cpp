@@ -1,0 +1,96 @@
+#include "coupling/measurement.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+#include "trace/stats.hpp"
+
+namespace kcoup::coupling {
+
+double MeasurementHarness::isolated_mean(std::size_t index) const {
+  return chain_mean(index, 1);
+}
+
+double MeasurementHarness::chain_mean(std::size_t start,
+                                      std::size_t length) const {
+  const std::size_t n = app_->loop_size();
+  if (n == 0) throw std::invalid_argument("chain_mean: empty loop");
+  if (length == 0 || length > n) {
+    throw std::invalid_argument("chain_mean: chain length must be in [1, N]");
+  }
+  if (start >= n) throw std::invalid_argument("chain_mean: start out of range");
+
+  app_->reset();
+  auto traverse_once = [&]() {
+    double t = 0.0;
+    for (std::size_t i = 0; i < length; ++i) {
+      t += app_->loop[(start + i) % n]->invoke();
+    }
+    return t;
+  };
+  for (int w = 0; w < options_.warmup; ++w) traverse_once();
+  trace::RunningStats stats;
+  for (int r = 0; r < options_.repetitions; ++r) stats.add(traverse_once());
+  return stats.mean();
+}
+
+std::vector<double> MeasurementHarness::all_isolated_means() const {
+  std::vector<double> means;
+  means.reserve(app_->loop_size());
+  for (std::size_t k = 0; k < app_->loop_size(); ++k) {
+    means.push_back(isolated_mean(k));
+  }
+  return means;
+}
+
+double MeasurementHarness::prologue_mean(std::size_t index) const {
+  assert(index < app_->prologue.size());
+  // Prologue kernels run once per application start; measure them in that
+  // position (after reset) and average over repeated application starts.
+  trace::RunningStats stats;
+  for (int r = 0; r < options_.repetitions; ++r) {
+    app_->reset();
+    double t = 0.0;
+    for (std::size_t i = 0; i <= index; ++i) {
+      const double dt = app_->prologue[i]->invoke();
+      if (i == index) t = dt;
+    }
+    stats.add(t);
+  }
+  return stats.mean();
+}
+
+double MeasurementHarness::epilogue_mean(std::size_t index) const {
+  assert(index < app_->epilogue.size());
+  // Epilogue kernels see end-of-run state; one application run per sample is
+  // expensive, so sample fewer times (they contribute a single invocation).
+  const int reps = 3;
+  trace::RunningStats stats;
+  for (int r = 0; r < reps; ++r) {
+    app_->reset();
+    for (Kernel* k : app_->prologue) k->invoke();
+    for (int it = 0; it < app_->iterations; ++it) {
+      for (Kernel* k : app_->loop) k->invoke();
+    }
+    double t = 0.0;
+    for (std::size_t i = 0; i <= index; ++i) {
+      const double dt = app_->epilogue[i]->invoke();
+      if (i == index) t = dt;
+    }
+    stats.add(t);
+  }
+  return stats.mean();
+}
+
+double MeasurementHarness::actual_total() const {
+  app_->reset();
+  double total = 0.0;
+  for (Kernel* k : app_->prologue) total += k->invoke();
+  for (int it = 0; it < app_->iterations; ++it) {
+    for (Kernel* k : app_->loop) total += k->invoke();
+  }
+  for (Kernel* k : app_->epilogue) total += k->invoke();
+  return total;
+}
+
+}  // namespace kcoup::coupling

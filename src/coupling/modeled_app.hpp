@@ -1,0 +1,65 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "coupling/kernel.hpp"
+#include "coupling/modeled_kernel.hpp"
+#include "machine/machine.hpp"
+
+namespace kcoup::coupling {
+
+/// Owns a Machine, a set of ModeledKernels and the LoopApplication wiring —
+/// the scaffolding shared by the BT/SP/LU work models.  The application's
+/// reset() cold-starts the machine, which is what makes every measurement
+/// independent.
+class ModeledApp {
+ public:
+  ModeledApp(std::string name, machine::MachineConfig config, int iterations)
+      : machine_(std::move(config)) {
+    app_.name = std::move(name);
+    app_.iterations = iterations;
+    app_.reset = [this] { machine_.reset_state(); };
+  }
+
+  ModeledApp(const ModeledApp&) = delete;
+  ModeledApp& operator=(const ModeledApp&) = delete;
+
+  [[nodiscard]] machine::Machine& machine() { return machine_; }
+  [[nodiscard]] const machine::Machine& machine() const { return machine_; }
+
+  machine::RegionId region(std::string name, std::size_t bytes) {
+    return machine_.register_region(std::move(name), bytes);
+  }
+
+  ModeledKernel* add_loop_kernel(machine::WorkProfile profile) {
+    return add(app_.loop, std::move(profile));
+  }
+  ModeledKernel* add_prologue(machine::WorkProfile profile) {
+    return add(app_.prologue, std::move(profile));
+  }
+  ModeledKernel* add_epilogue(machine::WorkProfile profile) {
+    return add(app_.epilogue, std::move(profile));
+  }
+
+  [[nodiscard]] LoopApplication& app() { return app_; }
+  [[nodiscard]] const LoopApplication& app() const { return app_; }
+
+ private:
+  ModeledKernel* add(std::vector<Kernel*>& where,
+                               machine::WorkProfile profile) {
+    kernels_.push_back(
+        std::make_unique<ModeledKernel>(&machine_, std::move(profile)));
+    ModeledKernel* k = kernels_.back().get();
+    where.push_back(k);
+    return k;
+  }
+
+  machine::Machine machine_;
+  std::vector<std::unique_ptr<ModeledKernel>> kernels_;
+  LoopApplication app_;
+};
+
+}  // namespace kcoup::coupling

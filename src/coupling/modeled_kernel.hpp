@@ -1,0 +1,42 @@
+#pragma once
+
+#include <utility>
+
+#include "coupling/kernel.hpp"
+#include "machine/machine.hpp"
+
+namespace kcoup::coupling {
+
+/// A Kernel whose invocation cost comes from pricing a structural
+/// WorkProfile on a shared machine::Machine.  Because the machine carries
+/// cache and skew state across invocations, the cost of a ModeledKernel
+/// depends on what ran before it — which is exactly the interaction the
+/// coupling parameter quantifies.
+class ModeledKernel final : public Kernel {
+ public:
+  ModeledKernel(machine::Machine* machine, machine::WorkProfile profile)
+      : machine_(machine), profile_(std::move(profile)) {}
+
+  [[nodiscard]] const std::string& name() const override {
+    return profile_.label;
+  }
+
+  double invoke() override { return machine_->execute(profile_).total(); }
+
+  /// Detailed pricing of one invocation in the current machine state
+  /// (advances state exactly like invoke()).
+  machine::CostBreakdown invoke_detailed() {
+    return machine_->execute(profile_);
+  }
+
+  [[nodiscard]] const machine::WorkProfile& profile() const {
+    return profile_;
+  }
+  [[nodiscard]] machine::Machine& machine() { return *machine_; }
+
+ private:
+  machine::Machine* machine_;
+  machine::WorkProfile profile_;
+};
+
+}  // namespace kcoup::coupling

@@ -1,0 +1,56 @@
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "coupling/study.hpp"
+#include "simmpi/simmpi.hpp"
+
+namespace kcoup::coupling {
+
+/// One kernel of a rank-parallel application.  The body runs this rank's
+/// share of the kernel: it may exchange simmpi messages with the same
+/// kernel's bodies on other ranks and must charge its local work to the
+/// rank's virtual clock (Comm::advance).
+struct ParallelKernel {
+  std::string name;
+  std::function<void()> body;
+};
+
+/// A rank-parallel application described for the measurement protocol.
+/// Every rank constructs its own ParallelLoopApp with the same shape
+/// (kernel count/order/iterations); bodies differ per rank.
+struct ParallelLoopApp {
+  std::vector<ParallelKernel> prologue;
+  std::vector<ParallelKernel> loop;
+  std::vector<ParallelKernel> epilogue;
+  int iterations = 1;
+  /// Restore rank-local start-of-run state (cold caches, fresh buffers).
+  std::function<void()> reset = [] {};
+};
+
+/// Result of a rank-parallel coupling study; identical on every rank.
+/// Times are global (max over ranks, i.e. simulated parallel execution
+/// time), obtained by bracketing measured loops with barriers.
+struct ParallelStudyResult {
+  double actual_s = 0.0;
+  std::vector<double> isolated_means;
+  double prologue_s = 0.0;
+  double epilogue_s = 0.0;
+  double summation_s = 0.0;
+  double summation_error = 0.0;
+  std::vector<ChainLengthResult> by_length;
+};
+
+/// Run the paper's measurement protocol *in parallel*: every measurement
+/// (isolated kernel loops, chain loops, the full application) executes on
+/// all ranks simultaneously with virtual-time barriers around the timed
+/// region, so pipeline fill, message waiting and load imbalance show up in
+/// the measured values instead of being modeled analytically.  Must be
+/// called collectively from every rank's simmpi body with structurally
+/// identical apps; returns the same result on every rank.
+[[nodiscard]] ParallelStudyResult run_parallel_study(
+    simmpi::Comm& comm, const ParallelLoopApp& app, const StudyOptions& options);
+
+}  // namespace kcoup::coupling

@@ -1,0 +1,46 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "coupling/analysis.hpp"
+#include "coupling/kernel.hpp"
+#include "coupling/measurement.hpp"
+
+namespace kcoup::coupling {
+
+/// One end-to-end experiment in the style of the paper's case studies:
+/// measure the application, measure every kernel in isolation, measure the
+/// cyclic chains for each requested chain length, and form the summation and
+/// coupling predictions.
+struct StudyOptions {
+  std::vector<std::size_t> chain_lengths;  ///< e.g. {2, 3, 4}
+  MeasurementOptions measurement;
+};
+
+struct ChainLengthResult {
+  std::size_t length = 0;
+  std::vector<ChainCoupling> chains;   ///< the paper's "Coupling Value" rows
+  std::vector<double> coefficients;    ///< alpha per loop kernel
+  double prediction_s = 0.0;
+  double relative_error = 0.0;         ///< vs the study's actual_s
+};
+
+struct StudyResult {
+  double actual_s = 0.0;
+  std::vector<double> isolated_means;  ///< per loop kernel
+  double prologue_s = 0.0;
+  double epilogue_s = 0.0;
+  double summation_s = 0.0;
+  double summation_error = 0.0;
+  std::vector<ChainLengthResult> by_length;
+
+  /// The chain-length result with the smallest relative error, or nullptr.
+  [[nodiscard]] const ChainLengthResult* best() const;
+};
+
+/// Run the full study.  Deterministic for modeled kernels.
+[[nodiscard]] StudyResult run_study(const LoopApplication& app,
+                                    const StudyOptions& options);
+
+}  // namespace kcoup::coupling

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <memory>
+
+#include "coupling/modeled_app.hpp"
+#include "machine/config.hpp"
+
+namespace kcoup::coupling {
+
+/// Workload generator: random modeled applications for robustness studies
+/// of the coupling methodology beyond the three NPB case studies.
+///
+/// A generated application is a cyclic loop of kernels over a shared pool
+/// of data regions.  Each kernel reads a few regions (possibly annotated as
+/// pipeline-fresh), streams scratch, writes an output region that a later
+/// kernel reads (so cross-kernel data-flow exists by construction), may
+/// message neighbours, and may synchronise.  Everything is derived
+/// deterministically from `seed`.
+struct SyntheticAppSpec {
+  std::size_t kernels = 4;       ///< loop length (>= 2)
+  std::size_t regions = 6;       ///< shared region pool (>= kernels)
+  std::size_t min_region_bytes = 16 * 1024;
+  std::size_t max_region_bytes = 4 * 1024 * 1024;
+  double min_flops = 1e5;        ///< per kernel invocation
+  double max_flops = 5e7;
+  double fresh_probability = 0.6;  ///< chance an input is pipeline-fresh
+  double sync_probability = 0.4;   ///< chance a kernel synchronises
+  double message_probability = 0.5;
+  int ranks = 4;
+  int iterations = 100;
+  /// Plane-pipelining granularity of the generated kernels (WorkProfile::
+  /// pipeline_stages); finer stages let adjacent kernels hand data off
+  /// through L1.
+  std::size_t pipeline_stages = 32;
+  unsigned seed = 1;
+};
+
+/// Build the application on a copy of `machine_config` (ranks overridden
+/// from the spec).  Deterministic in (spec, machine_config).
+[[nodiscard]] std::unique_ptr<ModeledApp> make_synthetic_app(
+    const SyntheticAppSpec& spec, machine::MachineConfig machine_config);
+
+}  // namespace kcoup::coupling

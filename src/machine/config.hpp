@@ -1,0 +1,74 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace kcoup::machine {
+
+/// One level of the data-cache hierarchy.
+struct CacheLevel {
+  /// Usable capacity in bytes.
+  std::size_t capacity_bytes = 0;
+  /// Effective transfer cost for data served from this level, seconds per
+  /// byte (latency amortised into a streaming rate).
+  double seconds_per_byte = 0.0;
+};
+
+/// Parameterised machine description consumed by machine::Machine.
+///
+/// The default-constructed config is intentionally useless; use one of the
+/// presets (ibm_sp_p2sc(), generic_smp(), ...) or build your own.  All times
+/// are in seconds, all sizes in bytes.
+struct MachineConfig {
+  std::string name = "unnamed";
+
+  // --- CPU ---------------------------------------------------------------
+  /// Effective (achieved, not peak) floating-point rate of one processor.
+  double flops_per_second = 1.0;
+
+  // --- Memory hierarchy ----------------------------------------------------
+  /// Cache levels ordered from fastest/smallest (L1) to slowest/largest.
+  std::vector<CacheLevel> cache;
+  /// Cost of data served from main memory, seconds per byte.
+  double memory_seconds_per_byte = 0.0;
+
+  // --- Interconnect --------------------------------------------------------
+  /// Per-message latency (the alpha of the alpha-beta model).
+  double net_latency_s = 0.0;
+  /// Per-byte transfer cost (the beta of the alpha-beta model).
+  double net_seconds_per_byte = 0.0;
+  /// Multiplicative contention growth: effective beta is
+  /// net_seconds_per_byte * (1 + net_contention_coeff * log2(P)).
+  double net_contention_coeff = 0.0;
+
+  // --- Synchronization / load imbalance -------------------------------------
+  /// Latency of one stage of a synchronising operation (barrier tree hop).
+  double sync_latency_s = 0.0;
+  /// Strength of the load-imbalance penalty paid at a synchronisation point
+  /// when the synchronising kernel's skew pattern differs from the pattern
+  /// established by the previously synchronising kernel.  See machine.hpp
+  /// for the full model description.
+  double imbalance_coeff = 0.0;
+
+  /// Number of ranks the model is priced for (set per experiment).
+  int ranks = 1;
+};
+
+/// Preset approximating one node + switch of the Argonne IBM SP used in the
+/// paper (120 MHz P2SC processors, two-level data cache, vulcan-style
+/// switch).  Absolute constants are period-plausible, not vendor-exact; the
+/// reproduction targets are relative errors and coupling regimes, which
+/// depend on the *ratios* encoded here (see DESIGN.md section 2).
+[[nodiscard]] MachineConfig ibm_sp_p2sc();
+
+/// A generic modern-ish SMP node; used by examples to show how coupling
+/// values move when the memory hierarchy changes.
+[[nodiscard]] MachineConfig generic_smp();
+
+/// Ablation helpers: return a copy of `base` with one mechanism removed.
+[[nodiscard]] MachineConfig without_l2(MachineConfig base);
+[[nodiscard]] MachineConfig without_contention(MachineConfig base);
+[[nodiscard]] MachineConfig without_imbalance(MachineConfig base);
+
+}  // namespace kcoup::machine

@@ -1,0 +1,64 @@
+#include "machine/config.hpp"
+
+#include <utility>
+
+namespace kcoup::machine {
+
+MachineConfig ibm_sp_p2sc() {
+  MachineConfig c;
+  c.name = "ibm-sp-p2sc";
+  // 120 MHz P2SC, dual FMA pipes: 480 Mflop/s peak; dense 5x5 block solver
+  // kernels run near peak out of the large L1 on this machine, with the
+  // memory system priced separately below.
+  c.flops_per_second = 4.8e8;
+  // 128 KB L1 data cache (P2SC's unusually large L1), dual-ported at core
+  // speed: ~1.9 GB/s effective.
+  c.cache.push_back(CacheLevel{128 * 1024, 0.52e-9});
+  // 8 MB board-level L2/SRAM buffer: ~125 MB/s effective.
+  c.cache.push_back(CacheLevel{8 * 1024 * 1024, 10.0e-9});
+  // Main memory, latency-dominated strided access: ~33 MB/s effective.
+  c.memory_seconds_per_byte = 40.0e-9;
+  // SP "vulcan" switch: ~35 us one-way latency, ~90 MB/s per link.
+  c.net_latency_s = 35.0e-6;
+  c.net_seconds_per_byte = 11.0e-9;
+  c.net_contention_coeff = 0.15;
+  c.sync_latency_s = 20.0e-6;
+  c.imbalance_coeff = 0.25;
+  return c;
+}
+
+MachineConfig generic_smp() {
+  MachineConfig c;
+  c.name = "generic-smp";
+  c.flops_per_second = 4.0e9;
+  c.cache.push_back(CacheLevel{32 * 1024, 0.05e-9});
+  c.cache.push_back(CacheLevel{1 * 1024 * 1024, 0.2e-9});
+  c.cache.push_back(CacheLevel{32 * 1024 * 1024, 0.5e-9});
+  c.memory_seconds_per_byte = 2.0e-9;
+  c.net_latency_s = 1.0e-6;
+  c.net_seconds_per_byte = 0.1e-9;
+  c.net_contention_coeff = 0.1;
+  c.sync_latency_s = 0.5e-6;
+  c.imbalance_coeff = 0.3;
+  return c;
+}
+
+MachineConfig without_l2(MachineConfig base) {
+  base.name += "+no-l2";
+  if (base.cache.size() > 1) base.cache.resize(1);
+  return base;
+}
+
+MachineConfig without_contention(MachineConfig base) {
+  base.name += "+no-contention";
+  base.net_contention_coeff = 0.0;
+  return base;
+}
+
+MachineConfig without_imbalance(MachineConfig base) {
+  base.name += "+no-imbalance";
+  base.imbalance_coeff = 0.0;
+  return base;
+}
+
+}  // namespace kcoup::machine

@@ -1,0 +1,102 @@
+#pragma once
+
+#include <vector>
+
+#include "npb/common/blocktri.hpp"
+#include "npb/common/decomp.hpp"
+#include "npb/common/field.hpp"
+#include "npb/common/problem.hpp"
+#include "npb/common/stencil.hpp"
+#include "simmpi/simmpi.hpp"
+
+namespace kcoup::npb::bt {
+
+/// Configuration of the BT port.
+///
+/// Our BT keeps the paper's seven-kernel decomposition and the ADI
+/// block-tridiagonal structure of NPB BT — three sweeps of 5x5
+/// block-tridiagonal line solves, one per dimension, between a right-hand-
+/// side computation with face exchanges and a solution update — applied to
+/// the manufactured coupled elliptic system of npb/common/stencil.hpp
+/// instead of the Navier-Stokes RHS (DESIGN.md §2).  The jacobian diagonal
+/// blocks depend on the current solution (gamma term), so the per-iteration
+/// lhs construction work of the original is preserved.
+struct BtConfig {
+  int n = 12;           ///< global cubic grid extent
+  int iterations = 60;  ///< main-loop iterations
+  double tau = 0.4;     ///< pseudo-time step of the ADI iteration
+  double gamma = 0.05;  ///< strength of the u-dependent jacobian diagonal
+  OperatorSpec op;      ///< the manufactured operator
+};
+
+/// Per-rank BT solver: state plus the paper's seven kernels as methods.
+/// The main loop executes copy_faces .. add; initialize runs once before,
+/// final_verify once after (paper §4.1).
+class BtRank {
+ public:
+  BtRank(const BtConfig& config, simmpi::Comm& comm);
+
+  // Kernel 1: INITIALIZATION — manufactured forcing, perturbed initial u,
+  // analytic Dirichlet ghost values.
+  void initialize();
+  // Kernel 2: COPY_FACES — halo exchange of u, then rhs = tau (f - A u).
+  void copy_faces();
+  // Kernels 3-5: block-tridiagonal line solves updating rhs in place.
+  // x is local to every rank; y and z are distributed pipelined solves.
+  void x_solve();
+  void y_solve();
+  void z_solve();
+  // Kernel 6: ADD — u += rhs.
+  void add();
+  // Kernel 7: FINAL — global max error vs the manufactured solution.
+  double final_verify();
+
+  /// Global RMS residual ||f - A u||; synchronising diagnostic.
+  double residual_norm();
+
+  [[nodiscard]] const BtConfig& config() const { return config_; }
+  [[nodiscard]] const Field5& u() const { return u_; }
+  [[nodiscard]] const SquareDecomp::RankLayout& layout() const {
+    return layout_;
+  }
+
+ private:
+  void exchange_halo();
+  void fill_analytic_ghosts();
+  /// Build the block-tridiagonal row for local line position `m` along
+  /// direction `dir` (0=x,1=y,2=z) at the line anchored by (i,j,k).
+  [[nodiscard]] BlockTriRow make_row(int dir, int global_m, int global_n,
+                                     const Vec5& u_point, double coeff) const;
+
+  BtConfig config_;
+  simmpi::Comm* comm_;
+  SquareDecomp decomp_;
+  SquareDecomp::RankLayout layout_;
+  int nx_, ny_, nz_;  // local interior extents
+
+  Field5 u_;
+  Field5 rhs_;
+  Field5 forcing_;
+  Block5 coupling_;
+
+  // Reusable solve scratch (the original's lhs arrays).
+  std::vector<BlockTriRow> rows_;
+  std::vector<BlockTriState> states_;
+  std::vector<Vec5> xline_;
+  std::vector<double> msg_fwd_, msg_bwd_;
+};
+
+/// Result of one full BT run.
+struct BtRunResult {
+  double final_error = 0.0;    ///< max |u - u*| after the run
+  double initial_residual = 0.0;
+  double final_residual = 0.0;
+  simmpi::RunResult run;
+};
+
+/// Execute the complete benchmark (initialize, iterate, verify) on `ranks`
+/// simmpi ranks.
+[[nodiscard]] BtRunResult run_bt(const BtConfig& config, int ranks,
+                                 const simmpi::NetworkParams& net = {});
+
+}  // namespace kcoup::npb::bt

@@ -1,0 +1,60 @@
+#include "npb/bt/bt_measured.hpp"
+
+#include <mutex>
+
+#include "trace/stopwatch.hpp"
+
+namespace kcoup::npb::bt {
+namespace {
+
+/// Run a kernel body and charge this thread's CPU time to the rank clock.
+template <typename Fn>
+void timed(simmpi::Comm& comm, Fn&& fn) {
+  trace::ThreadCpuTimer t;
+  fn();
+  comm.advance(t.elapsed_s());
+}
+
+}  // namespace
+
+coupling::ParallelLoopApp make_measured_bt_app(BtRank& rank, int iterations,
+                                               simmpi::Comm& comm) {
+  coupling::ParallelLoopApp app;
+  app.prologue = {
+      {"Initialization", [&rank, &comm] { timed(comm, [&] { rank.initialize(); }); }}};
+  app.loop = {
+      {"Copy_Faces", [&rank, &comm] { timed(comm, [&] { rank.copy_faces(); }); }},
+      {"X_Solve", [&rank, &comm] { timed(comm, [&] { rank.x_solve(); }); }},
+      {"Y_Solve", [&rank, &comm] { timed(comm, [&] { rank.y_solve(); }); }},
+      {"Z_Solve", [&rank, &comm] { timed(comm, [&] { rank.z_solve(); }); }},
+      {"Add", [&rank, &comm] { timed(comm, [&] { rank.add(); }); }},
+  };
+  app.epilogue = {
+      {"Final", [&rank, &comm] { timed(comm, [&] { (void)rank.final_verify(); }); }}};
+  app.iterations = iterations;
+  // Reset restores start-of-run numeric state; host caches cannot be reset,
+  // which is part of what makes measured couplings noisy.
+  app.reset = [&rank] { rank.initialize(); };
+  return app;
+}
+
+coupling::ParallelStudyResult run_bt_measured_study(
+    const BtConfig& config, int ranks, const simmpi::NetworkParams& net,
+    const coupling::StudyOptions& study) {
+  coupling::ParallelStudyResult result;
+  std::mutex mu;
+  (void)simmpi::run(ranks, net, [&](simmpi::Comm& comm) {
+    BtRank rank(config, comm);
+    const coupling::ParallelLoopApp app =
+        make_measured_bt_app(rank, config.iterations, comm);
+    const coupling::ParallelStudyResult r =
+        coupling::run_parallel_study(comm, app, study);
+    if (comm.rank() == 0) {
+      std::lock_guard lock(mu);
+      result = r;
+    }
+  });
+  return result;
+}
+
+}  // namespace kcoup::npb::bt

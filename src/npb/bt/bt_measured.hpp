@@ -1,0 +1,31 @@
+#pragma once
+
+#include "coupling/parallel_measurement.hpp"
+#include "npb/bt/bt_app.hpp"
+#include "simmpi/simmpi.hpp"
+
+namespace kcoup::npb::bt {
+
+/// Host-measured parallel BT: the *real numeric* BtRank kernels, timed with
+/// the per-thread CPU clock and fed through the parallel measurement
+/// protocol.  Each rank charges its measured compute time to its virtual
+/// clock while simmpi prices the messages, so the study combines genuine
+/// host cache behaviour with a controlled virtual network — the third
+/// measurement path next to the fully-analytic model (bt_model.hpp) and
+/// the fully-modeled timed path (bt_timed.hpp).
+///
+/// Host timings are inherently noisy; use this for demonstrations and
+/// structural tests, not for regenerating the deterministic paper tables.
+///
+/// Builds the per-rank ParallelLoopApp over an existing BtRank (which must
+/// outlive the returned app).
+[[nodiscard]] coupling::ParallelLoopApp make_measured_bt_app(BtRank& rank,
+                                                             int iterations,
+                                                             simmpi::Comm& comm);
+
+/// Run a complete host-measured parallel study.
+[[nodiscard]] coupling::ParallelStudyResult run_bt_measured_study(
+    const BtConfig& config, int ranks, const simmpi::NetworkParams& net,
+    const coupling::StudyOptions& study);
+
+}  // namespace kcoup::npb::bt

@@ -1,0 +1,57 @@
+#pragma once
+
+#include <memory>
+
+#include "machine/config.hpp"
+#include "npb/common/modeled_app.hpp"
+#include "npb/common/problem.hpp"
+
+namespace kcoup::npb::bt {
+
+/// Structural constants of the BT kernels, derived from the numeric port in
+/// bt_app.cpp (operation and traffic counts per grid point).  Exposed so
+/// tests can cross-check them and ablation benches can perturb them.
+struct BtWorkConstants {
+  double flops_rhs_per_point = 135;    ///< copy_faces: stencil + coupling
+  double flops_solve_per_point = 935;  ///< block assembly + block Thomas
+  double flops_add_per_point = 5;
+  double flops_init_per_point = 250;
+  double flops_final_per_point = 60;
+  std::size_t comp_bytes = 5 * sizeof(double);        ///< one field, per point
+  std::size_t state_bytes = 30 * sizeof(double);      ///< BlockTriState
+  std::size_t fwd_msg_doubles = 30;  ///< per line, forward pipeline payload
+  std::size_t bwd_msg_doubles = 5;   ///< per line, backward pipeline payload
+};
+
+/// Build the modeled BT application (the paper's seven kernels pricing their
+/// WorkProfiles on one representative interior rank of `ranks` total) for a
+/// problem class on a machine configuration.
+///
+/// The main loop is {Copy_Faces, X_Solve, Y_Solve, Z_Solve, Add} as in §4.1;
+/// Initialization and Final run once.  Region sizes, traffic, data-flow
+/// edges and message patterns mirror bt_app.cpp: x lines are rank-local, y
+/// and z solves are distributed pipelined block-Thomas sweeps.
+[[nodiscard]] std::unique_ptr<ModeledApp> make_modeled_bt(
+    ProblemClass cls, int ranks, machine::MachineConfig config,
+    const BtWorkConstants& k = {});
+
+/// Convenience overload for explicit grid size / iteration count (used by
+/// the coupling-transition sweep bench).
+[[nodiscard]] std::unique_ptr<ModeledApp> make_modeled_bt_grid(
+    int n, int iterations, int ranks, machine::MachineConfig config,
+    const BtWorkConstants& k = {});
+
+/// Compute/traffic-only WorkProfiles of the seven BT kernels for one rank's
+/// local extents (nx, ny, nz), with regions registered on `m`.  No messages,
+/// synchronisation or imbalance annotations: the representative-rank model
+/// (make_modeled_bt*) adds the analytic communication model on top, while
+/// the timed parallel path (bt_timed.hpp) performs real simmpi messaging
+/// instead.
+struct BtKernelProfiles {
+  machine::WorkProfile init, copy_faces, x_solve, y_solve, z_solve, add, final;
+};
+[[nodiscard]] BtKernelProfiles bt_kernel_profiles(machine::Machine& m, int nx,
+                                                  int ny, int nz,
+                                                  const BtWorkConstants& k = {});
+
+}  // namespace kcoup::npb::bt

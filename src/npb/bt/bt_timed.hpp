@@ -1,0 +1,87 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "coupling/parallel_measurement.hpp"
+#include "machine/machine.hpp"
+#include "npb/bt/bt_model.hpp"
+#include "npb/common/decomp.hpp"
+#include "simmpi/simmpi.hpp"
+
+namespace kcoup::npb::bt {
+
+/// Options of the timed parallel BT path.
+struct TimedBtOptions {
+  machine::MachineConfig machine;  ///< prices compute + memory per rank
+  /// Per-(rank, kernel, invocation) multiplicative compute jitter amplitude;
+  /// this is where load imbalance comes from in the timed path (the
+  /// machine's analytic imbalance model is not used here — skew absorption
+  /// emerges from real message waiting and barriers in virtual time).
+  double jitter = 0.05;
+  BtWorkConstants constants;
+};
+
+/// Timing-only BT rank: executes BT's exact communication pattern with
+/// real-sized simmpi messages and charges machine-model costs for the
+/// compute/memory of each kernel on this rank's actual local extents —
+/// no field data, so paper-scale classes run in milliseconds.
+///
+/// Unlike the representative-rank model (bt_model.hpp), every rank prices
+/// its own subdomain, the y/z sweeps really serialise rank-by-rank
+/// (pipeline fill is emergent), and load imbalance comes from per-rank
+/// jitter meeting real synchronisation — a second, independent route to the
+/// paper's coupling measurements.
+class TimedBtRank {
+ public:
+  TimedBtRank(int n, const TimedBtOptions& options, simmpi::Comm& comm);
+
+  /// Build this rank's ParallelLoopApp (kernels reference *this).
+  [[nodiscard]] coupling::ParallelLoopApp make_app(int iterations);
+
+  // Kernel bodies (public so tests can drive them directly).
+  void initialize();
+  void copy_faces();
+  void x_solve();
+  void y_solve();
+  void z_solve();
+  void add();
+  void final_verify();
+
+  void reset();
+
+  [[nodiscard]] const machine::Machine& machine() const { return machine_; }
+
+ private:
+  void charge(const machine::WorkProfile& profile);
+  /// Split a sweep profile into its forward (eliminate) and backward
+  /// (substitute) halves for pipeline-faithful charging.
+  static std::pair<machine::WorkProfile, machine::WorkProfile> split_sweep(
+      const machine::WorkProfile& sweep);
+  void sweep(const machine::WorkProfile& fwd, const machine::WorkProfile& bwd,
+             int prev, int next, int tag_fwd, int tag_bwd,
+             std::size_t fwd_doubles, std::size_t bwd_doubles);
+
+  TimedBtOptions options_;
+  simmpi::Comm* comm_;
+  SquareDecomp decomp_;
+  SquareDecomp::RankLayout layout_;
+  int nx_, ny_, nz_;
+
+  machine::Machine machine_;
+  BtKernelProfiles profiles_;
+  machine::WorkProfile y_fwd_, y_bwd_, z_fwd_, z_bwd_;
+  std::size_t ylines_ = 0, zlines_ = 0;
+  std::uint64_t invocation_ = 0;
+
+  std::vector<double> yface_, zface_, pipe_buf_;
+};
+
+/// Run the full parallel coupling study on `ranks` timed BT ranks; network
+/// parameters are taken from options.machine.  Returns rank 0's result
+/// (identical on every rank).
+[[nodiscard]] coupling::ParallelStudyResult run_bt_parallel_study(
+    int n, int iterations, int ranks, const TimedBtOptions& options,
+    const coupling::StudyOptions& study);
+
+}  // namespace kcoup::npb::bt

@@ -1,0 +1,90 @@
+#include "npb/common/block5.hpp"
+
+#include <cstdlib>
+
+namespace kcoup::npb {
+
+bool lu_factor5(const Block5& m, Lu5& out) {
+  out.lu = m;
+  Block5& a = out.lu;
+  for (int col = 0; col < 5; ++col) {
+    // Partial pivot: largest magnitude on/below the diagonal.
+    int pivot = col;
+    double best = std::fabs(a[static_cast<std::size_t>(col * 5 + col)]);
+    for (int r = col + 1; r < 5; ++r) {
+      const double v = std::fabs(a[static_cast<std::size_t>(r * 5 + col)]);
+      if (v > best) {
+        best = v;
+        pivot = r;
+      }
+    }
+    if (best == 0.0) return false;
+    out.piv[static_cast<std::size_t>(col)] = pivot;
+    if (pivot != col) {
+      for (int c = 0; c < 5; ++c) {
+        std::swap(a[static_cast<std::size_t>(col * 5 + c)],
+                  a[static_cast<std::size_t>(pivot * 5 + c)]);
+      }
+    }
+    const double inv = 1.0 / a[static_cast<std::size_t>(col * 5 + col)];
+    for (int r = col + 1; r < 5; ++r) {
+      const double f = a[static_cast<std::size_t>(r * 5 + col)] * inv;
+      a[static_cast<std::size_t>(r * 5 + col)] = f;
+      for (int c = col + 1; c < 5; ++c) {
+        a[static_cast<std::size_t>(r * 5 + c)] -=
+            f * a[static_cast<std::size_t>(col * 5 + c)];
+      }
+    }
+  }
+  return true;
+}
+
+Vec5 lu_solve5(const Lu5& f, const Vec5& b) {
+  Vec5 x = b;
+  // Apply row permutation.
+  for (int i = 0; i < 5; ++i) {
+    const int p = f.piv[static_cast<std::size_t>(i)];
+    if (p != i) std::swap(x[static_cast<std::size_t>(i)], x[static_cast<std::size_t>(p)]);
+  }
+  // Forward substitution (unit lower).
+  for (int r = 1; r < 5; ++r) {
+    double s = x[static_cast<std::size_t>(r)];
+    for (int c = 0; c < r; ++c) {
+      s -= f.lu[static_cast<std::size_t>(r * 5 + c)] * x[static_cast<std::size_t>(c)];
+    }
+    x[static_cast<std::size_t>(r)] = s;
+  }
+  // Back substitution.
+  for (int r = 4; r >= 0; --r) {
+    double s = x[static_cast<std::size_t>(r)];
+    for (int c = r + 1; c < 5; ++c) {
+      s -= f.lu[static_cast<std::size_t>(r * 5 + c)] * x[static_cast<std::size_t>(c)];
+    }
+    x[static_cast<std::size_t>(r)] = s / f.lu[static_cast<std::size_t>(r * 5 + r)];
+  }
+  return x;
+}
+
+Block5 lu_solve5_block(const Lu5& f, const Block5& b) {
+  Block5 out;
+  for (int col = 0; col < 5; ++col) {
+    Vec5 rhs;
+    for (int r = 0; r < 5; ++r) {
+      rhs[static_cast<std::size_t>(r)] = b[static_cast<std::size_t>(r * 5 + col)];
+    }
+    const Vec5 x = lu_solve5(f, rhs);
+    for (int r = 0; r < 5; ++r) {
+      out[static_cast<std::size_t>(r * 5 + col)] = x[static_cast<std::size_t>(r)];
+    }
+  }
+  return out;
+}
+
+bool invert5(const Block5& m, Block5& out) {
+  Lu5 f;
+  if (!lu_factor5(m, f)) return false;
+  out = lu_solve5_block(f, identity5());
+  return true;
+}
+
+}  // namespace kcoup::npb

@@ -1,0 +1,106 @@
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <cstddef>
+
+namespace kcoup::npb {
+
+/// Dense 5x5 block and 5-vector primitives shared by the BT (block
+/// tridiagonal) and LU (SSOR with 5x5 jacobian blocks) solvers.  Row-major
+/// fixed-size arrays; everything is inline and allocation-free because these
+/// run in the innermost solver loops.
+using Block5 = std::array<double, 25>;  // m[r*5 + c]
+using Vec5 = std::array<double, 5>;
+
+inline constexpr Block5 kZeroBlock{};
+inline constexpr Vec5 kZeroVec{};
+
+[[nodiscard]] constexpr Block5 identity5(double scale = 1.0) {
+  Block5 b{};
+  for (int i = 0; i < 5; ++i) b[static_cast<std::size_t>(i * 5 + i)] = scale;
+  return b;
+}
+
+// --- Vector ops -------------------------------------------------------------
+
+inline void axpy5(double a, const Vec5& x, Vec5& y) {
+  for (int i = 0; i < 5; ++i) y[static_cast<std::size_t>(i)] += a * x[static_cast<std::size_t>(i)];
+}
+
+[[nodiscard]] inline Vec5 sub5(const Vec5& a, const Vec5& b) {
+  Vec5 r;
+  for (int i = 0; i < 5; ++i) {
+    const auto u = static_cast<std::size_t>(i);
+    r[u] = a[u] - b[u];
+  }
+  return r;
+}
+
+[[nodiscard]] inline double dot5(const Vec5& a, const Vec5& b) {
+  double s = 0.0;
+  for (int i = 0; i < 5; ++i) {
+    const auto u = static_cast<std::size_t>(i);
+    s += a[u] * b[u];
+  }
+  return s;
+}
+
+[[nodiscard]] inline double norm2sq5(const Vec5& a) { return dot5(a, a); }
+
+// --- Matrix ops ------------------------------------------------------------
+
+/// y = M x
+[[nodiscard]] inline Vec5 matvec5(const Block5& m, const Vec5& x) {
+  Vec5 y{};
+  for (int r = 0; r < 5; ++r) {
+    double s = 0.0;
+    for (int c = 0; c < 5; ++c) {
+      s += m[static_cast<std::size_t>(r * 5 + c)] * x[static_cast<std::size_t>(c)];
+    }
+    y[static_cast<std::size_t>(r)] = s;
+  }
+  return y;
+}
+
+/// C = A B
+[[nodiscard]] inline Block5 matmul5(const Block5& a, const Block5& b) {
+  Block5 c{};
+  for (int r = 0; r < 5; ++r) {
+    for (int k = 0; k < 5; ++k) {
+      const double arx = a[static_cast<std::size_t>(r * 5 + k)];
+      for (int col = 0; col < 5; ++col) {
+        c[static_cast<std::size_t>(r * 5 + col)] +=
+            arx * b[static_cast<std::size_t>(k * 5 + col)];
+      }
+    }
+  }
+  return c;
+}
+
+/// C = A - B
+[[nodiscard]] inline Block5 matsub5(const Block5& a, const Block5& b) {
+  Block5 c;
+  for (std::size_t i = 0; i < 25; ++i) c[i] = a[i] - b[i];
+  return c;
+}
+
+/// In-place LU factorisation with partial pivoting of a 5x5 block.
+/// Returns false if the block is numerically singular.
+struct Lu5 {
+  Block5 lu;
+  std::array<int, 5> piv;
+};
+
+[[nodiscard]] bool lu_factor5(const Block5& m, Lu5& out);
+
+/// Solve (LU) x = b for one right-hand side.
+[[nodiscard]] Vec5 lu_solve5(const Lu5& f, const Vec5& b);
+
+/// Solve (LU) X = B for a block right-hand side (column by column).
+[[nodiscard]] Block5 lu_solve5_block(const Lu5& f, const Block5& b);
+
+/// Explicit inverse (used by tests; the solvers use the factorisation).
+[[nodiscard]] bool invert5(const Block5& m, Block5& out);
+
+}  // namespace kcoup::npb

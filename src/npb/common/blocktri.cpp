@@ -1,0 +1,62 @@
+#include "npb/common/blocktri.hpp"
+
+#include <cassert>
+
+namespace kcoup::npb {
+
+bool blocktri_forward(std::span<const BlockTriRow> rows,
+                      const BlockTriState* prev,
+                      std::span<BlockTriState> out, BlockTriState& last) {
+  assert(out.size() == rows.size());
+  BlockTriState carry;
+  bool have_carry = prev != nullptr;
+  if (have_carry) carry = *prev;
+
+  for (std::size_t m = 0; m < rows.size(); ++m) {
+    const BlockTriRow& row = rows[m];
+    Block5 btil = row.b;
+    Vec5 rtil = row.r;
+    if (have_carry) {
+      // Substitute x_{m-1} = carry.rtil - carry.ctil x_m.
+      btil = matsub5(btil, matmul5(row.a, carry.ctil));
+      const Vec5 ar = matvec5(row.a, carry.rtil);
+      for (std::size_t c = 0; c < 5; ++c) rtil[c] -= ar[c];
+    }
+    Lu5 f;
+    if (!lu_factor5(btil, f)) return false;
+    BlockTriState s;
+    s.ctil = lu_solve5_block(f, row.c);
+    s.rtil = lu_solve5(f, rtil);
+    out[m] = s;
+    carry = s;
+    have_carry = true;
+  }
+  last = carry;
+  return true;
+}
+
+Vec5 blocktri_backward(std::span<const BlockTriState> states, const Vec5& xnext,
+                       std::span<Vec5> x) {
+  assert(x.size() == states.size());
+  Vec5 next = xnext;
+  for (std::size_t idx = states.size(); idx-- > 0;) {
+    const BlockTriState& s = states[idx];
+    Vec5 v = s.rtil;
+    const Vec5 cx = matvec5(s.ctil, next);
+    for (std::size_t c = 0; c < 5; ++c) v[c] -= cx[c];
+    x[idx] = v;
+    next = v;
+  }
+  return x.empty() ? xnext : x.front();
+}
+
+bool blocktri_solve_line(std::span<const BlockTriRow> rows, std::span<Vec5> x,
+                         std::span<BlockTriState> scratch) {
+  assert(rows.size() == x.size() && scratch.size() == rows.size());
+  BlockTriState last;
+  if (!blocktri_forward(rows, nullptr, scratch, last)) return false;
+  (void)blocktri_backward(scratch, kZeroVec, x);
+  return true;
+}
+
+}  // namespace kcoup::npb

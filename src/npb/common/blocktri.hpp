@@ -1,0 +1,46 @@
+#pragma once
+
+#include <span>
+
+#include "npb/common/block5.hpp"
+
+namespace kcoup::npb {
+
+/// One row of a block tridiagonal system with 5x5 blocks,
+///   A x_{m-1} + B x_m + C x_{m+1} = r.
+/// The first row of the global line must have A = 0 and the last C = 0.
+struct BlockTriRow {
+  Block5 a{}, b{}, c{};
+  Vec5 r{};
+};
+
+/// Normalised eliminated row:  x_m = rtil - Ctil x_{m+1}.
+struct BlockTriState {
+  Block5 ctil{};
+  Vec5 rtil{};
+};
+
+/// Forward elimination (block Thomas) over a contiguous span of one global
+/// line.  `prev` is the eliminated state of row m0-1 from the predecessor
+/// rank, or nullptr on the first rank.  Writes one state per row into `out`
+/// and returns the last row's state — the 25+5 doubles per line a rank
+/// forwards to its successor in the distributed pipelined solve.
+/// Returns false if a pivot block is singular (cannot happen for the
+/// diagonally dominant systems the applications build; checked regardless).
+[[nodiscard]] bool blocktri_forward(std::span<const BlockTriRow> rows,
+                                    const BlockTriState* prev,
+                                    std::span<BlockTriState> out,
+                                    BlockTriState& last);
+
+/// Back substitution: `xnext` is x at the first index past the local end
+/// (zero vector on the last rank).  Fills `x` and returns x[first] — the
+/// 5 doubles sent back to the predecessor rank.
+[[nodiscard]] Vec5 blocktri_backward(std::span<const BlockTriState> states,
+                                     const Vec5& xnext, std::span<Vec5> x);
+
+/// Convenience: solve a whole single-rank line, overwriting `x`.
+[[nodiscard]] bool blocktri_solve_line(std::span<const BlockTriRow> rows,
+                                       std::span<Vec5> x,
+                                       std::span<BlockTriState> scratch);
+
+}  // namespace kcoup::npb

@@ -1,0 +1,84 @@
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "npb/common/block5.hpp"
+
+namespace kcoup::npb {
+
+/// A 5-component 3-D field with a ghost ring, the storage shape shared by
+/// the BT/SP/LU state arrays (u, rhs, forcing).  Components are innermost
+/// (NPB's u(5,i,j,k) layout), so a grid point's 5 values are contiguous.
+/// Interior indices run [0, n); ghost indices extend to [-ghost, n + ghost).
+class Field5 {
+ public:
+  Field5(int nx, int ny, int nz, int ghost)
+      : nx_(nx), ny_(ny), nz_(nz), g_(ghost),
+        sx_(5),
+        sy_(static_cast<std::size_t>(nx + 2 * ghost) * 5),
+        sz_(static_cast<std::size_t>(nx + 2 * ghost) *
+            static_cast<std::size_t>(ny + 2 * ghost) * 5),
+        data_(static_cast<std::size_t>(nx + 2 * ghost) *
+                  static_cast<std::size_t>(ny + 2 * ghost) *
+                  static_cast<std::size_t>(nz + 2 * ghost) * 5,
+              0.0) {
+    assert(nx > 0 && ny > 0 && nz > 0 && ghost >= 0);
+  }
+
+  [[nodiscard]] int nx() const { return nx_; }
+  [[nodiscard]] int ny() const { return ny_; }
+  [[nodiscard]] int nz() const { return nz_; }
+  [[nodiscard]] int ghost() const { return g_; }
+
+  [[nodiscard]] std::size_t index(int i, int j, int k) const {
+    assert(i >= -g_ && i < nx_ + g_);
+    assert(j >= -g_ && j < ny_ + g_);
+    assert(k >= -g_ && k < nz_ + g_);
+    return static_cast<std::size_t>(k + g_) * sz_ +
+           static_cast<std::size_t>(j + g_) * sy_ +
+           static_cast<std::size_t>(i + g_) * sx_;
+  }
+
+  [[nodiscard]] double& at(int c, int i, int j, int k) {
+    return data_[index(i, j, k) + static_cast<std::size_t>(c)];
+  }
+  [[nodiscard]] double at(int c, int i, int j, int k) const {
+    return data_[index(i, j, k) + static_cast<std::size_t>(c)];
+  }
+
+  [[nodiscard]] Vec5 get(int i, int j, int k) const {
+    const std::size_t base = index(i, j, k);
+    Vec5 v;
+    for (std::size_t c = 0; c < 5; ++c) v[c] = data_[base + c];
+    return v;
+  }
+  void set(int i, int j, int k, const Vec5& v) {
+    const std::size_t base = index(i, j, k);
+    for (std::size_t c = 0; c < 5; ++c) data_[base + c] = v[c];
+  }
+  void add(int i, int j, int k, const Vec5& v) {
+    const std::size_t base = index(i, j, k);
+    for (std::size_t c = 0; c < 5; ++c) data_[base + c] += v[c];
+  }
+
+  void fill(double v) { data_.assign(data_.size(), v); }
+
+  [[nodiscard]] std::span<double> data() { return data_; }
+  [[nodiscard]] std::span<const double> data() const { return data_; }
+
+  /// Bytes of the interior (the size work models use for region footprints).
+  [[nodiscard]] std::size_t interior_bytes() const {
+    return static_cast<std::size_t>(nx_) * static_cast<std::size_t>(ny_) *
+           static_cast<std::size_t>(nz_) * 5 * sizeof(double);
+  }
+
+ private:
+  int nx_, ny_, nz_, g_;
+  std::size_t sx_, sy_, sz_;
+  std::vector<double> data_;
+};
+
+}  // namespace kcoup::npb

@@ -1,0 +1,11 @@
+#pragma once
+
+// Compatibility shim: ModeledApp moved into the coupling library (it is
+// application-agnostic scaffolding).  The NPB work models keep using the
+// kcoup::npb::ModeledApp name.
+
+#include "coupling/modeled_app.hpp"
+
+namespace kcoup::npb {
+using coupling::ModeledApp;
+}  // namespace kcoup::npb

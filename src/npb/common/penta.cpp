@@ -1,0 +1,61 @@
+#include "npb/common/penta.hpp"
+
+#include <cassert>
+
+namespace kcoup::npb {
+
+std::pair<PentaState, PentaState> penta_forward(std::span<const PentaRow> rows,
+                                                PentaState p2, PentaState p1,
+                                                std::span<PentaState> out) {
+  assert(out.size() == rows.size());
+  for (std::size_t m = 0; m < rows.size(); ++m) {
+    const PentaRow& row = rows[m];
+    // Substitute x_{m-2} = p2.rtil - p2.dtil x_{m-1} - p2.etil x_m.
+    const double b1 = row.b - row.a * p2.dtil;
+    double c1 = row.c - row.a * p2.etil;
+    double r1 = row.r - row.a * p2.rtil;
+    // Substitute x_{m-1} = p1.rtil - p1.dtil x_m - p1.etil x_{m+1}.
+    c1 -= b1 * p1.dtil;
+    double d1 = row.d - b1 * p1.etil;
+    r1 -= b1 * p1.rtil;
+    // Normalise.
+    const double inv = 1.0 / c1;
+    PentaState s;
+    s.dtil = d1 * inv;
+    s.etil = row.e * inv;
+    s.rtil = r1 * inv;
+    out[m] = s;
+    p2 = p1;
+    p1 = s;
+  }
+  return {p2, p1};  // states of rows (last-1, last)
+}
+
+std::pair<double, double> penta_backward(std::span<const PentaState> states,
+                                         double xn1, double xn2,
+                                         std::span<double> x) {
+  assert(x.size() == states.size());
+  const std::size_t n = states.size();
+  // x_m = rtil - dtil x_{m+1} - etil x_{m+2}
+  double next1 = xn1;  // x_{m+1}
+  double next2 = xn2;  // x_{m+2}
+  for (std::size_t idx = n; idx-- > 0;) {
+    const PentaState& s = states[idx];
+    const double v = s.rtil - s.dtil * next1 - s.etil * next2;
+    x[idx] = v;
+    next2 = next1;
+    next1 = v;
+  }
+  const double x0 = x[0];
+  const double x1 = n > 1 ? x[1] : xn1;
+  return {x0, x1};
+}
+
+void penta_solve_line(std::span<PentaRow> rows, std::span<double> x,
+                      std::span<PentaState> scratch) {
+  assert(rows.size() == x.size() && scratch.size() == rows.size());
+  (void)penta_forward(rows, PentaState{}, PentaState{}, scratch);
+  (void)penta_backward(scratch, 0.0, 0.0, x);
+}
+
+}  // namespace kcoup::npb

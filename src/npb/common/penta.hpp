@@ -1,0 +1,43 @@
+#pragma once
+
+#include <span>
+#include <utility>
+
+namespace kcoup::npb {
+
+/// One row of a scalar pentadiagonal system
+///   a x_{m-2} + b x_{m-1} + c x_m + d x_{m+1} + e x_{m+2} = r.
+/// Rows at the ends of the global line must have their out-of-range
+/// coefficients zeroed by the caller.
+struct PentaRow {
+  double a = 0, b = 0, c = 1, d = 0, e = 0, r = 0;
+};
+
+/// Normalised eliminated row:  x_m = rtil - dtil x_{m+1} - etil x_{m+2}.
+struct PentaState {
+  double dtil = 0, etil = 0, rtil = 0;
+};
+
+/// Forward elimination over a contiguous span of rows of one global line.
+/// `p2` and `p1` are the normalised states of rows m0-2 and m0-1 (zero
+/// states on the first rank).  Writes one PentaState per row into `out`
+/// (same length as `rows`) and returns the states of the last two rows —
+/// exactly the payload a rank forwards to its successor in the distributed
+/// pipelined solve (2 x 3 doubles per line per component).
+[[nodiscard]] std::pair<PentaState, PentaState> penta_forward(
+    std::span<const PentaRow> rows, PentaState p2, PentaState p1,
+    std::span<PentaState> out);
+
+/// Back substitution over the span: `xn1` = x at the first index past the
+/// local end, `xn2` = x one further (zero on the last rank).  Fills `x`
+/// (same length as `states`) and returns (x[first], x[first+1]) — the
+/// payload sent back to the predecessor rank.
+[[nodiscard]] std::pair<double, double> penta_backward(
+    std::span<const PentaState> states, double xn1, double xn2,
+    std::span<double> x);
+
+/// Convenience: solve a whole single-rank line in place (r overwritten by x).
+void penta_solve_line(std::span<PentaRow> rows, std::span<double> x,
+                      std::span<PentaState> scratch);
+
+}  // namespace kcoup::npb

@@ -1,0 +1,58 @@
+#pragma once
+
+#include <cstdint>
+
+namespace kcoup::npb {
+
+/// The NPB pseudo-random number generator: the linear congruential scheme
+///   x_{k+1} = a * x_k  (mod 2^46),   a = 5^13,
+/// returning uniform deltas in (0, 1).  This is the exact generator the NAS
+/// Parallel Benchmarks use to initialise fields, reimplemented with 64-bit
+/// integer arithmetic (the original splits operands into 23-bit halves to
+/// survive 64-bit floating point; 128-bit integer products make that
+/// unnecessary and keep the sequence bit-identical).
+class Randlc {
+ public:
+  static constexpr std::uint64_t kModulusBits = 46;
+  static constexpr std::uint64_t kDefaultSeed = 314159265ULL;
+  static constexpr std::uint64_t kA = 1220703125ULL;  // 5^13
+
+  explicit Randlc(std::uint64_t seed = kDefaultSeed) : x_(mask(seed)) {}
+
+  /// Next uniform double in (0, 1).
+  double next() {
+    x_ = mul46(x_, kA);
+    return static_cast<double>(x_) * kR46;
+  }
+
+  /// Current state (the NPB convention exposes the seed).
+  [[nodiscard]] std::uint64_t state() const { return x_; }
+
+  /// Jump the generator forward by `n` steps in O(log n) — the NPB
+  /// `ipow46`-style skip used so each rank can seed its subgrid
+  /// independently yet reproduce the serial initialisation stream.
+  void skip(std::uint64_t n) {
+    std::uint64_t a = kA;
+    while (n != 0) {
+      if (n & 1) x_ = mul46(x_, a);
+      a = mul46(a, a);
+      n >>= 1;
+    }
+  }
+
+ private:
+  static constexpr double kR46 = 1.0 / static_cast<double>(1ULL << 46);
+
+  static constexpr std::uint64_t mask(std::uint64_t v) {
+    return v & ((1ULL << kModulusBits) - 1);
+  }
+  static constexpr std::uint64_t mul46(std::uint64_t a, std::uint64_t b) {
+    __extension__ using u128 = unsigned __int128;
+    return static_cast<std::uint64_t>((static_cast<u128>(a) * b) &
+                                      ((1ULL << kModulusBits) - 1));
+  }
+
+  std::uint64_t x_;
+};
+
+}  // namespace kcoup::npb

@@ -1,0 +1,66 @@
+#include "npb/lu/lu_measured.hpp"
+
+#include <mutex>
+
+#include "trace/stopwatch.hpp"
+
+namespace kcoup::npb::lu {
+namespace {
+
+template <typename Fn>
+void timed(simmpi::Comm& comm, Fn&& fn) {
+  trace::ThreadCpuTimer t;
+  fn();
+  comm.advance(t.elapsed_s());
+}
+
+}  // namespace
+
+coupling::ParallelLoopApp make_measured_lu_app(LuRank& rank, int iterations,
+                                               simmpi::Comm& comm) {
+  coupling::ParallelLoopApp app;
+  app.prologue = {
+      {"Initialization", [&rank, &comm] { timed(comm, [&] { rank.initialize(); }); }},
+      {"Erhs", [&rank, &comm] { timed(comm, [&] { rank.erhs(); }); }},
+      {"Ssor_Init", [&rank, &comm] { timed(comm, [&] { rank.ssor_init(); }); }},
+  };
+  app.loop = {
+      {"Ssor_Iter", [&rank, &comm] { timed(comm, [&] { rank.ssor_iter(); }); }},
+      {"Ssor_LT", [&rank, &comm] { timed(comm, [&] { rank.ssor_lt(); }); }},
+      {"Ssor_UT", [&rank, &comm] { timed(comm, [&] { rank.ssor_ut(); }); }},
+      {"Ssor_RS", [&rank, &comm] { timed(comm, [&] { (void)rank.ssor_rs(); }); }},
+  };
+  app.epilogue = {
+      {"Error", [&rank, &comm] { timed(comm, [&] { (void)rank.error(); }); }},
+      {"Pintgr", [&rank, &comm] { timed(comm, [&] { (void)rank.pintgr(); }); }},
+      {"Final", [&rank, &comm] { timed(comm, [&] { (void)rank.final_verify(); }); }},
+  };
+  app.iterations = iterations;
+  app.reset = [&rank] {
+    rank.initialize();
+    rank.erhs();
+    rank.ssor_init();
+  };
+  return app;
+}
+
+coupling::ParallelStudyResult run_lu_measured_study(
+    const LuConfig& config, int ranks, const simmpi::NetworkParams& net,
+    const coupling::StudyOptions& study) {
+  coupling::ParallelStudyResult result;
+  std::mutex mu;
+  (void)simmpi::run(ranks, net, [&](simmpi::Comm& comm) {
+    LuRank rank(config, comm);
+    const coupling::ParallelLoopApp app =
+        make_measured_lu_app(rank, config.iterations, comm);
+    const coupling::ParallelStudyResult r =
+        coupling::run_parallel_study(comm, app, study);
+    if (comm.rank() == 0) {
+      std::lock_guard lock(mu);
+      result = r;
+    }
+  });
+  return result;
+}
+
+}  // namespace kcoup::npb::lu

@@ -1,0 +1,20 @@
+#pragma once
+
+#include "coupling/parallel_measurement.hpp"
+#include "npb/lu/lu_app.hpp"
+#include "simmpi/simmpi.hpp"
+
+namespace kcoup::npb::lu {
+
+/// Host-measured parallel LU: the real numeric LuRank kernels (including
+/// the per-plane wavefront sweeps) timed with the per-thread CPU clock
+/// under the parallel measurement protocol (see npb/bt/bt_measured.hpp).
+[[nodiscard]] coupling::ParallelLoopApp make_measured_lu_app(LuRank& rank,
+                                                             int iterations,
+                                                             simmpi::Comm& comm);
+
+[[nodiscard]] coupling::ParallelStudyResult run_lu_measured_study(
+    const LuConfig& config, int ranks, const simmpi::NetworkParams& net,
+    const coupling::StudyOptions& study);
+
+}  // namespace kcoup::npb::lu

@@ -1,0 +1,69 @@
+#pragma once
+
+#include <vector>
+
+#include "coupling/parallel_measurement.hpp"
+#include "machine/machine.hpp"
+#include "npb/common/decomp.hpp"
+#include "npb/lu/lu_model.hpp"
+#include "simmpi/simmpi.hpp"
+
+namespace kcoup::npb::lu {
+
+/// Options of the timed parallel LU path.
+struct TimedLuOptions {
+  machine::MachineConfig machine;
+  double jitter = 0.05;
+  LuWorkConstants constants;
+};
+
+/// Timing-only LU rank: executes the *real* diagonal-pipelined wavefront —
+/// one receive/compute/send hand-off per z-plane per sweep, with real
+/// payload sizes — while charging machine-priced compute per plane slice.
+/// The pipeline fill (px + py - 2 plane-stages) and LU's sensitivity to
+/// small-message latency (paper §4.3) emerge from the simulated execution
+/// instead of being modeled analytically.
+class TimedLuRank {
+ public:
+  TimedLuRank(int n, const TimedLuOptions& options, simmpi::Comm& comm);
+
+  [[nodiscard]] coupling::ParallelLoopApp make_app(int iterations);
+
+  void initialize();
+  void erhs();
+  void ssor_init();
+  void ssor_iter();
+  void ssor_lt();
+  void ssor_ut();
+  void ssor_rs();
+  void error();
+  void pintgr();
+  void final_verify();
+  void reset();
+
+ private:
+  void charge(const machine::WorkProfile& profile);
+  /// Per-plane jittered slice of an already machine-priced sweep cost.
+  void advance_slice(double base_slice, machine::KernelId kernel, int plane);
+  void wavefront(const machine::WorkProfile& profile, bool forward,
+                 int tag_col, int tag_row);
+
+  TimedLuOptions options_;
+  simmpi::Comm* comm_;
+  PencilDecomp decomp_;
+  PencilDecomp::RankLayout layout_;
+  int nx_, ny_, nz_;
+
+  machine::Machine machine_;
+  LuKernelProfiles profiles_;
+  std::uint64_t invocation_ = 0;
+
+  std::vector<double> xface_, yface_, col_buf_, row_buf_;
+};
+
+/// Run the full parallel coupling study on `ranks` timed LU ranks.
+[[nodiscard]] coupling::ParallelStudyResult run_lu_parallel_study(
+    int n, int iterations, int ranks, const TimedLuOptions& options,
+    const coupling::StudyOptions& study);
+
+}  // namespace kcoup::npb::lu

@@ -1,0 +1,87 @@
+#pragma once
+
+#include <vector>
+
+#include "npb/common/decomp.hpp"
+#include "npb/common/field.hpp"
+#include "npb/common/penta.hpp"
+#include "npb/common/problem.hpp"
+#include "npb/common/stencil.hpp"
+#include "simmpi/simmpi.hpp"
+
+namespace kcoup::npb::sp {
+
+/// Configuration of the SP port.
+///
+/// SP keeps the paper's eight-kernel decomposition: like BT but with scalar
+/// pentadiagonal line solves (five independent scalar systems per line, one
+/// per component) and the extra pointwise TXINVR transform between the
+/// right-hand-side computation and the sweeps (§4.2).  Applied to the
+/// manufactured coupled system of npb/common/stencil.hpp (DESIGN.md §2).
+struct SpConfig {
+  int n = 12;
+  int iterations = 100;
+  double tau = 0.4;    ///< pseudo-time step
+  double dcoef = 0.15; ///< pentadiagonal smoothing strength
+  double gamma = 0.05; ///< u-dependent diagonal strength
+  double txeps = 0.2;  ///< strength of the TXINVR pointwise transform
+  OperatorSpec op;
+};
+
+/// Per-rank SP solver: the paper's eight kernels as methods.  Main loop:
+/// copy_faces, txinvr, x_solve, y_solve, z_solve, add.
+class SpRank {
+ public:
+  SpRank(const SpConfig& config, simmpi::Comm& comm);
+
+  void initialize();   // kernel 1
+  void copy_faces();   // kernel 2: halo exchange + rhs = tau (f - A u)
+  void txinvr();       // kernel 3: rhs := T rhs (pointwise 5x5)
+  void x_solve();      // kernel 4: local scalar pentadiagonal sweeps
+  void y_solve();      // kernel 5: distributed pipelined penta sweeps
+  void z_solve();      // kernel 6: distributed pipelined penta sweeps
+  void add();          // kernel 7: u += T^-1 rhs
+  double final_verify();  // kernel 8: global max error vs exact solution
+
+  double residual_norm();
+
+  [[nodiscard]] const SpConfig& config() const { return config_; }
+
+ private:
+  void exchange_halo();
+  void fill_analytic_ghosts();
+  /// Pentadiagonal row for component c at global line position m of
+  /// extent n, with the u-dependent centre coefficient.
+  [[nodiscard]] PentaRow make_row(int global_m, int global_n, double u_c,
+                                  double rhs_c) const;
+
+  SpConfig config_;
+  simmpi::Comm* comm_;
+  SquareDecomp decomp_;
+  SquareDecomp::RankLayout layout_;
+  int nx_, ny_, nz_;
+
+  Field5 u_;
+  Field5 rhs_;
+  Field5 forcing_;
+  Block5 coupling_;
+  Block5 tx_;      ///< the TXINVR matrix T
+  Block5 txinv_;   ///< T^-1 (applied by add)
+
+  std::vector<PentaRow> rows_;
+  std::vector<PentaState> states_;  ///< per-line-per-component states
+  std::vector<double> xline_;
+  std::vector<double> msg_fwd_, msg_bwd_;
+};
+
+struct SpRunResult {
+  double final_error = 0.0;
+  double initial_residual = 0.0;
+  double final_residual = 0.0;
+  simmpi::RunResult run;
+};
+
+[[nodiscard]] SpRunResult run_sp(const SpConfig& config, int ranks,
+                                 const simmpi::NetworkParams& net = {});
+
+}  // namespace kcoup::npb::sp

@@ -1,0 +1,58 @@
+#include "npb/sp/sp_measured.hpp"
+
+#include <mutex>
+
+#include "trace/stopwatch.hpp"
+
+namespace kcoup::npb::sp {
+namespace {
+
+template <typename Fn>
+void timed(simmpi::Comm& comm, Fn&& fn) {
+  trace::ThreadCpuTimer t;
+  fn();
+  comm.advance(t.elapsed_s());
+}
+
+}  // namespace
+
+coupling::ParallelLoopApp make_measured_sp_app(SpRank& rank, int iterations,
+                                               simmpi::Comm& comm) {
+  coupling::ParallelLoopApp app;
+  app.prologue = {
+      {"Initialization", [&rank, &comm] { timed(comm, [&] { rank.initialize(); }); }}};
+  app.loop = {
+      {"Copy_Faces", [&rank, &comm] { timed(comm, [&] { rank.copy_faces(); }); }},
+      {"Txinvr", [&rank, &comm] { timed(comm, [&] { rank.txinvr(); }); }},
+      {"X_Solve", [&rank, &comm] { timed(comm, [&] { rank.x_solve(); }); }},
+      {"Y_Solve", [&rank, &comm] { timed(comm, [&] { rank.y_solve(); }); }},
+      {"Z_Solve", [&rank, &comm] { timed(comm, [&] { rank.z_solve(); }); }},
+      {"Add", [&rank, &comm] { timed(comm, [&] { rank.add(); }); }},
+  };
+  app.epilogue = {
+      {"Final", [&rank, &comm] { timed(comm, [&] { (void)rank.final_verify(); }); }}};
+  app.iterations = iterations;
+  app.reset = [&rank] { rank.initialize(); };
+  return app;
+}
+
+coupling::ParallelStudyResult run_sp_measured_study(
+    const SpConfig& config, int ranks, const simmpi::NetworkParams& net,
+    const coupling::StudyOptions& study) {
+  coupling::ParallelStudyResult result;
+  std::mutex mu;
+  (void)simmpi::run(ranks, net, [&](simmpi::Comm& comm) {
+    SpRank rank(config, comm);
+    const coupling::ParallelLoopApp app =
+        make_measured_sp_app(rank, config.iterations, comm);
+    const coupling::ParallelStudyResult r =
+        coupling::run_parallel_study(comm, app, study);
+    if (comm.rank() == 0) {
+      std::lock_guard lock(mu);
+      result = r;
+    }
+  });
+  return result;
+}
+
+}  // namespace kcoup::npb::sp

@@ -1,0 +1,20 @@
+#pragma once
+
+#include "coupling/parallel_measurement.hpp"
+#include "npb/sp/sp_app.hpp"
+#include "simmpi/simmpi.hpp"
+
+namespace kcoup::npb::sp {
+
+/// Host-measured parallel SP: the real numeric SpRank kernels timed with
+/// the per-thread CPU clock under the parallel measurement protocol (see
+/// npb/bt/bt_measured.hpp for the approach and caveats).
+[[nodiscard]] coupling::ParallelLoopApp make_measured_sp_app(SpRank& rank,
+                                                             int iterations,
+                                                             simmpi::Comm& comm);
+
+[[nodiscard]] coupling::ParallelStudyResult run_sp_measured_study(
+    const SpConfig& config, int ranks, const simmpi::NetworkParams& net,
+    const coupling::StudyOptions& study);
+
+}  // namespace kcoup::npb::sp

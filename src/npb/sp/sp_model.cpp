@@ -1,0 +1,188 @@
+#include "npb/sp/sp_model.hpp"
+
+#include <algorithm>
+
+#include "npb/common/decomp.hpp"
+
+namespace kcoup::npb::sp {
+namespace {
+
+using machine::AccessKind;
+using machine::MessageOp;
+using machine::RegionAccess;
+using machine::RegionId;
+using machine::WorkProfile;
+
+enum SpKernel : machine::KernelId {
+  kInit = 0,
+  kCopyFaces,
+  kTxinvr,
+  kXSolve,
+  kYSolve,
+  kZSolve,
+  kAdd,
+  kFinal,
+};
+
+}  // namespace
+
+SpKernelProfiles sp_kernel_profiles(machine::Machine& m, int nx, int ny,
+                                    int nz, const SpWorkConstants& k) {
+  const auto pts = static_cast<std::size_t>(nx) * static_cast<std::size_t>(ny) *
+                   static_cast<std::size_t>(nz);
+  const double fpts = static_cast<double>(pts);
+  const std::size_t field_bytes = pts * k.comp_bytes;
+  const auto stages = static_cast<std::size_t>(std::max(2, nz));
+
+  const RegionId u = m.register_region("u", field_bytes);
+  const RegionId rhs = m.register_region("rhs", field_bytes);
+  const RegionId forcing = m.register_region("forcing", field_bytes);
+  const RegionId exact_tmp = m.register_region("exact_tmp", field_bytes);
+  const RegionId lhs_x = m.register_region(
+      "lhs_x", static_cast<std::size_t>(nx) * k.state_bytes / 5);
+  const RegionId lhs_y = m.register_region("lhs_y", pts * k.state_bytes);
+  const RegionId lhs_z = m.register_region("lhs_z", pts * k.state_bytes);
+
+  SpKernelProfiles p;
+
+  p.init.label = "Initialization";
+  p.init.kernel = kInit;
+  p.init.flops = k.flops_init_per_point * fpts;
+  p.init.accesses = {
+      RegionAccess{u, AccessKind::kWrite, field_bytes},
+      RegionAccess{exact_tmp, AccessKind::kWrite, field_bytes},
+      RegionAccess{exact_tmp, AccessKind::kRead, field_bytes},
+      RegionAccess{forcing, AccessKind::kWrite, field_bytes},
+  };
+  p.init.pipeline_stages = stages;
+
+  p.copy_faces.label = "Copy_Faces";
+  p.copy_faces.kernel = kCopyFaces;
+  p.copy_faces.flops = k.flops_rhs_per_point * fpts;
+  p.copy_faces.accesses = {
+      RegionAccess{u, AccessKind::kRead, field_bytes, 1.0},
+      RegionAccess{forcing, AccessKind::kRead, field_bytes},
+      RegionAccess{rhs, AccessKind::kWrite, field_bytes},
+  };
+  p.copy_faces.pipeline_stages = stages;
+
+  p.txinvr.label = "Txinvr";
+  p.txinvr.kernel = kTxinvr;
+  p.txinvr.flops = k.flops_txinvr_per_point * fpts;
+  p.txinvr.accesses = {
+      RegionAccess{rhs, AccessKind::kRead, field_bytes, 1.0},
+      RegionAccess{rhs, AccessKind::kWrite, field_bytes},
+  };
+  p.txinvr.pipeline_stages = stages;
+
+  auto make_solve = [&](const char* label, machine::KernelId id, RegionId lhs) {
+    WorkProfile s;
+    s.label = label;
+    s.kernel = id;
+    s.flops = k.flops_solve_per_point * fpts;
+    RegionAccess lhs_read{lhs, AccessKind::kRead, pts * k.state_bytes};
+    lhs_read.pipelined_self_reuse = true;
+    s.accesses = {
+        RegionAccess{rhs, AccessKind::kRead, field_bytes, 1.0},
+        RegionAccess{u, AccessKind::kRead, field_bytes, 1.0},
+        RegionAccess{lhs, AccessKind::kWrite, pts * k.state_bytes},
+        lhs_read,
+        RegionAccess{rhs, AccessKind::kWrite, field_bytes},
+    };
+    s.pipeline_stages = stages;
+    return s;
+  };
+  p.x_solve = make_solve("X_Solve", kXSolve, lhs_x);
+  p.y_solve = make_solve("Y_Solve", kYSolve, lhs_y);
+  p.z_solve = make_solve("Z_Solve", kZSolve, lhs_z);
+
+  p.add.label = "Add";
+  p.add.kernel = kAdd;
+  p.add.flops = k.flops_add_per_point * fpts;
+  p.add.accesses = {
+      RegionAccess{rhs, AccessKind::kRead, field_bytes, 1.0},
+      RegionAccess{u, AccessKind::kRead, field_bytes, 1.0},
+      RegionAccess{u, AccessKind::kWrite, field_bytes},
+  };
+  p.add.pipeline_stages = stages;
+
+  p.final.label = "Final";
+  p.final.kernel = kFinal;
+  p.final.flops = k.flops_final_per_point * fpts;
+  p.final.accesses = {RegionAccess{u, AccessKind::kRead, field_bytes}};
+  p.final.pipeline_stages = stages;
+
+  return p;
+}
+
+std::unique_ptr<ModeledApp> make_modeled_sp_grid(int n, int iterations,
+                                                 int ranks,
+                                                 machine::MachineConfig config,
+                                                 const SpWorkConstants& k) {
+  SquareDecomp decomp(ranks);
+  config.ranks = ranks;
+  auto modeled = std::make_unique<ModeledApp>(
+      "SP n=" + std::to_string(n) + " P=" + std::to_string(ranks),
+      std::move(config), iterations);
+
+  const int q = decomp.q();
+  const int nx = n;
+  const int ny = split_range(n, q, 0).count;
+  const int nz = split_range(n, q, 0).count;
+  SpKernelProfiles p = sp_kernel_profiles(modeled->machine(), nx, ny, nz, k);
+
+  const std::size_t yface_bytes =
+      static_cast<std::size_t>(nx) * static_cast<std::size_t>(nz) * k.comp_bytes;
+  const std::size_t zface_bytes =
+      static_cast<std::size_t>(nx) * static_cast<std::size_t>(ny) * k.comp_bytes;
+  const std::size_t ylines =
+      static_cast<std::size_t>(nx) * static_cast<std::size_t>(nz);
+  const std::size_t zlines =
+      static_cast<std::size_t>(nx) * static_cast<std::size_t>(ny);
+
+  modeled->add_prologue(std::move(p.init));
+
+  if (q > 1) {
+    p.copy_faces.messages = {MessageOp{2, yface_bytes},
+                             MessageOp{2, zface_bytes}};
+    p.copy_faces.synchronizes = true;
+    p.copy_faces.imbalance_weight = 1.0;
+  }
+  modeled->add_loop_kernel(std::move(p.copy_faces));
+  modeled->add_loop_kernel(std::move(p.txinvr));
+  modeled->add_loop_kernel(std::move(p.x_solve));
+
+  auto add_distributed_solve = [&](WorkProfile s, std::size_t lines) {
+    if (q > 1) {
+      s.messages = {
+          MessageOp{1, lines * k.fwd_msg_doubles * sizeof(double)},
+          MessageOp{1, lines * k.bwd_msg_doubles * sizeof(double)},
+      };
+      s.synchronizes = true;
+      s.imbalance_weight = 1.0;
+    }
+    modeled->add_loop_kernel(std::move(s));
+  };
+  add_distributed_solve(std::move(p.y_solve), ylines);
+  add_distributed_solve(std::move(p.z_solve), zlines);
+
+  modeled->add_loop_kernel(std::move(p.add));
+
+  if (ranks > 1) {
+    p.final.synchronizes = true;
+    p.final.imbalance_weight = 0.5;
+  }
+  modeled->add_epilogue(std::move(p.final));
+
+  return modeled;
+}
+
+std::unique_ptr<ModeledApp> make_modeled_sp(ProblemClass cls, int ranks,
+                                            machine::MachineConfig config,
+                                            const SpWorkConstants& k) {
+  const ProblemSize size = problem_size(Benchmark::kSP, cls);
+  return make_modeled_sp_grid(size.n, size.iterations, ranks,
+                              std::move(config), k);
+}
+
+}  // namespace kcoup::npb::sp

@@ -1,0 +1,69 @@
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "coupling/parallel_measurement.hpp"
+#include "machine/machine.hpp"
+#include "npb/common/decomp.hpp"
+#include "npb/sp/sp_model.hpp"
+#include "simmpi/simmpi.hpp"
+
+namespace kcoup::npb::sp {
+
+/// Options of the timed parallel SP path (see bt_timed.hpp for the idea:
+/// real-sized simmpi messaging + per-rank machine pricing, emergent
+/// pipeline fill and load imbalance).
+struct TimedSpOptions {
+  machine::MachineConfig machine;
+  double jitter = 0.05;
+  SpWorkConstants constants;
+};
+
+/// Timing-only SP rank: the eight-kernel SP communication pattern with
+/// machine-priced compute, no field data.
+class TimedSpRank {
+ public:
+  TimedSpRank(int n, const TimedSpOptions& options, simmpi::Comm& comm);
+
+  [[nodiscard]] coupling::ParallelLoopApp make_app(int iterations);
+
+  void initialize();
+  void copy_faces();
+  void txinvr();
+  void x_solve();
+  void y_solve();
+  void z_solve();
+  void add();
+  void final_verify();
+  void reset();
+
+ private:
+  void charge(const machine::WorkProfile& profile);
+  static std::pair<machine::WorkProfile, machine::WorkProfile> split_sweep(
+      const machine::WorkProfile& sweep);
+  void sweep(const machine::WorkProfile& fwd, const machine::WorkProfile& bwd,
+             int prev, int next, int tag_fwd, int tag_bwd,
+             std::size_t fwd_doubles, std::size_t bwd_doubles);
+
+  TimedSpOptions options_;
+  simmpi::Comm* comm_;
+  SquareDecomp decomp_;
+  SquareDecomp::RankLayout layout_;
+  int nx_, ny_, nz_;
+
+  machine::Machine machine_;
+  SpKernelProfiles profiles_;
+  machine::WorkProfile y_fwd_, y_bwd_, z_fwd_, z_bwd_;
+  std::size_t ylines_ = 0, zlines_ = 0;
+  std::uint64_t invocation_ = 0;
+
+  std::vector<double> yface_, zface_, pipe_buf_;
+};
+
+/// Run the full parallel coupling study on `ranks` timed SP ranks.
+[[nodiscard]] coupling::ParallelStudyResult run_sp_parallel_study(
+    int n, int iterations, int ranks, const TimedSpOptions& options,
+    const coupling::StudyOptions& study);
+
+}  // namespace kcoup::npb::sp

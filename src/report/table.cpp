@@ -1,0 +1,78 @@
+#include "report/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace kcoup::report {
+
+std::string Table::to_string() const {
+  // Column widths over header + rows.
+  std::vector<std::size_t> widths;
+  auto absorb = [&](const std::vector<std::string>& row) {
+    if (widths.size() < row.size()) widths.resize(row.size(), 0);
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  };
+  absorb(header_);
+  for (const auto& r : rows_) absorb(r);
+
+  std::ostringstream out;
+  out << title_ << '\n';
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < widths.size(); ++i) {
+      const std::string& cell = i < row.size() ? row[i] : std::string();
+      out << "  " << cell << std::string(widths[i] - cell.size(), ' ');
+    }
+    out << '\n';
+  };
+  if (!header_.empty()) {
+    emit(header_);
+    std::size_t total = 0;
+    for (std::size_t w : widths) total += w + 2;
+    out << "  " << std::string(total > 2 ? total - 2 : 0, '-') << '\n';
+  }
+  for (const auto& r : rows_) emit(r);
+  return out.str();
+}
+
+std::string Table::to_csv() const {
+  std::ostringstream out;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i) out << ',';
+      out << row[i];
+    }
+    out << '\n';
+  };
+  if (!header_.empty()) emit(header_);
+  for (const auto& r : rows_) emit(r);
+  return out.str();
+}
+
+namespace {
+std::string printf_str(const char* fmt, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, fmt, v);
+  return buf;
+}
+}  // namespace
+
+std::string format_seconds(double seconds) {
+  if (seconds >= 100.0) return printf_str("%.1f", seconds);
+  if (seconds >= 1.0) return printf_str("%.2f", seconds);
+  return printf_str("%.4f", seconds);
+}
+
+std::string format_percent(double fraction) {
+  return printf_str("%.2f %%", fraction * 100.0);
+}
+
+std::string format_prediction(double seconds, double rel_error) {
+  return format_seconds(seconds) + " (" + format_percent(rel_error) + ")";
+}
+
+std::string format_coupling(double value) { return printf_str("%.4f", value); }
+
+}  // namespace kcoup::report

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace kcoup::report {
+
+/// Minimal aligned-text table used by the bench harnesses to print the
+/// paper's evaluation tables (and CSV for downstream plotting).
+class Table {
+ public:
+  explicit Table(std::string title) : title_(std::move(title)) {}
+
+  void set_header(std::vector<std::string> header) {
+    header_ = std::move(header);
+  }
+  void add_row(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+  [[nodiscard]] const std::string& title() const { return title_; }
+  [[nodiscard]] std::string to_string() const;
+  [[nodiscard]] std::string to_csv() const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// "123.456" style seconds with sensible precision for table cells.
+[[nodiscard]] std::string format_seconds(double seconds);
+
+/// "12.34 %" relative error cell, as printed throughout the paper's tables.
+[[nodiscard]] std::string format_percent(double fraction);
+
+/// "123.456 (12.34 %)" prediction cell.
+[[nodiscard]] std::string format_prediction(double seconds, double rel_error);
+
+/// Coupling values with the paper's 2-4 significant digits.
+[[nodiscard]] std::string format_coupling(double value);
+
+}  // namespace kcoup::report

@@ -1,0 +1,298 @@
+#include "simmpi/simmpi.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <atomic>
+#include <cmath>
+#include <condition_variable>
+#include <cstring>
+#include <deque>
+#include <exception>
+#include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <tuple>
+#include <utility>
+
+namespace kcoup::simmpi {
+namespace detail {
+
+namespace {
+struct Message {
+  std::vector<std::byte> payload;
+  double send_time = 0.0;
+};
+
+struct Channel {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::deque<Message> queue;
+  std::uint64_t tickets_issued = 0;
+  std::uint64_t tickets_served = 0;
+};
+}  // namespace
+
+/// Shared state of one simmpi run: channels, the collective rendezvous, and
+/// global counters.  Owned by run() for the duration of the run.
+class World {
+ public:
+  World(int ranks, NetworkParams net) : ranks_(ranks), net_(net) {}
+
+  [[nodiscard]] int ranks() const { return ranks_; }
+
+  void send(Comm& from, int dest, int tag, std::span<const std::byte> bytes) {
+    if (dest < 0 || dest >= ranks_) {
+      throw std::runtime_error("simmpi: send to invalid rank " +
+                               std::to_string(dest));
+    }
+    Channel& ch = channel(from.rank(), dest, tag);
+    {
+      std::lock_guard lock(ch.mu);
+      Message m;
+      m.payload.assign(bytes.begin(), bytes.end());
+      m.send_time = from.now();
+      ch.queue.push_back(std::move(m));
+    }
+    ch.cv.notify_all();
+    messages_.fetch_add(1, std::memory_order_relaxed);
+    payload_bytes_.fetch_add(bytes.size(), std::memory_order_relaxed);
+  }
+
+  /// Reserve the next receive slot on a channel (post-order matching for
+  /// deferred receives).
+  std::uint64_t post_ticket(int src, int dst, int tag) {
+    if (src < 0 || src >= ranks_) {
+      throw std::runtime_error("simmpi: recv from invalid rank " +
+                               std::to_string(src));
+    }
+    Channel& ch = channel(src, dst, tag);
+    std::lock_guard lock(ch.mu);
+    return ch.tickets_issued++;
+  }
+
+  void recv(Comm& to, int src, int tag, std::span<std::byte> out,
+            std::uint64_t ticket) {
+    Channel& ch = channel(src, to.rank(), tag);
+    Message m;
+    {
+      std::unique_lock lock(ch.mu);
+      ch.cv.wait(lock, [&] {
+        return ch.tickets_served == ticket && !ch.queue.empty();
+      });
+      m = std::move(ch.queue.front());
+      ch.queue.pop_front();
+      ++ch.tickets_served;
+      ch.cv.notify_all();
+    }
+    if (m.payload.size() != out.size()) {
+      throw std::runtime_error(
+          "simmpi: payload size mismatch on recv(src=" + std::to_string(src) +
+          ", tag=" + std::to_string(tag) + "): sent " +
+          std::to_string(m.payload.size()) + " bytes, expected " +
+          std::to_string(out.size()));
+    }
+    std::memcpy(out.data(), m.payload.data(), m.payload.size());
+    const double arrival =
+        m.send_time + net_.latency_s +
+        static_cast<double>(m.payload.size()) * net_.seconds_per_byte;
+    to.clock_.advance_to(arrival);
+  }
+
+  /// Generic synchronising collective: every rank contributes `value`; all
+  /// ranks observe the reduction of all contributions and synchronise their
+  /// clocks to max(entry times) + tree cost.  Contributions are folded in
+  /// rank order regardless of arrival order, so floating-point reductions
+  /// are bit-deterministic across runs and host schedules.
+  double collective(Comm& c, double value, double (*combine)(double, double),
+                    double init) {
+    std::unique_lock lock(coll_mu_);
+    if (coll_count_ == 0) {
+      coll_values_.assign(static_cast<std::size_t>(ranks_), 0.0);
+      coll_time_ = 0.0;
+    }
+    coll_values_[static_cast<std::size_t>(c.rank())] = value;
+    coll_time_ = std::max(coll_time_, c.now());
+    ++coll_count_;
+    const std::size_t generation = coll_generation_;
+    if (coll_count_ == ranks_) {
+      coll_count_ = 0;
+      double acc = init;
+      for (double v : coll_values_) acc = combine(acc, v);
+      coll_result_ = acc;
+      coll_gathered_ = coll_values_;
+      coll_exit_time_ =
+          coll_time_ +
+          net_.sync_latency_s *
+              std::ceil(std::log2(std::max(2.0, static_cast<double>(ranks_))));
+      ++coll_generation_;
+      coll_cv_.notify_all();
+    } else {
+      coll_cv_.wait(lock, [&] { return coll_generation_ != generation; });
+    }
+    c.clock_.advance_to(coll_exit_time_);
+    return coll_result_;
+  }
+
+  /// Collective returning every rank's contribution, rank-indexed.
+  std::vector<double> allgather(Comm& c, double value) {
+    (void)collective(
+        c, value, [](double a, double) { return a; }, 0.0);
+    std::lock_guard lock(coll_mu_);
+    return coll_gathered_;
+  }
+
+  [[nodiscard]] std::size_t messages() const { return messages_.load(); }
+  [[nodiscard]] std::size_t payload_bytes() const {
+    return payload_bytes_.load();
+  }
+
+ private:
+  Channel& channel(int src, int dst, int tag) {
+    const std::tuple key(src, dst, tag);
+    std::lock_guard lock(channels_mu_);
+    return channels_[key];  // default-constructs on first use
+  }
+
+  int ranks_;
+  NetworkParams net_;
+
+  std::mutex channels_mu_;
+  std::map<std::tuple<int, int, int>, Channel> channels_;
+
+  std::mutex coll_mu_;
+  std::condition_variable coll_cv_;
+  int coll_count_ = 0;
+  std::size_t coll_generation_ = 0;
+  std::vector<double> coll_values_;
+  std::vector<double> coll_gathered_;
+  double coll_result_ = 0.0;
+  double coll_time_ = 0.0;
+  double coll_exit_time_ = 0.0;
+
+  std::atomic<std::size_t> messages_{0};
+  std::atomic<std::size_t> payload_bytes_{0};
+};
+
+}  // namespace detail
+
+Comm::Comm(detail::World* world, int rank) : world_(world), rank_(rank) {}
+
+int Comm::size() const noexcept { return world_->ranks(); }
+
+void Comm::send_bytes(int dest, int tag, std::span<const std::byte> bytes) {
+  world_->send(*this, dest, tag, bytes);
+}
+
+void Comm::recv_bytes(int src, int tag, std::span<std::byte> out) {
+  const std::uint64_t ticket = world_->post_ticket(src, rank_, tag);
+  world_->recv(*this, src, tag, out, ticket);
+}
+
+Request Comm::isend_bytes(int dest, int tag,
+                          std::span<const std::byte> bytes) {
+  // Buffered channels complete the send immediately; return an empty
+  // (already-complete) request so wait_all-shaped code works unchanged.
+  send_bytes(dest, tag, bytes);
+  return Request{};
+}
+
+Request Comm::irecv_bytes(int src, int tag, std::span<std::byte> out) {
+  const std::uint64_t ticket = world_->post_ticket(src, rank_, tag);
+  return Request(this, src, tag, out, ticket);
+}
+
+Request::~Request() {
+  // Abandoning a posted receive would leave its channel ticket unserved and
+  // deadlock later receives; surface the bug in debug builds.
+  assert(!valid() && "simmpi::Request destroyed without wait()");
+}
+
+void Request::wait() {
+  if (!valid()) return;
+  comm_->world_->recv(*comm_, src_, tag_, out_, ticket_);
+  comm_ = nullptr;
+}
+
+void wait_all(std::span<Request> requests) {
+  for (Request& r : requests) r.wait();
+}
+
+void Comm::barrier() {
+  world_->collective(
+      *this, 0.0, [](double a, double) { return a; }, 0.0);
+}
+
+double Comm::allreduce_sum(double value) {
+  return world_->collective(
+      *this, value, [](double a, double b) { return a + b; }, 0.0);
+}
+
+double Comm::allreduce_max(double value) {
+  return world_->collective(
+      *this, value, [](double a, double b) { return std::max(a, b); },
+      -std::numeric_limits<double>::infinity());
+}
+
+double Comm::allreduce_min(double value) {
+  return world_->collective(
+      *this, value, [](double a, double b) { return std::min(a, b); },
+      std::numeric_limits<double>::infinity());
+}
+
+double Comm::broadcast(double value, int root) {
+  // Implemented as a reduction that keeps only the root's contribution.
+  // Every rank participates, so the synchronising semantics are identical
+  // to a tree broadcast.
+  const double contribution = rank_ == root ? value : 0.0;
+  return world_->collective(
+      *this, contribution, [](double a, double b) { return a + b; }, 0.0);
+}
+
+std::vector<double> Comm::allgather(double value) {
+  return world_->allgather(*this, value);
+}
+
+RunResult run(int ranks, const NetworkParams& net,
+              const std::function<void(Comm&)>& body) {
+  if (ranks < 1) throw std::invalid_argument("simmpi: ranks must be >= 1");
+  detail::World world(ranks, net);
+
+  std::vector<std::unique_ptr<Comm>> comms;
+  comms.reserve(static_cast<std::size_t>(ranks));
+  for (int r = 0; r < ranks; ++r) {
+    comms.push_back(std::make_unique<Comm>(&world, r));
+  }
+
+  std::exception_ptr first_error;
+  std::mutex error_mu;
+  {
+    std::vector<std::jthread> threads;
+    threads.reserve(static_cast<std::size_t>(ranks));
+    for (int r = 0; r < ranks; ++r) {
+      threads.emplace_back([&, r] {
+        try {
+          body(*comms[static_cast<std::size_t>(r)]);
+        } catch (...) {
+          std::lock_guard lock(error_mu);
+          if (!first_error) first_error = std::current_exception();
+        }
+      });
+    }
+  }  // jthreads join here
+  if (first_error) std::rethrow_exception(first_error);
+
+  RunResult result;
+  result.rank_times_s.reserve(static_cast<std::size_t>(ranks));
+  for (const auto& c : comms) {
+    result.rank_times_s.push_back(c->now());
+    result.makespan_s = std::max(result.makespan_s, c->now());
+  }
+  result.messages = world.messages();
+  result.payload_bytes = world.payload_bytes();
+  return result;
+}
+
+}  // namespace kcoup::simmpi

@@ -1,0 +1,199 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "trace/virtual_clock.hpp"
+
+namespace kcoup::simmpi {
+
+/// Cost parameters of the simulated interconnect.  Virtual message delivery
+/// time is send_time + latency_s + bytes * seconds_per_byte; collectives add
+/// sync_latency_s per tree hop.
+struct NetworkParams {
+  double latency_s = 0.0;
+  double seconds_per_byte = 0.0;
+  double sync_latency_s = 0.0;
+};
+
+namespace detail {
+class World;
+}
+
+class Comm;
+
+/// Handle for a pending nonblocking operation.  Move-only; wait() must be
+/// called exactly once on a valid request (the destructor asserts in debug
+/// builds that no pending receive is abandoned).
+///
+/// Matching semantics: a channel (src, dst, tag) is FIFO and deferred
+/// receives are matched *in the order they were posted*; waiting a request
+/// out of post order relative to another pending receive on the same
+/// channel blocks until the earlier one is waited.  Requests on different
+/// channels commute freely.
+class Request {
+ public:
+  Request() = default;
+  Request(Request&& other) noexcept { swap(other); }
+  Request& operator=(Request&& other) noexcept {
+    swap(other);
+    return *this;
+  }
+  Request(const Request&) = delete;
+  Request& operator=(const Request&) = delete;
+  ~Request();
+
+  /// True when there is a pending operation to wait on.
+  [[nodiscard]] bool valid() const noexcept { return comm_ != nullptr; }
+
+  /// Complete the operation: for a receive, fills the span given to irecv
+  /// and advances the rank's virtual clock to the arrival time.
+  void wait();
+
+ private:
+  friend class Comm;
+  Request(Comm* comm, int src, int tag, std::span<std::byte> out,
+          std::uint64_t ticket)
+      : comm_(comm), src_(src), tag_(tag), out_(out), ticket_(ticket) {}
+  void swap(Request& other) noexcept {
+    std::swap(comm_, other.comm_);
+    std::swap(src_, other.src_);
+    std::swap(tag_, other.tag_);
+    std::swap(out_, other.out_);
+    std::swap(ticket_, other.ticket_);
+  }
+
+  Comm* comm_ = nullptr;
+  int src_ = -1;
+  int tag_ = 0;
+  std::span<std::byte> out_;
+  std::uint64_t ticket_ = 0;
+};
+
+/// Wait on every valid request in the span.
+void wait_all(std::span<Request> requests);
+
+/// Per-rank communicator handle, the API surface seen by rank bodies.
+///
+/// simmpi is a deterministic message-passing runtime: ranks execute as host
+/// threads, but because every receive names its exact source and every
+/// (src, dst, tag) channel is FIFO — there is deliberately no wildcard
+/// receive — the program is a Kahn process network and its results and
+/// virtual times are independent of host thread scheduling.
+///
+/// Each rank carries a virtual clock.  Local work is charged with advance();
+/// a receive completes at max(receiver time, send time + transfer time); a
+/// collective synchronises all clocks to the participants' maximum plus the
+/// collective's cost.  Sends are buffered (non-blocking), so symmetric
+/// neighbour exchanges cannot deadlock.
+class Comm {
+ public:
+  Comm(detail::World* world, int rank);
+  Comm(const Comm&) = delete;
+  Comm& operator=(const Comm&) = delete;
+
+  [[nodiscard]] int rank() const noexcept { return rank_; }
+  [[nodiscard]] int size() const noexcept;
+
+  /// Charge `seconds` of local (compute) virtual time to this rank.
+  void advance(double seconds) noexcept { clock_.advance(seconds); }
+
+  /// This rank's current virtual time in seconds.
+  [[nodiscard]] double now() const noexcept { return clock_.now(); }
+
+  // --- Point-to-point ------------------------------------------------------
+
+  /// Buffered send: enqueues a copy of `bytes` on channel (rank, dest, tag).
+  void send_bytes(int dest, int tag, std::span<const std::byte> bytes);
+
+  /// Blocking receive from exactly (src, tag).  The payload size must match
+  /// what was sent; mismatches throw std::runtime_error (they indicate a
+  /// protocol bug in the application).
+  void recv_bytes(int src, int tag, std::span<std::byte> out);
+
+  /// Nonblocking send: with simmpi's buffered channels the message is
+  /// enqueued immediately, so this is send_bytes returning an already-
+  /// completed request (kept for MPI-shaped code).
+  Request isend_bytes(int dest, int tag, std::span<const std::byte> bytes);
+
+  /// Nonblocking receive: posts a matching ticket on the channel and defers
+  /// the transfer to Request::wait().  See Request for matching semantics.
+  [[nodiscard]] Request irecv_bytes(int src, int tag, std::span<std::byte> out);
+
+  template <typename T>
+  Request isend(int dest, int tag, std::span<const T> data) {
+    return isend_bytes(dest, tag, std::as_bytes(data));
+  }
+  template <typename T>
+  [[nodiscard]] Request irecv(int src, int tag, std::span<T> out) {
+    return irecv_bytes(src, tag, std::as_writable_bytes(out));
+  }
+
+  template <typename T>
+  void send(int dest, int tag, std::span<const T> data) {
+    send_bytes(dest, tag, std::as_bytes(data));
+  }
+  template <typename T>
+  void recv(int src, int tag, std::span<T> out) {
+    recv_bytes(src, tag, std::as_writable_bytes(out));
+  }
+
+  /// Symmetric neighbour exchange: send to `peer`, then receive from `peer`
+  /// on the same tag.  Safe because sends are buffered.
+  template <typename T>
+  void exchange(int peer, int tag, std::span<const T> out_data,
+                std::span<T> in_data) {
+    send(peer, tag, out_data);
+    recv(peer, tag, in_data);
+  }
+
+  // --- Collectives -----------------------------------------------------------
+
+  /// Synchronise all ranks; clocks jump to the global maximum plus
+  /// ceil(log2 P) * sync_latency_s.
+  void barrier();
+
+  /// All-reduce a double across ranks (sum / max / min); synchronising.
+  double allreduce_sum(double value);
+  double allreduce_max(double value);
+  double allreduce_min(double value);
+
+  /// Broadcast `value` from rank `root` to everyone; synchronising.
+  double broadcast(double value, int root);
+
+  /// Gather every rank's `value`; all ranks receive the full rank-indexed
+  /// vector.  Synchronising, like the other collectives.
+  std::vector<double> allgather(double value);
+
+ private:
+  friend class detail::World;
+  friend class Request;
+  detail::World* world_;
+  int rank_;
+  trace::VirtualClock clock_;
+};
+
+/// Statistics of one completed run.
+struct RunResult {
+  /// Maximum virtual completion time over all ranks — the simulated
+  /// parallel execution time.
+  double makespan_s = 0.0;
+  /// Per-rank virtual completion times.
+  std::vector<double> rank_times_s;
+  /// Total messages and payload bytes sent.
+  std::size_t messages = 0;
+  std::size_t payload_bytes = 0;
+};
+
+/// Execute `body` on `ranks` ranks and return timing statistics.
+/// Exceptions thrown by any rank are rethrown (first one wins) after all
+/// rank threads have been joined.
+RunResult run(int ranks, const NetworkParams& net,
+              const std::function<void(Comm&)>& body);
+
+}  // namespace kcoup::simmpi

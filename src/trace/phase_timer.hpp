@@ -1,0 +1,36 @@
+#pragma once
+
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "trace/stats.hpp"
+
+namespace kcoup::trace {
+
+/// Accumulates per-phase (per-kernel) time samples by name.
+///
+/// The NPB applications report one entry per kernel; the measurement harness
+/// reads the phase registry to recover per-kernel isolated times.
+class PhaseRegistry {
+ public:
+  void record(std::string_view phase, double seconds) {
+    phases_[std::string(phase)].add(seconds);
+  }
+
+  [[nodiscard]] const RunningStats* find(std::string_view phase) const {
+    auto it = phases_.find(std::string(phase));
+    return it == phases_.end() ? nullptr : &it->second;
+  }
+
+  [[nodiscard]] const std::map<std::string, RunningStats>& phases() const {
+    return phases_;
+  }
+
+  void clear() { phases_.clear(); }
+
+ private:
+  std::map<std::string, RunningStats> phases_;
+};
+
+}  // namespace kcoup::trace

@@ -1,0 +1,53 @@
+#pragma once
+
+#include <chrono>
+#include <ctime>
+
+namespace kcoup::trace {
+
+/// Per-thread CPU-time stopwatch (CLOCK_THREAD_CPUTIME_ID).
+///
+/// Measures only the CPU time consumed by the calling thread — time spent
+/// blocked (in a simmpi receive, or descheduled while another rank thread
+/// runs on the same core) is excluded.  This is what makes host-measured
+/// multi-rank studies meaningful on machines with fewer cores than ranks.
+class ThreadCpuTimer {
+ public:
+  ThreadCpuTimer() : start_(now()) {}
+
+  void restart() { start_ = now(); }
+
+  /// Seconds of this thread's CPU time since construction/restart.
+  [[nodiscard]] double elapsed_s() const { return now() - start_; }
+
+ private:
+  static double now() {
+    timespec ts{};
+    clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
+    return static_cast<double>(ts.tv_sec) +
+           static_cast<double>(ts.tv_nsec) * 1e-9;
+  }
+  double start_;
+};
+
+/// Host wall-clock stopwatch (std::chrono::steady_clock).
+///
+/// Used only by the *measured* execution path (real kernels timed on the
+/// host); all paper-table experiments run against VirtualClock instead.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(clock::now()) {}
+
+  void restart() { start_ = clock::now(); }
+
+  /// Seconds elapsed since construction or last restart().
+  [[nodiscard]] double elapsed_s() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace kcoup::trace

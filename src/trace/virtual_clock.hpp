@@ -1,0 +1,42 @@
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+
+namespace kcoup::trace {
+
+/// A deterministic simulated clock measured in seconds.
+///
+/// All simulated components (machine model, message-passing runtime) charge
+/// time against a VirtualClock instead of reading the host clock, which makes
+/// every experiment bit-reproducible regardless of host load.  The clock is
+/// monotone: time can only be advanced forward or jumped forward to an
+/// absolute instant.
+class VirtualClock {
+ public:
+  VirtualClock() = default;
+
+  /// Current simulated time in seconds since construction/reset.
+  [[nodiscard]] double now() const noexcept { return now_s_; }
+
+  /// Advance the clock by a non-negative duration (seconds).
+  void advance(double seconds) noexcept {
+    assert(seconds >= 0.0 && "VirtualClock cannot run backwards");
+    if (seconds > 0.0) now_s_ += seconds;
+  }
+
+  /// Jump forward to an absolute instant.  Instants in the past are ignored
+  /// (the clock stays monotone), which is the behaviour a simulated rank
+  /// needs when synchronising with a peer that is already ahead.
+  void advance_to(double instant_s) noexcept {
+    if (instant_s > now_s_) now_s_ = instant_s;
+  }
+
+  /// Reset to t = 0.  Only meaningful between independent experiments.
+  void reset() noexcept { now_s_ = 0.0; }
+
+ private:
+  double now_s_ = 0.0;
+};
+
+}  // namespace kcoup::trace

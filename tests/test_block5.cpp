@@ -1,0 +1,135 @@
+// Unit tests for the dense 5x5 block primitives (npb/common/block5.hpp),
+// the innermost math of the BT and LU solvers.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "npb/common/block5.hpp"
+
+namespace kcoup::npb {
+namespace {
+
+Block5 random_dominant_block(std::mt19937& rng) {
+  std::uniform_real_distribution<double> dist(-1.0, 1.0);
+  Block5 m;
+  for (auto& v : m) v = dist(rng);
+  // Make strictly diagonally dominant so the block is well conditioned.
+  for (int r = 0; r < 5; ++r) {
+    double row = 0.0;
+    for (int c = 0; c < 5; ++c) row += std::fabs(m[static_cast<std::size_t>(r * 5 + c)]);
+    m[static_cast<std::size_t>(r * 5 + r)] += row + 1.0;
+  }
+  return m;
+}
+
+Vec5 random_vec(std::mt19937& rng) {
+  std::uniform_real_distribution<double> dist(-2.0, 2.0);
+  Vec5 v;
+  for (auto& x : v) x = dist(rng);
+  return v;
+}
+
+TEST(Block5Test, IdentityBehaviour) {
+  const Block5 id = identity5();
+  const Vec5 v{1, 2, 3, 4, 5};
+  const Vec5 r = matvec5(id, v);
+  for (std::size_t i = 0; i < 5; ++i) EXPECT_DOUBLE_EQ(r[i], v[i]);
+
+  const Block5 id2 = matmul5(id, id);
+  for (std::size_t i = 0; i < 25; ++i) EXPECT_DOUBLE_EQ(id2[i], id[i]);
+}
+
+TEST(Block5Test, MatmulAssociatesWithMatvec) {
+  std::mt19937 rng(42);
+  const Block5 a = random_dominant_block(rng);
+  const Block5 b = random_dominant_block(rng);
+  const Vec5 x = random_vec(rng);
+  const Vec5 lhs = matvec5(matmul5(a, b), x);
+  const Vec5 rhs = matvec5(a, matvec5(b, x));
+  for (std::size_t i = 0; i < 5; ++i) EXPECT_NEAR(lhs[i], rhs[i], 1e-12);
+}
+
+TEST(Block5Test, MatsubElementwise) {
+  std::mt19937 rng(1);
+  const Block5 a = random_dominant_block(rng);
+  const Block5 b = random_dominant_block(rng);
+  const Block5 c = matsub5(a, b);
+  for (std::size_t i = 0; i < 25; ++i) EXPECT_DOUBLE_EQ(c[i], a[i] - b[i]);
+}
+
+TEST(Block5Test, LuSolveRecoversRhs) {
+  std::mt19937 rng(7);
+  for (int trial = 0; trial < 50; ++trial) {
+    const Block5 m = random_dominant_block(rng);
+    const Vec5 x_true = random_vec(rng);
+    const Vec5 b = matvec5(m, x_true);
+    Lu5 f;
+    ASSERT_TRUE(lu_factor5(m, f));
+    const Vec5 x = lu_solve5(f, b);
+    for (std::size_t i = 0; i < 5; ++i) EXPECT_NEAR(x[i], x_true[i], 1e-10);
+  }
+}
+
+TEST(Block5Test, LuSolveBlockMatchesColumnSolves) {
+  std::mt19937 rng(11);
+  const Block5 m = random_dominant_block(rng);
+  const Block5 b = random_dominant_block(rng);
+  Lu5 f;
+  ASSERT_TRUE(lu_factor5(m, f));
+  const Block5 x = lu_solve5_block(f, b);
+  // M X == B
+  const Block5 mx = matmul5(m, x);
+  for (std::size_t i = 0; i < 25; ++i) EXPECT_NEAR(mx[i], b[i], 1e-10);
+}
+
+TEST(Block5Test, InvertGivesIdentityProduct) {
+  std::mt19937 rng(23);
+  const Block5 m = random_dominant_block(rng);
+  Block5 inv;
+  ASSERT_TRUE(invert5(m, inv));
+  const Block5 prod = matmul5(m, inv);
+  const Block5 id = identity5();
+  for (std::size_t i = 0; i < 25; ++i) EXPECT_NEAR(prod[i], id[i], 1e-10);
+}
+
+TEST(Block5Test, SingularBlockRejected) {
+  Block5 zero{};
+  Lu5 f;
+  EXPECT_FALSE(lu_factor5(zero, f));
+  Block5 out;
+  EXPECT_FALSE(invert5(zero, out));
+}
+
+TEST(Block5Test, PivotingHandlesZeroDiagonal) {
+  // Permutation-like matrix: zero diagonal but nonsingular.
+  Block5 m{};
+  const int perm[5] = {1, 2, 3, 4, 0};
+  for (int r = 0; r < 5; ++r) {
+    m[static_cast<std::size_t>(r * 5 + perm[r])] = 1.0;
+  }
+  Lu5 f;
+  ASSERT_TRUE(lu_factor5(m, f));
+  const Vec5 b{1, 2, 3, 4, 5};
+  const Vec5 x = lu_solve5(f, b);
+  const Vec5 back = matvec5(m, x);
+  for (std::size_t i = 0; i < 5; ++i) EXPECT_NEAR(back[i], b[i], 1e-12);
+}
+
+TEST(Block5Test, VecHelpers) {
+  const Vec5 a{1, 2, 3, 4, 5};
+  const Vec5 b{5, 4, 3, 2, 1};
+  EXPECT_DOUBLE_EQ(dot5(a, b), 5 + 8 + 9 + 8 + 5);
+  EXPECT_DOUBLE_EQ(norm2sq5(a), 55);
+  const Vec5 d = sub5(a, b);
+  EXPECT_DOUBLE_EQ(d[0], -4);
+  EXPECT_DOUBLE_EQ(d[4], 4);
+  Vec5 y = b;
+  axpy5(2.0, a, y);
+  EXPECT_DOUBLE_EQ(y[0], 7);
+  EXPECT_DOUBLE_EQ(y[4], 11);
+}
+
+}  // namespace
+}  // namespace kcoup::npb

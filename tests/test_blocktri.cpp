@@ -1,0 +1,145 @@
+// Unit and property tests for the block tridiagonal line solver
+// (npb/common/blocktri.hpp), including the distributed split-equivalence
+// property the BT y/z sweeps rely on.
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <vector>
+
+#include "npb/common/blocktri.hpp"
+
+namespace kcoup::npb {
+namespace {
+
+Block5 random_block(std::mt19937& rng, double scale) {
+  std::uniform_real_distribution<double> dist(-scale, scale);
+  Block5 m;
+  for (auto& v : m) v = dist(rng);
+  return m;
+}
+
+std::vector<BlockTriRow> random_system(int n, std::mt19937& rng) {
+  std::vector<BlockTriRow> rows(static_cast<std::size_t>(n));
+  std::uniform_real_distribution<double> dist(-2.0, 2.0);
+  for (int m = 0; m < n; ++m) {
+    BlockTriRow& r = rows[static_cast<std::size_t>(m)];
+    if (m > 0) r.a = random_block(rng, 0.3);
+    if (m + 1 < n) r.c = random_block(rng, 0.3);
+    r.b = random_block(rng, 0.3);
+    // Strong diagonal so every pivot block is well conditioned.
+    for (int i = 0; i < 5; ++i) {
+      r.b[static_cast<std::size_t>(i * 5 + i)] += 5.0;
+    }
+    for (auto& v : r.r) v = dist(rng);
+  }
+  return rows;
+}
+
+/// Reference: multiply the block-tridiagonal matrix by x.
+std::vector<Vec5> apply_system(const std::vector<BlockTriRow>& rows,
+                        const std::vector<Vec5>& x) {
+  const int n = static_cast<int>(rows.size());
+  std::vector<Vec5> b(rows.size(), kZeroVec);
+  for (int m = 0; m < n; ++m) {
+    const BlockTriRow& r = rows[static_cast<std::size_t>(m)];
+    Vec5 s = matvec5(r.b, x[static_cast<std::size_t>(m)]);
+    if (m > 0) {
+      const Vec5 t = matvec5(r.a, x[static_cast<std::size_t>(m - 1)]);
+      for (std::size_t c = 0; c < 5; ++c) s[c] += t[c];
+    }
+    if (m + 1 < n) {
+      const Vec5 t = matvec5(r.c, x[static_cast<std::size_t>(m + 1)]);
+      for (std::size_t c = 0; c < 5; ++c) s[c] += t[c];
+    }
+    b[static_cast<std::size_t>(m)] = s;
+  }
+  return b;
+}
+
+TEST(BlockTriTest, SingleRowIsDirectSolve) {
+  std::mt19937 rng(3);
+  auto rows = random_system(1, rng);
+  std::vector<Vec5> x(1);
+  std::vector<BlockTriState> scratch(1);
+  ASSERT_TRUE(blocktri_solve_line(rows, x, scratch));
+  const auto back = apply_system(rows, x);
+  for (std::size_t c = 0; c < 5; ++c) {
+    EXPECT_NEAR(back[0][c], rows[0].r[c], 1e-10);
+  }
+}
+
+class BlockTriPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(BlockTriPropertyTest, SolutionSatisfiesSystem) {
+  const int n = GetParam();
+  std::mt19937 rng(static_cast<unsigned>(500 + n));
+  auto rows = random_system(n, rng);
+  std::vector<Vec5> x(static_cast<std::size_t>(n));
+  std::vector<BlockTriState> scratch(static_cast<std::size_t>(n));
+  ASSERT_TRUE(blocktri_solve_line(rows, x, scratch));
+  const auto back = apply_system(rows, x);
+  for (int m = 0; m < n; ++m) {
+    for (std::size_t c = 0; c < 5; ++c) {
+      EXPECT_NEAR(back[static_cast<std::size_t>(m)][c],
+                  rows[static_cast<std::size_t>(m)].r[c], 1e-8)
+          << "n=" << n << " m=" << m << " c=" << c;
+    }
+  }
+}
+
+TEST_P(BlockTriPropertyTest, ChunkedEliminationMatchesWholeLine) {
+  const int n = GetParam();
+  if (n < 3) GTEST_SKIP();
+  std::mt19937 rng(static_cast<unsigned>(900 + n));
+  auto rows = random_system(n, rng);
+
+  std::vector<Vec5> x_ref(static_cast<std::size_t>(n));
+  {
+    std::vector<BlockTriState> scratch(static_cast<std::size_t>(n));
+    ASSERT_TRUE(blocktri_solve_line(rows, x_ref, scratch));
+  }
+
+  // Two chunks with the BlockTriState forward hand-off and the Vec5
+  // backward hand-off, exactly as BtRank::y_solve performs them.
+  const int c0 = n / 2;
+  const int c1 = n - c0;
+  std::vector<BlockTriState> states(static_cast<std::size_t>(n));
+  BlockTriState last0, last1;
+  ASSERT_TRUE(blocktri_forward(
+      std::span<const BlockTriRow>(rows).first(static_cast<std::size_t>(c0)),
+      nullptr, std::span(states).first(static_cast<std::size_t>(c0)), last0));
+  ASSERT_TRUE(blocktri_forward(
+      std::span<const BlockTriRow>(rows).subspan(
+          static_cast<std::size_t>(c0), static_cast<std::size_t>(c1)),
+      &last0,
+      std::span(states).subspan(static_cast<std::size_t>(c0),
+                                static_cast<std::size_t>(c1)),
+      last1));
+
+  std::vector<Vec5> x(static_cast<std::size_t>(n));
+  const Vec5 x_mid = blocktri_backward(
+      std::span<const BlockTriState>(states).subspan(
+          static_cast<std::size_t>(c0), static_cast<std::size_t>(c1)),
+      kZeroVec,
+      std::span(x).subspan(static_cast<std::size_t>(c0),
+                           static_cast<std::size_t>(c1)));
+  (void)blocktri_backward(
+      std::span<const BlockTriState>(states).first(
+          static_cast<std::size_t>(c0)),
+      x_mid, std::span(x).first(static_cast<std::size_t>(c0)));
+
+  for (int m = 0; m < n; ++m) {
+    for (std::size_t c = 0; c < 5; ++c) {
+      EXPECT_NEAR(x[static_cast<std::size_t>(m)][c],
+                  x_ref[static_cast<std::size_t>(m)][c], 1e-9)
+          << "n=" << n << " m=" << m << " c=" << c;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(LineLengths, BlockTriPropertyTest,
+                         ::testing::Values(2, 3, 4, 5, 8, 12, 16, 33));
+
+}  // namespace
+}  // namespace kcoup::npb

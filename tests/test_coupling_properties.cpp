@@ -1,0 +1,197 @@
+// Property tests of the coupling algebra over randomized synthetic
+// applications, plus invariants of the NPB work models across every
+// (benchmark, class, rank-count) configuration in the paper.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <random>
+
+#include "coupling/analysis.hpp"
+#include "coupling/kernel.hpp"
+#include "coupling/study.hpp"
+#include "machine/config.hpp"
+#include "npb/bt/bt_model.hpp"
+#include "npb/lu/lu_model.hpp"
+#include "npb/sp/sp_model.hpp"
+
+namespace kcoup {
+namespace {
+
+coupling::ChainCoupling synth_chain(std::size_t start, std::size_t length,
+                                    std::size_t loop, double p_chain,
+                                    double p_sum) {
+  coupling::ChainCoupling c;
+  c.start = start;
+  c.length = length;
+  for (std::size_t i = 0; i < length; ++i) c.members.push_back((start + i) % loop);
+  c.chain_time = p_chain;
+  c.isolated_sum = p_sum;
+  return c;
+}
+
+class CouplingAlgebraFuzz : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(CouplingAlgebraFuzz, CoefficientsAreConvexCombinationsOfCouplings) {
+  // alpha_k is a weighted average of the couplings of the chains containing
+  // kernel k, so it must lie within their [min, max] for any data.
+  std::mt19937 rng(GetParam());
+  std::uniform_real_distribution<double> time_dist(0.1, 10.0);
+  std::uniform_real_distribution<double> coup_dist(0.5, 1.5);
+  for (std::size_t n : {3u, 4u, 5u, 6u}) {
+    for (std::size_t q = 2; q <= n; ++q) {
+      std::vector<coupling::ChainCoupling> chains;
+      for (std::size_t s = 0; s < n; ++s) {
+        const double sum = time_dist(rng);
+        chains.push_back(synth_chain(s, q, n, coup_dist(rng) * sum, sum));
+      }
+      const auto alpha = coupling::coupling_coefficients(n, chains);
+      for (std::size_t k = 0; k < n; ++k) {
+        double lo = 1e300, hi = -1e300;
+        for (const auto& c : chains) {
+          if (!c.contains(k)) continue;
+          lo = std::min(lo, c.coupling());
+          hi = std::max(hi, c.coupling());
+        }
+        EXPECT_GE(alpha[k], lo - 1e-12) << "n=" << n << " q=" << q;
+        EXPECT_LE(alpha[k], hi + 1e-12) << "n=" << n << " q=" << q;
+      }
+      // The unweighted variant obeys the same bounds.
+      const auto flat = coupling::coupling_coefficients_unweighted(n, chains);
+      for (std::size_t k = 0; k < n; ++k) {
+        double lo = 1e300, hi = -1e300;
+        for (const auto& c : chains) {
+          if (!c.contains(k)) continue;
+          lo = std::min(lo, c.coupling());
+          hi = std::max(hi, c.coupling());
+        }
+        EXPECT_GE(flat[k], lo - 1e-12);
+        EXPECT_LE(flat[k], hi + 1e-12);
+      }
+    }
+  }
+}
+
+TEST_P(CouplingAlgebraFuzz, UniformCouplingScalesSummation) {
+  // If every chain has the same coupling value C, then every coefficient is
+  // C and the loop part of the prediction is exactly C times summation's.
+  std::mt19937 rng(GetParam() + 77);
+  std::uniform_real_distribution<double> c_dist(0.6, 1.4);
+  std::uniform_real_distribution<double> t_dist(0.5, 4.0);
+  const double cval = c_dist(rng);
+  const std::size_t n = 5, q = 3;
+  std::vector<coupling::ChainCoupling> chains;
+  for (std::size_t s = 0; s < n; ++s) {
+    const double sum = t_dist(rng);
+    chains.push_back(synth_chain(s, q, n, cval * sum, sum));
+  }
+  coupling::PredictionInputs in;
+  for (std::size_t k = 0; k < n; ++k) in.isolated_means.push_back(t_dist(rng));
+  in.iterations = 17;
+  const double summ = coupling::summation_prediction(in);
+  const double coup = coupling::coupling_prediction(in, chains);
+  EXPECT_NEAR(coup, cval * summ, 1e-9 * summ);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CouplingAlgebraFuzz,
+                         ::testing::Values(11u, 22u, 33u, 44u, 55u));
+
+/// Work-model invariants across every paper configuration.
+struct ModelCase {
+  npb::Benchmark bench;
+  npb::ProblemClass cls;
+  int ranks;
+};
+
+class WorkModelInvariants : public ::testing::TestWithParam<ModelCase> {};
+
+TEST_P(WorkModelInvariants, ProfilesAreWellFormed) {
+  const ModelCase& mc = GetParam();
+  std::unique_ptr<npb::ModeledApp> m;
+  switch (mc.bench) {
+    case npb::Benchmark::kBT:
+      m = npb::bt::make_modeled_bt(mc.cls, mc.ranks, machine::ibm_sp_p2sc());
+      break;
+    case npb::Benchmark::kSP:
+      m = npb::sp::make_modeled_sp(mc.cls, mc.ranks, machine::ibm_sp_p2sc());
+      break;
+    case npb::Benchmark::kLU:
+      m = npb::lu::make_modeled_lu(mc.cls, mc.ranks, machine::ibm_sp_p2sc());
+      break;
+  }
+  std::vector<coupling::Kernel*> all;
+  for (auto* k : m->app().prologue) all.push_back(k);
+  for (auto* k : m->app().loop) all.push_back(k);
+  for (auto* k : m->app().epilogue) all.push_back(k);
+  for (coupling::Kernel* k : all) {
+    auto* mk = dynamic_cast<coupling::ModeledKernel*>(k);
+    ASSERT_NE(mk, nullptr);
+    const machine::WorkProfile& p = mk->profile();
+    EXPECT_GT(p.flops, 0.0) << p.label;
+    EXPECT_GT(p.total_bytes(), 0u) << p.label;
+    EXPECT_GE(p.pipeline_stages, 1u) << p.label;
+    for (const auto& a : p.accesses) {
+      EXPECT_LT(a.region, m->machine().cache().region_count()) << p.label;
+      EXPECT_GE(a.fresh_fraction, 0.0) << p.label;
+      EXPECT_LE(a.fresh_fraction, 1.0) << p.label;
+    }
+    for (const auto& msg : p.messages) {
+      if (msg.count > 0) {
+        EXPECT_GT(msg.bytes_each, 0u) << p.label;
+      }
+    }
+    // Kernel invocation must cost positive time and be finite.
+    m->machine().reset_state();
+    const double t = mk->invoke();
+    EXPECT_GT(t, 0.0) << p.label;
+    EXPECT_TRUE(std::isfinite(t)) << p.label;
+  }
+}
+
+TEST_P(WorkModelInvariants, MoreRanksLessPerRankTime) {
+  const ModelCase& mc = GetParam();
+  if (mc.ranks < 4) GTEST_SKIP();
+  auto make = [&](int p) {
+    switch (mc.bench) {
+      case npb::Benchmark::kBT:
+        return npb::bt::make_modeled_bt(mc.cls, p, machine::ibm_sp_p2sc());
+      case npb::Benchmark::kSP:
+        return npb::sp::make_modeled_sp(mc.cls, p, machine::ibm_sp_p2sc());
+      default:
+        return npb::lu::make_modeled_lu(mc.cls, p, machine::ibm_sp_p2sc());
+    }
+  };
+  auto total = [&](int p) {
+    auto m = make(p);
+    coupling::MeasurementHarness h(&m->app(), {5, 1});
+    return h.actual_total();
+  };
+  // Strong scaling: the per-rank modeled time at the paper's largest rank
+  // count is below the smallest's.
+  const int small = mc.bench == npb::Benchmark::kLU ? 4 : 4;
+  EXPECT_LT(total(mc.ranks), total(small) * 1.01);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperGrid, WorkModelInvariants,
+    ::testing::Values(
+        ModelCase{npb::Benchmark::kBT, npb::ProblemClass::kS, 4},
+        ModelCase{npb::Benchmark::kBT, npb::ProblemClass::kS, 16},
+        ModelCase{npb::Benchmark::kBT, npb::ProblemClass::kW, 9},
+        ModelCase{npb::Benchmark::kBT, npb::ProblemClass::kW, 25},
+        ModelCase{npb::Benchmark::kBT, npb::ProblemClass::kA, 16},
+        ModelCase{npb::Benchmark::kSP, npb::ProblemClass::kW, 4},
+        ModelCase{npb::Benchmark::kSP, npb::ProblemClass::kA, 9},
+        ModelCase{npb::Benchmark::kSP, npb::ProblemClass::kB, 25},
+        ModelCase{npb::Benchmark::kLU, npb::ProblemClass::kW, 8},
+        ModelCase{npb::Benchmark::kLU, npb::ProblemClass::kA, 16},
+        ModelCase{npb::Benchmark::kLU, npb::ProblemClass::kB, 32}),
+    [](const ::testing::TestParamInfo<ModelCase>& param) {
+      return npb::to_string(param.param.bench) +
+             npb::to_string(param.param.cls) + "P" +
+             std::to_string(param.param.ranks);
+    });
+
+}  // namespace
+}  // namespace kcoup

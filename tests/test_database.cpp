@@ -1,0 +1,138 @@
+// Tests for the coupling database and reuse policies (the paper's section 6
+// future work implemented as a library feature).
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "coupling/database.hpp"
+
+namespace kcoup::coupling {
+namespace {
+
+ChainCoupling chain(std::size_t start, std::size_t length, double p_chain,
+                    double p_sum) {
+  ChainCoupling c;
+  c.start = start;
+  c.length = length;
+  for (std::size_t i = 0; i < length; ++i) c.members.push_back(start + i);
+  c.chain_time = p_chain;
+  c.isolated_sum = p_sum;
+  c.label = "c" + std::to_string(start);
+  return c;
+}
+
+TEST(DatabaseTest, RecordAndExactFind) {
+  CouplingDatabase db;
+  const std::vector<ChainCoupling> chains{chain(0, 2, 8.0, 10.0),
+                                          chain(1, 2, 9.0, 10.0)};
+  db.record("BT", "W", 4, chains);
+  EXPECT_EQ(db.size(), 2u);
+
+  const auto r = db.find(CouplingKey{"BT", "W", 4, 2, 1});
+  ASSERT_TRUE(r.has_value());
+  EXPECT_DOUBLE_EQ(r->coupling(), 0.9);
+  EXPECT_FALSE(db.find(CouplingKey{"BT", "W", 9, 2, 1}).has_value());
+  EXPECT_FALSE(db.find(CouplingKey{"SP", "W", 4, 2, 1}).has_value());
+}
+
+TEST(DatabaseTest, RecordReplacesSameKey) {
+  CouplingDatabase db;
+  db.record(CouplingRecord{CouplingKey{"BT", "W", 4, 2, 0}, 8.0, 10.0});
+  db.record(CouplingRecord{CouplingKey{"BT", "W", 4, 2, 0}, 7.0, 10.0});
+  EXPECT_EQ(db.size(), 1u);
+  EXPECT_DOUBLE_EQ(db.find(CouplingKey{"BT", "W", 4, 2, 0})->chain_time, 7.0);
+}
+
+TEST(DatabaseTest, NearestRanksPrefersLogDistance) {
+  CouplingDatabase db;
+  db.record(CouplingRecord{CouplingKey{"BT", "A", 4, 2, 0}, 1.0, 1.0});
+  db.record(CouplingRecord{CouplingKey{"BT", "A", 9, 2, 0}, 2.0, 2.0});
+  db.record(CouplingRecord{CouplingKey{"BT", "A", 36, 2, 0}, 3.0, 3.0});
+  // Target P=16: log-nearest of {4, 9, 36} is 9 (16/9 < 36/16 < 16/4).
+  const auto r = db.find_nearest_ranks(CouplingKey{"BT", "A", 16, 2, 0});
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->key.ranks, 9);
+  // Exact hit wins.
+  EXPECT_EQ(db.find_nearest_ranks(CouplingKey{"BT", "A", 36, 2, 0})->key.ranks,
+            36);
+}
+
+TEST(DatabaseTest, OtherConfigPrefersRequested) {
+  CouplingDatabase db;
+  db.record(CouplingRecord{CouplingKey{"BT", "S", 4, 2, 0}, 1.0, 1.0});
+  db.record(CouplingRecord{CouplingKey{"BT", "W", 4, 2, 0}, 2.0, 2.0});
+  const auto r =
+      db.find_other_config(CouplingKey{"BT", "A", 4, 2, 0}, "W");
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->key.config, "W");
+  const auto any =
+      db.find_other_config(CouplingKey{"BT", "A", 4, 2, 0}, "missing");
+  ASSERT_TRUE(any.has_value());
+  // Never returns the target config itself.
+  EXPECT_NE(any->key.config, "A");
+}
+
+TEST(DatabaseTest, ReuseChainsAssemblesFullSet) {
+  CouplingDatabase db;
+  db.record("BT", "A",
+            9, std::vector<ChainCoupling>{chain(0, 2, 8.0, 10.0),
+                                          chain(1, 2, 9.0, 10.0),
+                                          chain(2, 2, 7.0, 10.0)});
+  const auto reused = db.reuse_chains_for("BT", "A", 25, 2, 3);
+  ASSERT_EQ(reused.size(), 3u);
+  EXPECT_DOUBLE_EQ(reused[0].coupling(), 0.8);
+  EXPECT_DOUBLE_EQ(reused[2].coupling(), 0.7);
+  EXPECT_EQ(reused[1].members, (std::vector<std::size_t>{1, 2}));
+  EXPECT_NE(reused[0].label.find("P=9"), std::string::npos);
+  // Missing chain start -> empty result.
+  EXPECT_TRUE(db.reuse_chains_for("BT", "A", 25, 3, 3).empty());
+}
+
+TEST(DatabaseTest, CsvRoundTrip) {
+  CouplingDatabase db;
+  db.record("BT", "W", 4,
+            std::vector<ChainCoupling>{chain(0, 3, 8.25, 10.5)});
+  db.record("SP", "A", 16,
+            std::vector<ChainCoupling>{chain(2, 2, 1.5, 2.0)});
+  std::stringstream s;
+  db.save_csv(s);
+
+  CouplingDatabase loaded;
+  loaded.load_csv(s);
+  EXPECT_EQ(loaded.size(), 2u);
+  const auto r = loaded.find(CouplingKey{"BT", "W", 4, 3, 0});
+  ASSERT_TRUE(r.has_value());
+  EXPECT_NEAR(r->chain_time, 8.25, 1e-12);
+  EXPECT_NEAR(r->isolated_sum, 10.5, 1e-12);
+}
+
+TEST(DatabaseTest, MalformedCsvThrows) {
+  CouplingDatabase db;
+  std::stringstream empty;
+  EXPECT_THROW(db.load_csv(empty), std::runtime_error);
+
+  std::stringstream bad(
+      "application,config,ranks,chain_length,chain_start,chain_time,"
+      "isolated_sum\nBT,W,not-a-number,2,0,1.0,2.0\n");
+  EXPECT_THROW(db.load_csv(bad), std::runtime_error);
+
+  std::stringstream short_line(
+      "application,config,ranks,chain_length,chain_start,chain_time,"
+      "isolated_sum\nBT,W,4\n");
+  EXPECT_THROW(db.load_csv(short_line), std::runtime_error);
+}
+
+TEST(DatabaseTest, ReusePredictionUsesDonorCouplings) {
+  // Donor couplings C = 0.8 everywhere; fresh isolated means at the target.
+  std::vector<ChainCoupling> donor{chain(0, 2, 8.0, 10.0),
+                                   chain(1, 2, 8.0, 10.0)};
+  PredictionInputs in;
+  in.isolated_means = {2.0, 3.0};
+  in.iterations = 10;
+  const double predicted = reuse_prediction(in, donor);
+  EXPECT_DOUBLE_EQ(predicted, 10.0 * 0.8 * 5.0);
+}
+
+}  // namespace
+}  // namespace kcoup::coupling

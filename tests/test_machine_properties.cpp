@@ -1,0 +1,215 @@
+// Property and fuzz tests for the machine model: invariants that must hold
+// for ANY access sequence, checked over randomized workloads.
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <vector>
+
+#include "machine/cache_model.hpp"
+#include "machine/machine.hpp"
+
+namespace kcoup::machine {
+namespace {
+
+MachineConfig small_machine() {
+  MachineConfig c;
+  c.name = "prop";
+  c.flops_per_second = 1e9;
+  c.cache.push_back(CacheLevel{4 * 1024, 1e-9});
+  c.cache.push_back(CacheLevel{64 * 1024, 1e-8});
+  c.memory_seconds_per_byte = 1e-7;
+  c.ranks = 1;
+  return c;
+}
+
+struct FuzzWorkload {
+  std::vector<std::size_t> region_sizes;
+  std::vector<RegionAccess> accesses;  // flat sequence, kernel derived below
+};
+
+FuzzWorkload random_workload(std::mt19937& rng, std::size_t regions,
+                             std::size_t steps) {
+  FuzzWorkload w;
+  std::uniform_int_distribution<std::size_t> size_dist(64, 128 * 1024);
+  for (std::size_t r = 0; r < regions; ++r) {
+    w.region_sizes.push_back(size_dist(rng));
+  }
+  std::uniform_int_distribution<std::size_t> region_dist(0, regions - 1);
+  std::uniform_int_distribution<int> kind_dist(0, 2);
+  std::uniform_real_distribution<double> frac_dist(0.0, 1.0);
+  for (std::size_t s = 0; s < steps; ++s) {
+    RegionAccess a;
+    a.region = static_cast<RegionId>(region_dist(rng));
+    a.kind = static_cast<AccessKind>(kind_dist(rng));
+    a.bytes = std::uniform_int_distribution<std::size_t>(
+        0, 2 * w.region_sizes[a.region])(rng);
+    a.fresh_fraction = frac_dist(rng) < 0.4 ? frac_dist(rng) : 0.0;
+    a.pipelined_self_reuse = frac_dist(rng) < 0.15;
+    w.accesses.push_back(a);
+  }
+  return w;
+}
+
+std::size_t total_bytes(const CacheModel::AccessCost& c) {
+  std::size_t t = c.memory_bytes;
+  for (std::size_t b : c.level_bytes) t += b;
+  return t;
+}
+
+class CacheFuzzTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(CacheFuzzTest, EveryByteIsPricedExactlyOnce) {
+  std::mt19937 rng(GetParam());
+  const MachineConfig cfg = small_machine();
+  CacheModel cache(&cfg);
+  const FuzzWorkload w = random_workload(rng, 6, 300);
+  for (std::size_t r = 0; r < w.region_sizes.size(); ++r) {
+    (void)cache.register_region("r" + std::to_string(r), w.region_sizes[r]);
+  }
+  std::size_t footprint = 0;
+  std::uint64_t kernel = 0, prev = machine::kInvalidKernel;
+  for (std::size_t i = 0; i < w.accesses.size(); ++i) {
+    const RegionAccess& a = w.accesses[i];
+    const auto cost = cache.access(static_cast<KernelId>(kernel),
+                                   static_cast<KernelId>(prev), a, footprint,
+                                   8);
+    // Conservation: bytes served across all levels equal bytes accessed.
+    EXPECT_EQ(total_bytes(cost), a.bytes);
+    footprint += cache.effective_footprint(a);
+    if (i % 7 == 6) {  // end an invocation every few accesses
+      cache.end_invocation(static_cast<KernelId>(kernel), footprint);
+      prev = kernel;
+      kernel = (kernel + 1) % 4;
+      footprint = 0;
+    }
+  }
+}
+
+TEST_P(CacheFuzzTest, DeterministicReplay) {
+  const MachineConfig cfg = small_machine();
+  const FuzzWorkload w = [&] {
+    std::mt19937 rng(GetParam() + 1000);
+    return random_workload(rng, 5, 200);
+  }();
+  auto run_once = [&] {
+    CacheModel cache(&cfg);
+    for (std::size_t r = 0; r < w.region_sizes.size(); ++r) {
+      (void)cache.register_region("r", w.region_sizes[r]);
+    }
+    std::vector<std::size_t> trace;
+    std::size_t fp = 0;
+    for (const RegionAccess& a : w.accesses) {
+      const auto c = cache.access(1, 0, a, fp, 4);
+      trace.push_back(c.memory_bytes);
+      for (std::size_t b : c.level_bytes) trace.push_back(b);
+      fp += cache.effective_footprint(a);
+    }
+    return trace;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST_P(CacheFuzzTest, BiggerCachesNeverCostMore) {
+  // Monotonicity: enlarging every cache level can only move traffic to
+  // faster levels, never slower ones.
+  const FuzzWorkload w = [&] {
+    std::mt19937 rng(GetParam() + 2000);
+    return random_workload(rng, 5, 200);
+  }();
+  auto total_cost = [&](std::size_t scale) {
+    MachineConfig cfg = small_machine();
+    for (auto& level : cfg.cache) level.capacity_bytes *= scale;
+    Machine m(cfg);
+    for (std::size_t r = 0; r < w.region_sizes.size(); ++r) {
+      (void)m.register_region("r", w.region_sizes[r]);
+    }
+    double t = 0.0;
+    WorkProfile p;
+    p.kernel = 0;
+    p.pipeline_stages = 4;
+    for (std::size_t i = 0; i < w.accesses.size(); ++i) {
+      p.accesses.push_back(w.accesses[i]);
+      if (i % 5 == 4) {
+        t += m.execute_seconds(p);
+        p.accesses.clear();
+        p.kernel = (p.kernel + 1) % 3;
+      }
+    }
+    return t;
+  };
+  const double base = total_cost(1);
+  const double doubled = total_cost(2);
+  const double huge = total_cost(64);
+  EXPECT_LE(doubled, base * (1.0 + 1e-12));
+  EXPECT_LE(huge, doubled * (1.0 + 1e-12));
+}
+
+TEST_P(CacheFuzzTest, ResetRestoresInitialBehaviour) {
+  const FuzzWorkload w = [&] {
+    std::mt19937 rng(GetParam() + 3000);
+    return random_workload(rng, 4, 120);
+  }();
+  const MachineConfig cfg = small_machine();
+  Machine m(cfg);
+  for (std::size_t r = 0; r < w.region_sizes.size(); ++r) {
+    (void)m.register_region("r", w.region_sizes[r]);
+  }
+  WorkProfile p;
+  p.kernel = 2;
+  p.pipeline_stages = 4;
+  p.accesses = w.accesses;
+  const double first = m.execute_seconds(p);
+  (void)m.execute_seconds(p);
+  m.reset_state();
+  EXPECT_DOUBLE_EQ(m.execute_seconds(p), first);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CacheFuzzTest,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u, 34u));
+
+TEST(MachinePropertyTest, CostsScaleMonotonicallyWithWork) {
+  Machine m(small_machine());
+  const RegionId r = m.register_region("a", 1 << 20);
+  auto cost_for = [&](double flops, std::size_t bytes) {
+    m.reset_state();
+    WorkProfile p;
+    p.kernel = 0;
+    p.flops = flops;
+    p.accesses = {RegionAccess{r, AccessKind::kRead, bytes}};
+    return m.execute_seconds(p);
+  };
+  EXPECT_LT(cost_for(1e6, 1000), cost_for(2e6, 1000));
+  EXPECT_LT(cost_for(1e6, 1000), cost_for(1e6, 2000));
+}
+
+TEST(MachinePropertyTest, ContentionGrowsWithRanks) {
+  auto comm_cost = [&](int ranks) {
+    MachineConfig cfg = small_machine();
+    cfg.net_latency_s = 1e-6;
+    cfg.net_seconds_per_byte = 1e-9;
+    cfg.net_contention_coeff = 0.3;
+    cfg.ranks = ranks;
+    Machine m(cfg);
+    WorkProfile p;
+    p.kernel = 0;
+    p.messages = {MessageOp{4, 100000}};
+    return m.execute(p).comm_s;
+  };
+  EXPECT_LT(comm_cost(1), comm_cost(4));
+  EXPECT_LT(comm_cost(4), comm_cost(16));
+}
+
+TEST(MachinePropertyTest, UnitHashIsDeterministicAndBounded) {
+  for (std::uint64_t k = 0; k < 1000; ++k) {
+    const double v = Machine::unit_hash(k);
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+    EXPECT_EQ(v, Machine::unit_hash(k));
+  }
+  // Not constant.
+  EXPECT_NE(Machine::unit_hash(1), Machine::unit_hash(2));
+}
+
+}  // namespace
+}  // namespace kcoup::machine

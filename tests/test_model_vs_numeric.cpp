@@ -1,0 +1,127 @@
+// Cross-validation between the two execution paths: the WorkProfiles the
+// work models hand to the machine must describe the same communication
+// structure the numeric solvers actually perform on simmpi.  These tests
+// lock the message counts and payload sizes of both paths together, so a
+// change to one that is not mirrored in the other fails loudly.
+
+#include <gtest/gtest.h>
+
+#include "coupling/modeled_kernel.hpp"
+#include "machine/config.hpp"
+#include "npb/bt/bt_app.hpp"
+#include "npb/bt/bt_model.hpp"
+#include "npb/lu/lu_app.hpp"
+#include "npb/lu/lu_model.hpp"
+#include "npb/sp/sp_app.hpp"
+#include "npb/sp/sp_model.hpp"
+
+namespace kcoup::npb {
+namespace {
+
+const machine::WorkProfile& profile_of(const coupling::LoopApplication& app,
+                                       const std::string& name) {
+  for (coupling::Kernel* k : app.loop) {
+    if (k->name() == name) {
+      return dynamic_cast<coupling::ModeledKernel*>(k)->profile();
+    }
+  }
+  throw std::runtime_error("kernel not found: " + name);
+}
+
+TEST(ModelVsNumericBt, FaceMessageSizesMatch) {
+  // n=12, P=4 (q=2): local ny = nz = 6; a y face is nx*nz*5 doubles.
+  auto modeled =
+      bt::make_modeled_bt_grid(12, 10, 4, machine::ibm_sp_p2sc());
+  const auto& cf = profile_of(modeled->app(), "Copy_Faces");
+  ASSERT_EQ(cf.messages.size(), 2u);
+  EXPECT_EQ(cf.messages[0].bytes_each, 12u * 6u * 5u * sizeof(double));
+  EXPECT_EQ(cf.messages[1].bytes_each, 12u * 6u * 5u * sizeof(double));
+
+  // y_solve forward payload: one BlockTriState (30 doubles) per line,
+  // nx*nz lines; backward payload: 5 doubles per line.
+  const auto& ys = profile_of(modeled->app(), "Y_Solve");
+  ASSERT_EQ(ys.messages.size(), 2u);
+  EXPECT_EQ(ys.messages[0].bytes_each, 12u * 6u * 30u * sizeof(double));
+  EXPECT_EQ(ys.messages[1].bytes_each, 12u * 6u * 5u * sizeof(double));
+}
+
+TEST(ModelVsNumericBt, TotalMessageCountLocked) {
+  // Numeric BT, n=12, P=4: per iteration 16 messages (8 halo-face sends in
+  // copy_faces, 4 per distributed sweep); run_bt adds two residual_norm
+  // halo exchanges (8 each).
+  bt::BtConfig cfg;
+  cfg.n = 12;
+  cfg.iterations = 3;
+  const auto r = bt::run_bt(cfg, 4);
+  EXPECT_EQ(r.run.messages, 3u * 16u + 2u * 8u);
+}
+
+TEST(ModelVsNumericBt, ModelCountsBoundPerRankTruth) {
+  // The model prices the interior (maximum-neighbour) rank, so its per-rank
+  // message count must be an upper bound on the numeric per-rank average
+  // and must not exceed the interior-rank truth (4 faces + 2 per sweep).
+  auto modeled = bt::make_modeled_bt_grid(12, 10, 9, machine::ibm_sp_p2sc());
+  const auto& cf = profile_of(modeled->app(), "Copy_Faces");
+  std::size_t cf_msgs = 0;
+  for (const auto& m : cf.messages) cf_msgs += m.count;
+  EXPECT_EQ(cf_msgs, 4u);
+
+  bt::BtConfig cfg;
+  cfg.n = 12;
+  cfg.iterations = 4;
+  const auto r = bt::run_bt(cfg, 9);
+  // Numeric copy_faces messages per iteration = sum of neighbour counts
+  // over all ranks = 24 at q=3; model bound: 4 * 9 = 36 >= 24.
+  const double per_iter =
+      static_cast<double>(r.run.messages - 2u * 24u) / 4.0;  // minus residuals
+  EXPECT_DOUBLE_EQ(per_iter, 24.0 + 12.0 + 12.0);  // cf + y_solve + z_solve
+  EXPECT_GE(4.0 * 9.0, 24.0);
+}
+
+TEST(ModelVsNumericSp, PentaMessageSizesMatch) {
+  // n=12, P=4 (q=2): forward payload 30 doubles per line (2 states x 3
+  // values x 5 components), backward 10 doubles per line.
+  auto modeled =
+      sp::make_modeled_sp_grid(12, 10, 4, machine::ibm_sp_p2sc());
+  const auto& ys = profile_of(modeled->app(), "Y_Solve");
+  ASSERT_EQ(ys.messages.size(), 2u);
+  EXPECT_EQ(ys.messages[0].bytes_each, 12u * 6u * 30u * sizeof(double));
+  EXPECT_EQ(ys.messages[1].bytes_each, 12u * 6u * 10u * sizeof(double));
+}
+
+TEST(ModelVsNumericSp, TotalMessageCountLocked) {
+  // SP per iteration at P=4: 8 halo faces + 4 (y_solve) + 4 (z_solve);
+  // txinvr/x_solve/add are communication-free.  Plus 2 residual exchanges.
+  sp::SpConfig cfg;
+  cfg.n = 12;
+  cfg.iterations = 3;
+  const auto r = sp::run_sp(cfg, 4);
+  EXPECT_EQ(r.run.messages, 3u * 16u + 2u * 8u);
+}
+
+TEST(ModelVsNumericLu, WavefrontMessageSizesMatch) {
+  // n=8, P=4 (px=py=2): per-plane column hand-off is ny*5 doubles.
+  auto modeled = lu::make_modeled_lu_grid(8, 10, 4, machine::ibm_sp_p2sc());
+  const auto& lt = profile_of(modeled->app(), "Ssor_LT");
+  ASSERT_GE(lt.messages.size(), 2u);
+  EXPECT_EQ(lt.messages[0].count, 8u);  // one per z-plane
+  EXPECT_EQ(lt.messages[0].bytes_each, 4u * 5u * sizeof(double));
+  EXPECT_EQ(lt.messages[1].count, 8u);
+  EXPECT_EQ(lt.messages[1].bytes_each, 4u * 5u * sizeof(double));
+}
+
+TEST(ModelVsNumericLu, TotalMessageCountLocked) {
+  // LU at n=8, P=4 (px=py=2): ssor_iter halo = 8 sends; each sweep sends
+  // one column east (2 ranks) and one row north (2 ranks) per z-plane:
+  // 4 * 8 = 32 per sweep.  run_lu performs one extra ssor_iter before the
+  // loop and two final_verify halo exchanges.
+  lu::LuConfig cfg;
+  cfg.n = 8;
+  cfg.iterations = 2;
+  const auto r = lu::run_lu(cfg, 4);
+  const std::size_t per_iter = 8u + 32u + 32u;
+  EXPECT_EQ(r.run.messages, 2u * per_iter + 8u + 2u * 8u);
+}
+
+}  // namespace
+}  // namespace kcoup::npb

@@ -1,0 +1,163 @@
+// Integration tests for the modeled BT/SP/LU applications: structure of the
+// kernel loops, determinism of studies, and the paper's headline property —
+// the coupling predictor beats the summation predictor on the modeled SP
+// machine for the classes/processor counts of the evaluation tables.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "coupling/study.hpp"
+#include "machine/config.hpp"
+#include "npb/bt/bt_model.hpp"
+#include "npb/lu/lu_model.hpp"
+#include "npb/sp/sp_model.hpp"
+
+namespace kcoup::npb {
+namespace {
+
+std::vector<std::string> loop_names(const coupling::LoopApplication& app) {
+  std::vector<std::string> names;
+  for (const auto* k : app.loop) names.push_back(k->name());
+  return names;
+}
+
+TEST(ModeledBtTest, SevenKernelStructure) {
+  auto m = bt::make_modeled_bt(ProblemClass::kS, 4, machine::ibm_sp_p2sc());
+  EXPECT_EQ(loop_names(m->app()),
+            (std::vector<std::string>{"Copy_Faces", "X_Solve", "Y_Solve",
+                                      "Z_Solve", "Add"}));
+  ASSERT_EQ(m->app().prologue.size(), 1u);
+  ASSERT_EQ(m->app().epilogue.size(), 1u);
+  EXPECT_EQ(m->app().prologue[0]->name(), "Initialization");
+  EXPECT_EQ(m->app().epilogue[0]->name(), "Final");
+  EXPECT_EQ(m->app().iterations, 60);  // Class S (section 4.1)
+}
+
+TEST(ModeledSpTest, EightKernelStructure) {
+  auto m = sp::make_modeled_sp(ProblemClass::kW, 4, machine::ibm_sp_p2sc());
+  EXPECT_EQ(loop_names(m->app()),
+            (std::vector<std::string>{"Copy_Faces", "Txinvr", "X_Solve",
+                                      "Y_Solve", "Z_Solve", "Add"}));
+  EXPECT_EQ(m->app().prologue.size(), 1u);
+  EXPECT_EQ(m->app().epilogue.size(), 1u);
+}
+
+TEST(ModeledLuTest, TenKernelStructure) {
+  auto m = lu::make_modeled_lu(ProblemClass::kW, 4, machine::ibm_sp_p2sc());
+  EXPECT_EQ(loop_names(m->app()),
+            (std::vector<std::string>{"Ssor_Iter", "Ssor_LT", "Ssor_UT",
+                                      "Ssor_RS"}));
+  EXPECT_EQ(m->app().prologue.size(), 3u);  // Init, Erhs, Ssor_Init
+  EXPECT_EQ(m->app().epilogue.size(), 3u);  // Error, Pintgr, Final
+}
+
+TEST(ModeledBtTest, InvalidRankCountRejected) {
+  EXPECT_THROW(
+      bt::make_modeled_bt(ProblemClass::kS, 8, machine::ibm_sp_p2sc()),
+      std::invalid_argument);
+  EXPECT_THROW(
+      lu::make_modeled_lu(ProblemClass::kW, 12, machine::ibm_sp_p2sc()),
+      std::invalid_argument);
+}
+
+TEST(ModeledBtTest, StudyIsDeterministic) {
+  const coupling::StudyOptions options{{2}, {}};
+  auto m1 = bt::make_modeled_bt(ProblemClass::kS, 4, machine::ibm_sp_p2sc());
+  auto m2 = bt::make_modeled_bt(ProblemClass::kS, 4, machine::ibm_sp_p2sc());
+  const auto a = coupling::run_study(m1->app(), options);
+  const auto b = coupling::run_study(m2->app(), options);
+  EXPECT_EQ(a.actual_s, b.actual_s);
+  EXPECT_EQ(a.summation_s, b.summation_s);
+  EXPECT_EQ(a.by_length[0].prediction_s, b.by_length[0].prediction_s);
+  for (std::size_t i = 0; i < a.by_length[0].chains.size(); ++i) {
+    EXPECT_EQ(a.by_length[0].chains[i].coupling(),
+              b.by_length[0].chains[i].coupling());
+  }
+}
+
+struct HeadlineCase {
+  const char* name;
+  ProblemClass cls;
+  int ranks;
+  std::size_t q;
+};
+
+class HeadlineTest : public ::testing::TestWithParam<HeadlineCase> {};
+
+/// The reproduction contract: for every evaluation configuration of the
+/// paper's Tables 3-4/6/8 (W and A classes), the coupling predictor beats
+/// the summation predictor on the modeled machine.
+TEST_P(HeadlineTest, CouplingPredictorBeatsSummation) {
+  const HeadlineCase& c = GetParam();
+  const coupling::StudyOptions options{{c.q}, {}};
+  std::unique_ptr<ModeledApp> m;
+  switch (c.name[0]) {
+    case 'B':
+      m = bt::make_modeled_bt(c.cls, c.ranks, machine::ibm_sp_p2sc());
+      break;
+    case 'S':
+      m = sp::make_modeled_sp(c.cls, c.ranks, machine::ibm_sp_p2sc());
+      break;
+    default:
+      m = lu::make_modeled_lu(c.cls, c.ranks, machine::ibm_sp_p2sc());
+      break;
+  }
+  const auto r = coupling::run_study(m->app(), options);
+  EXPECT_LT(r.by_length[0].relative_error, r.summation_error)
+      << c.name << " class " << to_string(c.cls) << " P=" << c.ranks;
+  // The paper's coupling predictions sit in the few-percent range.
+  EXPECT_LT(r.by_length[0].relative_error, 0.10);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperConfigurations, HeadlineTest,
+    ::testing::Values(
+        HeadlineCase{"BT", ProblemClass::kW, 4, 3},
+        HeadlineCase{"BT", ProblemClass::kW, 9, 3},
+        HeadlineCase{"BT", ProblemClass::kW, 16, 3},
+        HeadlineCase{"BT", ProblemClass::kW, 25, 3},
+        HeadlineCase{"BT", ProblemClass::kA, 4, 4},
+        HeadlineCase{"BT", ProblemClass::kA, 9, 4},
+        HeadlineCase{"BT", ProblemClass::kA, 16, 4},
+        HeadlineCase{"BT", ProblemClass::kA, 25, 4},
+        HeadlineCase{"SP", ProblemClass::kW, 4, 5},
+        HeadlineCase{"SP", ProblemClass::kW, 16, 5},
+        HeadlineCase{"SP", ProblemClass::kA, 4, 5},
+        HeadlineCase{"SP", ProblemClass::kA, 25, 5},
+        HeadlineCase{"SP", ProblemClass::kB, 9, 4},
+        HeadlineCase{"LU", ProblemClass::kW, 4, 3},
+        HeadlineCase{"LU", ProblemClass::kW, 32, 3},
+        HeadlineCase{"LU", ProblemClass::kA, 8, 3},
+        HeadlineCase{"LU", ProblemClass::kB, 16, 3}),
+    [](const ::testing::TestParamInfo<HeadlineCase>& param) {
+      return std::string(param.param.name) + to_string(param.param.cls) +
+             "P" + std::to_string(param.param.ranks);
+    });
+
+TEST(ModeledBtTest, CouplingRegimesFollowTheMemoryHierarchy) {
+  // Section 4.1: Class W couplings are constructive (clearly below 1 on
+  // average); Class S couplings grow with the processor count.
+  const coupling::StudyOptions w_opts{{3}, {}};
+  auto mw = bt::make_modeled_bt(ProblemClass::kW, 4, machine::ibm_sp_p2sc());
+  const auto rw = coupling::run_study(mw->app(), w_opts);
+  double mean_w = 0.0;
+  for (const auto& c : rw.by_length[0].chains) mean_w += c.coupling();
+  mean_w /= static_cast<double>(rw.by_length[0].chains.size());
+  EXPECT_LT(mean_w, 0.97);
+
+  const coupling::StudyOptions s_opts{{2}, {}};
+  auto m4 = bt::make_modeled_bt(ProblemClass::kS, 4, machine::ibm_sp_p2sc());
+  auto m16 = bt::make_modeled_bt(ProblemClass::kS, 16, machine::ibm_sp_p2sc());
+  const auto r4 = coupling::run_study(m4->app(), s_opts);
+  const auto r16 = coupling::run_study(m16->app(), s_opts);
+  double mean4 = 0.0, mean16 = 0.0;
+  for (const auto& c : r4.by_length[0].chains) mean4 += c.coupling();
+  for (const auto& c : r16.by_length[0].chains) mean16 += c.coupling();
+  EXPECT_GT(mean16, mean4);  // destructive growth with P at Class S
+  EXPECT_GT(mean16 / 5.0, 1.0);
+}
+
+}  // namespace
+}  // namespace kcoup::npb

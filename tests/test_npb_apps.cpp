@@ -1,0 +1,153 @@
+// Integration tests for the three numeric NPB ports running on simmpi:
+// the ADI / SSOR iterations must reduce the residual of the manufactured
+// system, converge toward the exact solution, and produce rank-count-
+// independent results (the same global answer on 1, 4, ... ranks).
+
+#include <gtest/gtest.h>
+
+#include "npb/bt/bt_app.hpp"
+#include "npb/lu/lu_app.hpp"
+#include "npb/sp/sp_app.hpp"
+
+namespace kcoup::npb {
+namespace {
+
+TEST(BtAppTest, ResidualDropsAndSolutionConverges) {
+  bt::BtConfig cfg;
+  cfg.n = 10;
+  cfg.iterations = 60;
+  const bt::BtRunResult r = bt::run_bt(cfg, 1);
+  EXPECT_GT(r.initial_residual, 1e-2);
+  EXPECT_LT(r.final_residual, r.initial_residual * 1e-3);
+  EXPECT_LT(r.final_error, 1e-2);
+}
+
+TEST(BtAppTest, RankCountIndependence) {
+  bt::BtConfig cfg;
+  cfg.n = 8;
+  cfg.iterations = 20;
+  const auto r1 = bt::run_bt(cfg, 1);
+  const auto r4 = bt::run_bt(cfg, 4);
+  const auto r9 = bt::run_bt(cfg, 9);
+  EXPECT_NEAR(r1.final_residual, r4.final_residual,
+              1e-10 * (1.0 + r1.final_residual));
+  EXPECT_NEAR(r1.final_error, r4.final_error, 1e-10);
+  EXPECT_NEAR(r1.final_residual, r9.final_residual,
+              1e-10 * (1.0 + r1.final_residual));
+  EXPECT_NEAR(r1.final_error, r9.final_error, 1e-10);
+}
+
+TEST(BtAppTest, DeterministicAcrossRuns) {
+  bt::BtConfig cfg;
+  cfg.n = 8;
+  cfg.iterations = 10;
+  const auto a = bt::run_bt(cfg, 4);
+  const auto b = bt::run_bt(cfg, 4);
+  EXPECT_EQ(a.final_residual, b.final_residual);
+  EXPECT_EQ(a.final_error, b.final_error);
+  EXPECT_EQ(a.run.messages, b.run.messages);
+}
+
+TEST(BtAppTest, MessagesScaleWithDecomposition) {
+  bt::BtConfig cfg;
+  cfg.n = 8;
+  cfg.iterations = 5;
+  const auto r1 = bt::run_bt(cfg, 1);
+  const auto r4 = bt::run_bt(cfg, 4);
+  EXPECT_EQ(r1.run.messages, 0u);
+  EXPECT_GT(r4.run.messages, 0u);
+}
+
+TEST(BtAppTest, VirtualMakespanReflectsNetwork) {
+  bt::BtConfig cfg;
+  cfg.n = 8;
+  cfg.iterations = 5;
+  simmpi::NetworkParams slow;
+  slow.latency_s = 1e-3;
+  simmpi::NetworkParams fast;
+  fast.latency_s = 1e-6;
+  const auto s = bt::run_bt(cfg, 4, slow);
+  const auto f = bt::run_bt(cfg, 4, fast);
+  EXPECT_GT(s.run.makespan_s, f.run.makespan_s);
+}
+
+TEST(SpAppTest, ResidualDropsAndSolutionConverges) {
+  sp::SpConfig cfg;
+  cfg.n = 10;
+  cfg.iterations = 80;
+  const sp::SpRunResult r = sp::run_sp(cfg, 1);
+  EXPECT_GT(r.initial_residual, 1e-2);
+  EXPECT_LT(r.final_residual, r.initial_residual * 1e-3);
+  EXPECT_LT(r.final_error, 1e-2);
+}
+
+TEST(SpAppTest, RankCountIndependence) {
+  sp::SpConfig cfg;
+  cfg.n = 9;
+  cfg.iterations = 20;
+  const auto r1 = sp::run_sp(cfg, 1);
+  const auto r4 = sp::run_sp(cfg, 4);
+  EXPECT_NEAR(r1.final_residual, r4.final_residual,
+              1e-10 * (1.0 + r1.final_residual));
+  EXPECT_NEAR(r1.final_error, r4.final_error, 1e-10);
+}
+
+TEST(SpAppTest, DeterministicAcrossRuns) {
+  sp::SpConfig cfg;
+  cfg.n = 9;
+  cfg.iterations = 10;
+  const auto a = sp::run_sp(cfg, 4);
+  const auto b = sp::run_sp(cfg, 4);
+  EXPECT_EQ(a.final_residual, b.final_residual);
+  EXPECT_EQ(a.final_error, b.final_error);
+}
+
+TEST(LuAppTest, ResidualDropsAndSolutionConverges) {
+  lu::LuConfig cfg;
+  cfg.n = 10;
+  cfg.iterations = 60;
+  const lu::LuRunResult r = lu::run_lu(cfg, 1);
+  EXPECT_GT(r.initial_residual, 1e-2);
+  EXPECT_LT(r.final_residual, r.initial_residual * 1e-3);
+  EXPECT_LT(r.final_error, 1e-2);
+}
+
+TEST(LuAppTest, RankCountIndependence) {
+  lu::LuConfig cfg;
+  cfg.n = 8;
+  cfg.iterations = 20;
+  const auto r1 = lu::run_lu(cfg, 1);
+  const auto r2 = lu::run_lu(cfg, 2);
+  const auto r8 = lu::run_lu(cfg, 8);
+  EXPECT_NEAR(r1.final_residual, r2.final_residual,
+              1e-10 * (1.0 + r1.final_residual));
+  EXPECT_NEAR(r1.final_error, r8.final_error, 1e-10);
+  EXPECT_NEAR(r1.surface_integral, r8.surface_integral,
+              1e-10 * (1.0 + std::fabs(r1.surface_integral)));
+}
+
+TEST(LuAppTest, WavefrontMessagesAreManyAndSmall) {
+  lu::LuConfig cfg;
+  cfg.n = 8;
+  cfg.iterations = 5;
+  const auto r4 = lu::run_lu(cfg, 4);
+  ASSERT_GT(r4.run.messages, 0u);
+  // "a relatively large number of small communications" (section 4.3):
+  // the average LU payload must be far smaller than a full BT face.
+  const double avg_payload = static_cast<double>(r4.run.payload_bytes) /
+                             static_cast<double>(r4.run.messages);
+  EXPECT_LT(avg_payload, 8.0 * 8 * 5 * sizeof(double));
+}
+
+TEST(LuAppTest, DeterministicAcrossRuns) {
+  lu::LuConfig cfg;
+  cfg.n = 8;
+  cfg.iterations = 10;
+  const auto a = lu::run_lu(cfg, 4);
+  const auto b = lu::run_lu(cfg, 4);
+  EXPECT_EQ(a.final_residual, b.final_residual);
+  EXPECT_EQ(a.surface_integral, b.surface_integral);
+}
+
+}  // namespace
+}  // namespace kcoup::npb

@@ -1,0 +1,82 @@
+// End-to-end integration tests: the full numeric benchmarks at the paper's
+// Class S scale (12^3; NPB-standard iteration counts), run on the simmpi
+// runtime at the paper's processor counts.  These are the heaviest tests in
+// the suite (~a second each) and exercise every substrate together:
+// decompositions, distributed line solves, wavefront sweeps, halo
+// exchanges, collectives and virtual time.
+
+#include <gtest/gtest.h>
+
+#include "npb/bt/bt_app.hpp"
+#include "npb/common/problem.hpp"
+#include "npb/lu/lu_app.hpp"
+#include "npb/sp/sp_app.hpp"
+
+namespace kcoup::npb {
+namespace {
+
+TEST(ClassSIntegration, BtFullClassSConverges) {
+  const ProblemSize size = problem_size(Benchmark::kBT, ProblemClass::kS);
+  bt::BtConfig cfg;
+  cfg.n = size.n;
+  cfg.iterations = size.iterations;
+  for (int ranks : {1, 4}) {
+    const auto r = bt::run_bt(cfg, ranks);
+    EXPECT_LT(r.final_residual, 1e-6) << "ranks=" << ranks;
+    EXPECT_LT(r.final_error, 1e-5) << "ranks=" << ranks;
+  }
+}
+
+TEST(ClassSIntegration, BtClassSNineRanksMatchesSerial) {
+  const ProblemSize size = problem_size(Benchmark::kBT, ProblemClass::kS);
+  bt::BtConfig cfg;
+  cfg.n = size.n;
+  cfg.iterations = 20;  // shortened: we compare states, not convergence
+  const auto serial = bt::run_bt(cfg, 1);
+  const auto nine = bt::run_bt(cfg, 9);
+  EXPECT_NEAR(serial.final_residual, nine.final_residual,
+              1e-9 * (1.0 + serial.final_residual));
+  EXPECT_NEAR(serial.final_error, nine.final_error, 1e-9);
+}
+
+TEST(ClassSIntegration, SpFullClassSConverges) {
+  const ProblemSize size = problem_size(Benchmark::kSP, ProblemClass::kS);
+  sp::SpConfig cfg;
+  cfg.n = size.n;
+  cfg.iterations = size.iterations;
+  for (int ranks : {1, 4}) {
+    const auto r = sp::run_sp(cfg, ranks);
+    EXPECT_LT(r.final_residual, 1e-6) << "ranks=" << ranks;
+    EXPECT_LT(r.final_error, 1e-5) << "ranks=" << ranks;
+  }
+}
+
+TEST(ClassSIntegration, LuFullClassSConverges) {
+  const ProblemSize size = problem_size(Benchmark::kLU, ProblemClass::kS);
+  lu::LuConfig cfg;
+  cfg.n = size.n;
+  cfg.iterations = size.iterations;
+  for (int ranks : {1, 4, 8}) {
+    const auto r = lu::run_lu(cfg, ranks);
+    EXPECT_LT(r.final_residual, 1e-4) << "ranks=" << ranks;
+    EXPECT_LT(r.final_error, 1e-3) << "ranks=" << ranks;
+  }
+}
+
+TEST(ClassSIntegration, SurfaceIntegralIsRankCountInvariant) {
+  lu::LuConfig cfg;
+  cfg.n = 12;
+  cfg.iterations = 30;
+  const auto r1 = lu::run_lu(cfg, 1);
+  const auto r4 = lu::run_lu(cfg, 4);
+  const auto r8 = lu::run_lu(cfg, 8);
+  EXPECT_NEAR(r1.surface_integral, r4.surface_integral,
+              1e-9 * std::fabs(r1.surface_integral));
+  EXPECT_NEAR(r1.surface_integral, r8.surface_integral,
+              1e-9 * std::fabs(r1.surface_integral));
+  // The integral is a nontrivial number (the u field is not symmetric).
+  EXPECT_GT(std::fabs(r1.surface_integral), 0.1);
+}
+
+}  // namespace
+}  // namespace kcoup::npb

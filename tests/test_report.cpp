@@ -1,0 +1,48 @@
+// Tests for the report/table formatting utilities.
+
+#include <gtest/gtest.h>
+
+#include "report/table.hpp"
+
+namespace kcoup::report {
+namespace {
+
+TEST(TableTest, AlignedTextOutput) {
+  Table t("Title");
+  t.set_header({"a", "longer"});
+  t.add_row({"xxx", "y"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("Title"), std::string::npos);
+  EXPECT_NE(s.find("a"), std::string::npos);
+  EXPECT_NE(s.find("xxx  y"), std::string::npos);  // padded columns
+}
+
+TEST(TableTest, CsvOutput) {
+  Table t("T");
+  t.set_header({"a", "b"});
+  t.add_row({"1", "2"});
+  EXPECT_EQ(t.to_csv(), "a,b\n1,2\n");
+}
+
+TEST(TableTest, RaggedRowsTolerated) {
+  Table t("T");
+  t.set_header({"a", "b", "c"});
+  t.add_row({"only-one"});
+  EXPECT_NE(t.to_string().find("only-one"), std::string::npos);
+}
+
+TEST(FormatTest, Seconds) {
+  EXPECT_EQ(format_seconds(123.456), "123.5");
+  EXPECT_EQ(format_seconds(12.345), "12.35");
+  EXPECT_EQ(format_seconds(0.12345), "0.1235");  // %.4f rounds
+}
+
+TEST(FormatTest, PercentAndPrediction) {
+  EXPECT_EQ(format_percent(0.1745), "17.45 %");
+  EXPECT_EQ(format_prediction(2.0, 0.005), "2.00 (0.50 %)");
+}
+
+TEST(FormatTest, Coupling) { EXPECT_EQ(format_coupling(0.75), "0.7500"); }
+
+}  // namespace
+}  // namespace kcoup::report

@@ -1,0 +1,105 @@
+// Tests for the analytical kernel scaling models and the dense solver.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "coupling/scaling_model.hpp"
+
+namespace kcoup::coupling {
+namespace {
+
+TEST(SolveDenseTest, SolvesKnownSystem) {
+  // [2 1; 1 3] x = [5; 10]  ->  x = [1; 3]
+  std::vector<double> a{2, 1, 1, 3};
+  std::vector<double> b{5, 10};
+  ASSERT_TRUE(solve_dense(a, b, 2));
+  EXPECT_NEAR(b[0], 1.0, 1e-12);
+  EXPECT_NEAR(b[1], 3.0, 1e-12);
+}
+
+TEST(SolveDenseTest, PivotsOnZeroDiagonal) {
+  std::vector<double> a{0, 1, 1, 0};
+  std::vector<double> b{2, 3};
+  ASSERT_TRUE(solve_dense(a, b, 2));
+  EXPECT_NEAR(b[0], 3.0, 1e-12);
+  EXPECT_NEAR(b[1], 2.0, 1e-12);
+}
+
+TEST(SolveDenseTest, RejectsSingularAndBadSizes) {
+  std::vector<double> a{1, 2, 2, 4};  // rank 1
+  std::vector<double> b{1, 2};
+  EXPECT_FALSE(solve_dense(a, b, 2));
+  std::vector<double> short_a{1};
+  std::vector<double> short_b{1, 2};
+  EXPECT_FALSE(solve_dense(short_a, short_b, 2));
+}
+
+TEST(ScalingModelTest, RecoversExactLinearCombination) {
+  const ScalingBasis basis = ScalingBasis::npb_default();
+  // Ground truth: 2e-9 n^3/P + 5e-7 n^2/sqrt(P) + 1e-4 log2 P + 3e-3.
+  auto truth = [](double n, double p) {
+    return 2e-9 * n * n * n / p + 5e-7 * n * n / std::sqrt(p) +
+           (p > 1 ? 1e-4 * std::log2(p) : 0.0) + 3e-3;
+  };
+  std::vector<ScalingSample> samples;
+  for (double n : {12.0, 32.0, 64.0, 102.0}) {
+    for (double p : {1.0, 4.0, 9.0, 16.0}) {
+      samples.push_back({n, p, truth(n, p)});
+    }
+  }
+  const KernelScalingModel m = KernelScalingModel::fit(basis, samples);
+  EXPECT_LT(m.fit_rms_relative_error(), 1e-8);
+  EXPECT_NEAR(m.coefficients()[0], 2e-9, 1e-13);
+  EXPECT_NEAR(m.coefficients()[3], 3e-3, 1e-7);
+  // Extrapolation to an unseen configuration.
+  EXPECT_NEAR(m.evaluate(80, 25), truth(80, 25),
+              1e-9 * std::fabs(truth(80, 25)) + 1e-12);
+}
+
+TEST(ScalingModelTest, FitToleratesNoise) {
+  const ScalingBasis basis = ScalingBasis::npb_default();
+  std::vector<ScalingSample> samples;
+  int sign = 1;
+  for (double n : {16.0, 32.0, 48.0, 64.0}) {
+    for (double p : {1.0, 4.0, 16.0}) {
+      const double clean = 1e-8 * n * n * n / p + 1e-3;
+      samples.push_back({n, p, clean * (1.0 + 0.02 * sign)});
+      sign = -sign;
+    }
+  }
+  const KernelScalingModel m = KernelScalingModel::fit(basis, samples);
+  EXPECT_LT(m.fit_rms_relative_error(), 0.05);
+  const double pred = m.evaluate(64, 4);
+  const double truth = 1e-8 * 64.0 * 64.0 * 64.0 / 4.0 + 1e-3;
+  EXPECT_NEAR(pred, truth, 0.05 * truth);
+}
+
+TEST(ScalingModelTest, RejectsDegenerateInputs) {
+  const ScalingBasis basis = ScalingBasis::npb_default();
+  std::vector<ScalingSample> too_few{{12, 4, 1.0}};
+  EXPECT_THROW((void)KernelScalingModel::fit(basis, too_few),
+               std::invalid_argument);
+  // Identical samples: singular normal equations.
+  std::vector<ScalingSample> degenerate(6, ScalingSample{12, 4, 1.0});
+  EXPECT_THROW((void)KernelScalingModel::fit(basis, degenerate),
+               std::invalid_argument);
+}
+
+TEST(ScalingModelTest, ToStringListsBasisTerms) {
+  const ScalingBasis basis = ScalingBasis::npb_default();
+  std::vector<ScalingSample> samples;
+  for (double n : {12.0, 24.0, 36.0, 48.0}) {
+    for (double p : {1.0, 4.0}) {
+      samples.push_back({n, p, 1e-9 * n * n * n / p + 1e-3});
+    }
+  }
+  const KernelScalingModel m = KernelScalingModel::fit(basis, samples);
+  const std::string s = m.to_string();
+  EXPECT_NE(s.find("n^3/P"), std::string::npos);
+  EXPECT_NE(s.find("log2(P)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace kcoup::coupling

@@ -1,0 +1,230 @@
+// Tests for the deterministic message-passing runtime (simmpi).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "simmpi/simmpi.hpp"
+
+namespace kcoup::simmpi {
+namespace {
+
+TEST(SimmpiTest, SingleRankRuns) {
+  std::atomic<int> calls{0};
+  const RunResult r = run(1, {}, [&](Comm& c) {
+    EXPECT_EQ(c.rank(), 0);
+    EXPECT_EQ(c.size(), 1);
+    ++calls;
+  });
+  EXPECT_EQ(calls.load(), 1);
+  EXPECT_EQ(r.messages, 0u);
+}
+
+TEST(SimmpiTest, InvalidRankCountThrows) {
+  EXPECT_THROW(run(0, {}, [](Comm&) {}), std::invalid_argument);
+}
+
+TEST(SimmpiTest, PointToPointDeliversPayload) {
+  const RunResult r = run(2, {}, [](Comm& c) {
+    if (c.rank() == 0) {
+      const std::vector<double> data{1.5, 2.5, 3.5};
+      c.send<double>(1, 7, data);
+    } else {
+      std::vector<double> in(3);
+      c.recv<double>(0, 7, in);
+      EXPECT_DOUBLE_EQ(in[0], 1.5);
+      EXPECT_DOUBLE_EQ(in[1], 2.5);
+      EXPECT_DOUBLE_EQ(in[2], 3.5);
+    }
+  });
+  EXPECT_EQ(r.messages, 1u);
+  EXPECT_EQ(r.payload_bytes, 3 * sizeof(double));
+}
+
+TEST(SimmpiTest, ChannelsAreFifoPerTag) {
+  run(2, {}, [](Comm& c) {
+    if (c.rank() == 0) {
+      for (int i = 0; i < 10; ++i) {
+        const std::vector<int> v{i};
+        c.send<int>(1, 3, v);
+      }
+    } else {
+      for (int i = 0; i < 10; ++i) {
+        std::vector<int> v(1);
+        c.recv<int>(0, 3, v);
+        EXPECT_EQ(v[0], i);
+      }
+    }
+  });
+}
+
+TEST(SimmpiTest, TagsAreIndependentChannels) {
+  run(2, {}, [](Comm& c) {
+    if (c.rank() == 0) {
+      const std::vector<int> a{111}, b{222};
+      c.send<int>(1, 1, a);
+      c.send<int>(1, 2, b);
+    } else {
+      // Receive in the opposite order of the sends.
+      std::vector<int> v(1);
+      c.recv<int>(0, 2, v);
+      EXPECT_EQ(v[0], 222);
+      c.recv<int>(0, 1, v);
+      EXPECT_EQ(v[0], 111);
+    }
+  });
+}
+
+TEST(SimmpiTest, SymmetricExchangeDoesNotDeadlock) {
+  run(4, {}, [](Comm& c) {
+    const int peer = c.rank() ^ 1;  // pairs (0,1) and (2,3)
+    const std::vector<double> out{static_cast<double>(c.rank())};
+    std::vector<double> in(1);
+    c.exchange<double>(peer, 5, out, in);
+    EXPECT_DOUBLE_EQ(in[0], static_cast<double>(peer));
+  });
+}
+
+TEST(SimmpiTest, PayloadSizeMismatchThrows) {
+  EXPECT_THROW(run(2, {},
+                   [](Comm& c) {
+                     if (c.rank() == 0) {
+                       const std::vector<int> v{1, 2, 3};
+                       c.send<int>(1, 9, v);
+                     } else {
+                       std::vector<int> in(2);  // wrong size
+                       c.recv<int>(0, 9, in);
+                     }
+                   }),
+               std::runtime_error);
+}
+
+TEST(SimmpiTest, SendToInvalidRankThrows) {
+  EXPECT_THROW(run(1, {},
+                   [](Comm& c) {
+                     const std::vector<int> v{1};
+                     c.send<int>(5, 0, v);
+                   }),
+               std::runtime_error);
+}
+
+TEST(SimmpiTest, AllreduceSumMaxMin) {
+  run(4, {}, [](Comm& c) {
+    const double mine = static_cast<double>(c.rank() + 1);
+    EXPECT_DOUBLE_EQ(c.allreduce_sum(mine), 10.0);
+    EXPECT_DOUBLE_EQ(c.allreduce_max(mine), 4.0);
+    EXPECT_DOUBLE_EQ(c.allreduce_min(mine), 1.0);
+  });
+}
+
+TEST(SimmpiTest, AllgatherReturnsRankIndexedValues) {
+  run(4, {}, [](Comm& c) {
+    const auto v = c.allgather(static_cast<double>(c.rank() * 10));
+    ASSERT_EQ(v.size(), 4u);
+    for (int r = 0; r < 4; ++r) {
+      EXPECT_DOUBLE_EQ(v[static_cast<std::size_t>(r)], r * 10.0);
+    }
+  });
+}
+
+TEST(SimmpiTest, BackToBackAllgathersDoNotInterfere) {
+  run(3, {}, [](Comm& c) {
+    const auto a = c.allgather(static_cast<double>(c.rank()));
+    const auto b = c.allgather(static_cast<double>(c.rank() + 100));
+    EXPECT_DOUBLE_EQ(a[2], 2.0);
+    EXPECT_DOUBLE_EQ(b[0], 100.0);
+  });
+}
+
+TEST(SimmpiTest, BroadcastDeliversRootValue) {
+  run(3, {}, [](Comm& c) {
+    const double v = c.broadcast(c.rank() == 1 ? 42.0 : 0.0, 1);
+    EXPECT_DOUBLE_EQ(v, 42.0);
+  });
+}
+
+TEST(SimmpiTest, VirtualTimeAdvancesWithComputeAndMessages) {
+  NetworkParams net;
+  net.latency_s = 1.0;
+  net.seconds_per_byte = 0.0;
+  const RunResult r = run(2, net, [](Comm& c) {
+    if (c.rank() == 0) {
+      c.advance(5.0);
+      const std::vector<double> v{1.0};
+      c.send<double>(1, 0, v);
+    } else {
+      std::vector<double> v(1);
+      c.recv<double>(0, 0, v);
+      // Arrival at send time (5) + latency (1).
+      EXPECT_DOUBLE_EQ(c.now(), 6.0);
+    }
+  });
+  EXPECT_DOUBLE_EQ(r.makespan_s, 6.0);
+  EXPECT_DOUBLE_EQ(r.rank_times_s[0], 5.0);
+}
+
+TEST(SimmpiTest, ReceiveDoesNotMoveClockBackwards) {
+  NetworkParams net;
+  net.latency_s = 0.5;
+  run(2, net, [](Comm& c) {
+    if (c.rank() == 0) {
+      const std::vector<double> v{1.0};
+      c.send<double>(1, 0, v);  // sent at t=0, arrives t=0.5
+    } else {
+      c.advance(10.0);
+      std::vector<double> v(1);
+      c.recv<double>(0, 0, v);
+      EXPECT_DOUBLE_EQ(c.now(), 10.0);  // already past the arrival time
+    }
+  });
+}
+
+TEST(SimmpiTest, BarrierSynchronisesClocks) {
+  NetworkParams net;
+  net.sync_latency_s = 0.25;
+  run(4, net, [](Comm& c) {
+    c.advance(static_cast<double>(c.rank()));  // ranks at 0,1,2,3
+    c.barrier();
+    // max(3) + ceil(log2(4)) * 0.25 = 3.5
+    EXPECT_DOUBLE_EQ(c.now(), 3.5);
+  });
+}
+
+TEST(SimmpiTest, CollectiveReductionIsRankOrderDeterministic) {
+  // Values chosen so that different fold orders give different doubles.
+  std::vector<double> results;
+  for (int rep = 0; rep < 5; ++rep) {
+    double out = 0.0;
+    run(4, {}, [&](Comm& c) {
+      const double vals[4] = {1e16, 1.0, -1e16, 1.0};
+      const double s = c.allreduce_sum(vals[c.rank()]);
+      if (c.rank() == 0) out = s;
+    });
+    results.push_back(out);
+  }
+  for (double r : results) EXPECT_EQ(r, results[0]);
+}
+
+TEST(SimmpiTest, ManyRanksRingPassDeterministic) {
+  const int ranks = 8;
+  const RunResult r = run(ranks, {}, [&](Comm& c) {
+    // Ring accumulation: each rank adds its id and forwards.
+    std::vector<long> token{0};
+    if (c.rank() == 0) {
+      token[0] = 0;
+      c.send<long>(1, 0, token);
+      c.recv<long>(ranks - 1, 0, token);
+      EXPECT_EQ(token[0], ranks * (ranks - 1) / 2);
+    } else {
+      c.recv<long>(c.rank() - 1, 0, token);
+      token[0] += c.rank();
+      c.send<long>((c.rank() + 1) % ranks, 0, token);
+    }
+  });
+  EXPECT_EQ(r.messages, static_cast<std::size_t>(ranks));
+}
+
+}  // namespace
+}  // namespace kcoup::simmpi

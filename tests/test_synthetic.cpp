@@ -1,0 +1,82 @@
+// Tests for the synthetic workload generator.
+
+#include <gtest/gtest.h>
+
+#include "coupling/study.hpp"
+#include "coupling/synthetic.hpp"
+#include "machine/config.hpp"
+
+namespace kcoup::coupling {
+namespace {
+
+TEST(SyntheticTest, DeterministicForSeed) {
+  SyntheticAppSpec spec;
+  spec.seed = 9;
+  auto a = make_synthetic_app(spec, machine::ibm_sp_p2sc());
+  auto b = make_synthetic_app(spec, machine::ibm_sp_p2sc());
+  const StudyOptions options{{2}, {}};
+  const StudyResult ra = run_study(a->app(), options);
+  const StudyResult rb = run_study(b->app(), options);
+  EXPECT_EQ(ra.actual_s, rb.actual_s);
+  EXPECT_EQ(ra.summation_s, rb.summation_s);
+  EXPECT_EQ(ra.by_length[0].prediction_s, rb.by_length[0].prediction_s);
+}
+
+TEST(SyntheticTest, DifferentSeedsDiffer) {
+  SyntheticAppSpec a_spec, b_spec;
+  a_spec.seed = 1;
+  b_spec.seed = 2;
+  auto a = make_synthetic_app(a_spec, machine::ibm_sp_p2sc());
+  auto b = make_synthetic_app(b_spec, machine::ibm_sp_p2sc());
+  const StudyOptions options{{2}, {}};
+  EXPECT_NE(run_study(a->app(), options).actual_s,
+            run_study(b->app(), options).actual_s);
+}
+
+TEST(SyntheticTest, RespectsSpecShape) {
+  SyntheticAppSpec spec;
+  spec.kernels = 5;
+  spec.regions = 7;
+  spec.iterations = 33;
+  auto app = make_synthetic_app(spec, machine::ibm_sp_p2sc());
+  EXPECT_EQ(app->app().loop_size(), 5u);
+  EXPECT_EQ(app->app().iterations, 33);
+  EXPECT_EQ(app->machine().cache().region_count(), 7u);
+}
+
+TEST(SyntheticTest, AdjacentDataFlowExistsByConstruction) {
+  // Kernel k always reads kernel k-1's output region, so a pair-chain study
+  // must find at least one chain whose coupling differs from 1 (some
+  // interaction) for a cache-stressing spec.
+  SyntheticAppSpec spec;
+  spec.seed = 4;
+  spec.fresh_probability = 1.0;
+  spec.min_region_bytes = 128 * 1024;  // beyond L1, inside L2
+  spec.max_region_bytes = 512 * 1024;   // fresh windows land back in L1
+  spec.min_flops = 1e4;                 // memory-bound kernels
+  spec.max_flops = 1e6;
+  spec.ranks = 1;
+  auto app = make_synthetic_app(spec, machine::ibm_sp_p2sc());
+  const StudyOptions options{{2}, {}};
+  const StudyResult r = run_study(app->app(), options);
+  bool any_interaction = false;
+  for (const auto& c : r.by_length[0].chains) {
+    if (std::abs(c.coupling() - 1.0) > 0.01) any_interaction = true;
+  }
+  EXPECT_TRUE(any_interaction);
+}
+
+TEST(SyntheticTest, RejectsDegenerateSpecs) {
+  SyntheticAppSpec one;
+  one.kernels = 1;
+  EXPECT_THROW((void)make_synthetic_app(one, machine::ibm_sp_p2sc()),
+               std::invalid_argument);
+  SyntheticAppSpec few_regions;
+  few_regions.kernels = 5;
+  few_regions.regions = 3;
+  EXPECT_THROW((void)make_synthetic_app(few_regions, machine::ibm_sp_p2sc()),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace kcoup::coupling

@@ -1,0 +1,403 @@
+// kcoup — command-line driver for the kernel-coupling prediction library.
+//
+//   kcoup study --app bt --class W --procs 4,9,16,25 --chains 3
+//   kcoup study --app sp --class A --procs 4,9 --chains 4,5 --csv out/sp_a
+//   kcoup transitions --app bt --procs 4 --sizes 8,12,16,24,32,48,64
+//   kcoup reuse --app bt --class A --donor 9 --targets 16,25 --chains 4
+//   kcoup parallel --app lu --n 33 --iters 300 --procs 8 --chains 3
+//   kcoup machines
+//
+// Every command runs against the modeled IBM SP by default; pass
+// --machine generic-smp (or edit machine presets) for other architectures.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "coupling/database.hpp"
+#include "coupling/study.hpp"
+#include "machine/config.hpp"
+#include "npb/bt/bt_model.hpp"
+#include "npb/bt/bt_timed.hpp"
+#include "npb/lu/lu_model.hpp"
+#include "npb/lu/lu_timed.hpp"
+#include "npb/sp/sp_model.hpp"
+#include "npb/sp/sp_timed.hpp"
+#include "report/table.hpp"
+#include "trace/stats.hpp"
+
+namespace {
+
+using namespace kcoup;
+
+// --- Tiny argument parser ---------------------------------------------------
+
+class Args {
+ public:
+  Args(int argc, char** argv) {
+    for (int i = 2; i < argc; ++i) {
+      std::string key = argv[i];
+      if (key.rfind("--", 0) != 0) {
+        throw std::runtime_error("expected --flag, got '" + key + "'");
+      }
+      key = key.substr(2);
+      if (i + 1 >= argc) {
+        throw std::runtime_error("missing value for --" + key);
+      }
+      values_[key] = argv[++i];
+    }
+  }
+
+  [[nodiscard]] std::string get(const std::string& key,
+                                const std::string& fallback = "") const {
+    auto it = values_.find(key);
+    if (it != values_.end()) {
+      used_.insert(key);
+      return it->second;
+    }
+    if (fallback.empty()) {
+      throw std::runtime_error("missing required --" + key);
+    }
+    return fallback;
+  }
+
+  [[nodiscard]] std::optional<std::string> maybe(const std::string& key) const {
+    auto it = values_.find(key);
+    if (it == values_.end()) return std::nullopt;
+    used_.insert(key);
+    return it->second;
+  }
+
+  void check_all_used() const {
+    for (const auto& [k, v] : values_) {
+      if (!used_.count(k)) {
+        throw std::runtime_error("unknown flag --" + k);
+      }
+    }
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+  mutable std::set<std::string> used_;
+};
+
+std::vector<int> parse_int_list(const std::string& s) {
+  std::vector<int> out;
+  std::istringstream ss(s);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) out.push_back(std::stoi(item));
+  }
+  if (out.empty()) throw std::runtime_error("empty list: '" + s + "'");
+  return out;
+}
+
+std::vector<std::size_t> parse_size_list(const std::string& s) {
+  std::vector<std::size_t> out;
+  for (int v : parse_int_list(s)) out.push_back(static_cast<std::size_t>(v));
+  return out;
+}
+
+npb::ProblemClass parse_class(const std::string& s) {
+  if (s == "S" || s == "s") return npb::ProblemClass::kS;
+  if (s == "W" || s == "w") return npb::ProblemClass::kW;
+  if (s == "A" || s == "a") return npb::ProblemClass::kA;
+  if (s == "B" || s == "b") return npb::ProblemClass::kB;
+  throw std::runtime_error("unknown class '" + s + "' (use S/W/A/B)");
+}
+
+machine::MachineConfig parse_machine(const std::string& s) {
+  if (s == "ibm-sp" || s == "ibm-sp-p2sc") return machine::ibm_sp_p2sc();
+  if (s == "generic-smp") return machine::generic_smp();
+  throw std::runtime_error("unknown machine '" + s +
+                           "' (use ibm-sp or generic-smp)");
+}
+
+std::unique_ptr<npb::ModeledApp> make_app(const std::string& app,
+                                          npb::ProblemClass cls, int procs,
+                                          const machine::MachineConfig& cfg) {
+  if (app == "bt") return npb::bt::make_modeled_bt(cls, procs, cfg);
+  if (app == "sp") return npb::sp::make_modeled_sp(cls, procs, cfg);
+  if (app == "lu") return npb::lu::make_modeled_lu(cls, procs, cfg);
+  throw std::runtime_error("unknown app '" + app + "' (use bt/sp/lu)");
+}
+
+void write_csv(const std::string& path, const report::Table& table) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot write " + path);
+  out << table.to_csv();
+  std::printf("wrote %s\n", path.c_str());
+}
+
+// --- Commands ---------------------------------------------------------------
+
+int cmd_study(const Args& args) {
+  const std::string app_name = args.get("app");
+  const npb::ProblemClass cls = parse_class(args.get("class"));
+  const std::vector<int> procs = parse_int_list(args.get("procs", "4,9,16"));
+  const std::vector<std::size_t> chains =
+      parse_size_list(args.get("chains", "2"));
+  const machine::MachineConfig cfg = parse_machine(args.get("machine", "ibm-sp"));
+  const auto csv = args.maybe("csv");
+  args.check_all_used();
+
+  coupling::StudyOptions options;
+  options.chain_lengths = chains;
+
+  std::vector<coupling::StudyResult> results;
+  std::vector<std::string> kernel_names;
+  for (int p : procs) {
+    auto modeled = make_app(app_name, cls, p, cfg);
+    if (kernel_names.empty()) {
+      for (const auto* k : modeled->app().loop) kernel_names.push_back(k->name());
+    }
+    results.push_back(coupling::run_study(modeled->app(), options));
+  }
+
+  for (std::size_t q : chains) {
+    report::Table t("Coupling values (" + app_name + " class " +
+                    npb::to_string(cls) + ", chains of " + std::to_string(q) +
+                    ")");
+    std::vector<std::string> header{"chain"};
+    for (int p : procs) header.push_back(std::to_string(p) + " procs");
+    t.set_header(std::move(header));
+    const auto& first = results.front();
+    for (const auto& cl : first.by_length) {
+      if (cl.length != q) continue;
+      for (std::size_t c = 0; c < cl.chains.size(); ++c) {
+        std::vector<std::string> row{cl.chains[c].label};
+        for (const auto& r : results) {
+          for (const auto& rcl : r.by_length) {
+            if (rcl.length == q) {
+              row.push_back(report::format_coupling(rcl.chains[c].coupling()));
+            }
+          }
+        }
+        t.add_row(std::move(row));
+      }
+    }
+    std::printf("%s\n", t.to_string().c_str());
+    if (csv) write_csv(*csv + "_couplings_q" + std::to_string(q) + ".csv", t);
+  }
+
+  report::Table t("Predictions (" + app_name + " class " +
+                  npb::to_string(cls) + ")");
+  std::vector<std::string> header{"predictor"};
+  for (int p : procs) header.push_back(std::to_string(p) + " procs");
+  t.set_header(std::move(header));
+  std::vector<std::string> actual{"Actual"}, summ{"Summation"};
+  for (const auto& r : results) {
+    actual.push_back(report::format_seconds(r.actual_s));
+    summ.push_back(report::format_prediction(r.summation_s, r.summation_error));
+  }
+  t.add_row(std::move(actual));
+  t.add_row(std::move(summ));
+  for (std::size_t q : chains) {
+    std::vector<std::string> row{"Coupling q=" + std::to_string(q)};
+    for (const auto& r : results) {
+      for (const auto& cl : r.by_length) {
+        if (cl.length == q) {
+          row.push_back(
+              report::format_prediction(cl.prediction_s, cl.relative_error));
+        }
+      }
+    }
+    t.add_row(std::move(row));
+  }
+  std::printf("%s\n", t.to_string().c_str());
+  if (csv) write_csv(*csv + "_predictions.csv", t);
+  return 0;
+}
+
+int cmd_transitions(const Args& args) {
+  const std::string app_name = args.get("app", "bt");
+  const int procs = std::stoi(args.get("procs", "4"));
+  const std::vector<int> sizes =
+      parse_int_list(args.get("sizes", "8,12,16,24,32,48,64,96,128"));
+  const machine::MachineConfig cfg = parse_machine(args.get("machine", "ibm-sp"));
+  const auto csv = args.maybe("csv");
+  args.check_all_used();
+  if (app_name != "bt") {
+    throw std::runtime_error("transitions: only --app bt is supported");
+  }
+
+  report::Table t("Mean pairwise coupling vs grid size (P = " +
+                  std::to_string(procs) + ")");
+  t.set_header({"n", "mean C"});
+  for (int n : sizes) {
+    auto modeled = npb::bt::make_modeled_bt_grid(n, 50, procs, cfg);
+    const coupling::StudyOptions options{{2}, {}};
+    const auto r = coupling::run_study(modeled->app(), options);
+    double mean = 0.0;
+    for (const auto& c : r.by_length[0].chains) mean += c.coupling();
+    mean /= static_cast<double>(r.by_length[0].chains.size());
+    t.add_row({std::to_string(n), report::format_coupling(mean)});
+  }
+  std::printf("%s\n", t.to_string().c_str());
+  if (csv) write_csv(*csv + "_transitions.csv", t);
+  return 0;
+}
+
+int cmd_reuse(const Args& args) {
+  const std::string app_name = args.get("app", "bt");
+  const npb::ProblemClass cls = parse_class(args.get("class"));
+  const int donor = std::stoi(args.get("donor"));
+  const std::vector<int> targets = parse_int_list(args.get("targets"));
+  const std::size_t q = static_cast<std::size_t>(std::stoi(args.get("chains", "3")));
+  const machine::MachineConfig cfg = parse_machine(args.get("machine", "ibm-sp"));
+  args.check_all_used();
+
+  coupling::CouplingDatabase db;
+  {
+    auto modeled = make_app(app_name, cls, donor, cfg);
+    coupling::MeasurementHarness h(&modeled->app(), {});
+    const auto means = h.all_isolated_means();
+    db.record(app_name, npb::to_string(cls), donor,
+              coupling::measure_chains(h, q, means));
+  }
+
+  report::Table t("Reuse of donor (P=" + std::to_string(donor) +
+                  ") couplings at other processor counts");
+  t.set_header({"target P", "actual", "summation", "coupling (reused)"});
+  for (int p : targets) {
+    auto modeled = make_app(app_name, cls, p, cfg);
+    coupling::MeasurementHarness h(&modeled->app(), {});
+    const double actual = h.actual_total();
+    coupling::PredictionInputs in;
+    in.isolated_means = h.all_isolated_means();
+    in.iterations = modeled->app().iterations;
+    for (std::size_t i = 0; i < modeled->app().prologue.size(); ++i) {
+      in.prologue_s += h.prologue_mean(i);
+    }
+    for (std::size_t i = 0; i < modeled->app().epilogue.size(); ++i) {
+      in.epilogue_s += h.epilogue_mean(i);
+    }
+    const auto reused = db.reuse_chains_for(app_name, npb::to_string(cls), p,
+                                            q, modeled->app().loop_size());
+    const double coup = coupling::reuse_prediction(in, reused);
+    const double summ = coupling::summation_prediction(in);
+    t.add_row({std::to_string(p), report::format_seconds(actual),
+               report::format_prediction(
+                   summ, trace::relative_error(summ, actual)),
+               report::format_prediction(
+                   coup, trace::relative_error(coup, actual))});
+  }
+  std::printf("%s\n", t.to_string().c_str());
+  return 0;
+}
+
+int cmd_parallel(const Args& args) {
+  const std::string app_name = args.get("app");
+  const int n = std::stoi(args.get("n"));
+  const int iters = std::stoi(args.get("iters", "50"));
+  const int procs = std::stoi(args.get("procs", "4"));
+  const std::vector<std::size_t> chains =
+      parse_size_list(args.get("chains", "2"));
+  const machine::MachineConfig cfg = parse_machine(args.get("machine", "ibm-sp"));
+  args.check_all_used();
+
+  coupling::StudyOptions study;
+  study.chain_lengths = chains;
+  coupling::ParallelStudyResult r;
+  if (app_name == "bt") {
+    npb::bt::TimedBtOptions o;
+    o.machine = cfg;
+    r = npb::bt::run_bt_parallel_study(n, iters, procs, o, study);
+  } else if (app_name == "sp") {
+    npb::sp::TimedSpOptions o;
+    o.machine = cfg;
+    r = npb::sp::run_sp_parallel_study(n, iters, procs, o, study);
+  } else if (app_name == "lu") {
+    npb::lu::TimedLuOptions o;
+    o.machine = cfg;
+    r = npb::lu::run_lu_parallel_study(n, iters, procs, o, study);
+  } else {
+    throw std::runtime_error("unknown app '" + app_name + "'");
+  }
+
+  report::Table t("Timed parallel study (" + app_name + ", n=" +
+                  std::to_string(n) + ", P=" + std::to_string(procs) + ")");
+  t.set_header({"predictor", "seconds", "relative error"});
+  t.add_row({"Actual", report::format_seconds(r.actual_s), "-"});
+  t.add_row({"Summation", report::format_seconds(r.summation_s),
+             report::format_percent(r.summation_error)});
+  for (const auto& cl : r.by_length) {
+    t.add_row({"Coupling q=" + std::to_string(cl.length),
+               report::format_seconds(cl.prediction_s),
+               report::format_percent(cl.relative_error)});
+  }
+  std::printf("%s\n", t.to_string().c_str());
+  return 0;
+}
+
+int cmd_machines(const Args& args) {
+  args.check_all_used();
+  for (const machine::MachineConfig& c :
+       {machine::ibm_sp_p2sc(), machine::generic_smp()}) {
+    std::printf("%s\n", c.name.c_str());
+    std::printf("  flops/s (effective): %.3g\n", c.flops_per_second);
+    for (std::size_t l = 0; l < c.cache.size(); ++l) {
+      std::printf("  L%zu: %zu KiB, %.3g ns/B\n", l + 1,
+                  c.cache[l].capacity_bytes / 1024,
+                  c.cache[l].seconds_per_byte * 1e9);
+    }
+    std::printf("  memory: %.3g ns/B\n", c.memory_seconds_per_byte * 1e9);
+    std::printf("  network: alpha %.3g us, beta %.3g ns/B, contention %.2f\n",
+                c.net_latency_s * 1e6, c.net_seconds_per_byte * 1e9,
+                c.net_contention_coeff);
+    std::printf("  sync: %.3g us/hop, imbalance %.2f\n\n",
+                c.sync_latency_s * 1e6, c.imbalance_coeff);
+  }
+  return 0;
+}
+
+void usage() {
+  std::printf(
+      "kcoup — kernel-coupling performance prediction (HPDC 2002 repro)\n\n"
+      "usage:\n"
+      "  kcoup study       --app bt|sp|lu --class S|W|A|B [--procs 4,9,16]\n"
+      "                    [--chains 2,3] [--machine ibm-sp|generic-smp]\n"
+      "                    [--csv prefix]\n"
+      "  kcoup transitions [--app bt] [--procs 4] [--sizes 8,16,...]\n"
+      "                    [--csv prefix]\n"
+      "  kcoup reuse       --app bt|sp|lu --class C --donor P --targets P,..\n"
+      "                    [--chains q]\n"
+      "  kcoup parallel    --app bt|sp|lu --n N [--iters I] [--procs P]\n"
+      "                    [--chains 2,3]\n"
+      "  kcoup machines\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    usage();
+    return 2;
+  }
+  const std::string cmd = argv[1];
+  try {
+    const Args args(argc, argv);
+    if (cmd == "study") return cmd_study(args);
+    if (cmd == "transitions") return cmd_transitions(args);
+    if (cmd == "reuse") return cmd_reuse(args);
+    if (cmd == "parallel") return cmd_parallel(args);
+    if (cmd == "machines") return cmd_machines(args);
+    if (cmd == "help" || cmd == "--help" || cmd == "-h") {
+      usage();
+      return 0;
+    }
+    std::fprintf(stderr, "unknown command '%s'\n\n", cmd.c_str());
+    usage();
+    return 2;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "kcoup %s: %s\n", cmd.c_str(), e.what());
+    return 1;
+  }
+}
