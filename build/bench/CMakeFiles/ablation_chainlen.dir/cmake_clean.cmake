@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_chainlen.dir/ablation_chainlen.cpp.o"
+  "CMakeFiles/ablation_chainlen.dir/ablation_chainlen.cpp.o.d"
+  "ablation_chainlen"
+  "ablation_chainlen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_chainlen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_parallel_bt.dir/ext_parallel_bt.cpp.o"
+  "CMakeFiles/ext_parallel_bt.dir/ext_parallel_bt.cpp.o.d"
+  "ext_parallel_bt"
+  "ext_parallel_bt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_parallel_bt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_reuse.dir/ext_reuse.cpp.o"
+  "CMakeFiles/ext_reuse.dir/ext_reuse.cpp.o.d"
+  "ext_reuse"
+  "ext_reuse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_reuse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

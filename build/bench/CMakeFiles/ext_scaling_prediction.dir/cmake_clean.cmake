@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_scaling_prediction.dir/ext_scaling_prediction.cpp.o"
+  "CMakeFiles/ext_scaling_prediction.dir/ext_scaling_prediction.cpp.o.d"
+  "ext_scaling_prediction"
+  "ext_scaling_prediction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_scaling_prediction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

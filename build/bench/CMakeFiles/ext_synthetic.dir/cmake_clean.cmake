@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_synthetic.dir/ext_synthetic.cpp.o"
+  "CMakeFiles/ext_synthetic.dir/ext_synthetic.cpp.o.d"
+  "ext_synthetic"
+  "ext_synthetic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_synthetic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_transitions.dir/fig_transitions.cpp.o"
+  "CMakeFiles/fig_transitions.dir/fig_transitions.cpp.o.d"
+  "fig_transitions"
+  "fig_transitions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_transitions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "../lib/libkcoup_bench_util.a"
+)

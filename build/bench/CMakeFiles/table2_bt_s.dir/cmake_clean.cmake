@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_bt_s.dir/table2_bt_s.cpp.o"
+  "CMakeFiles/table2_bt_s.dir/table2_bt_s.cpp.o.d"
+  "table2_bt_s"
+  "table2_bt_s.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_bt_s.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_bt_w.dir/table3_bt_w.cpp.o"
+  "CMakeFiles/table3_bt_w.dir/table3_bt_w.cpp.o.d"
+  "table3_bt_w"
+  "table3_bt_w.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_bt_w.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_bt_a.dir/table4_bt_a.cpp.o"
+  "CMakeFiles/table4_bt_a.dir/table4_bt_a.cpp.o.d"
+  "table4_bt_a"
+  "table4_bt_a.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_bt_a.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_sp.dir/table6_sp.cpp.o"
+  "CMakeFiles/table6_sp.dir/table6_sp.cpp.o.d"
+  "table6_sp"
+  "table6_sp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_sp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table8_lu.dir/table8_lu.cpp.o"
+  "CMakeFiles/table8_lu.dir/table8_lu.cpp.o.d"
+  "table8_lu"
+  "table8_lu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table8_lu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

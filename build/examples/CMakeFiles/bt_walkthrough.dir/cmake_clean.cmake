@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bt_walkthrough.dir/bt_walkthrough.cpp.o"
+  "CMakeFiles/bt_walkthrough.dir/bt_walkthrough.cpp.o.d"
+  "bt_walkthrough"
+  "bt_walkthrough.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bt_walkthrough.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coupling_database.dir/coupling_database.cpp.o"
+  "CMakeFiles/coupling_database.dir/coupling_database.cpp.o.d"
+  "coupling_database"
+  "coupling_database.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coupling_database.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

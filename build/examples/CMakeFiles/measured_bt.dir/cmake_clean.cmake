@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/measured_bt.dir/measured_bt.cpp.o"
+  "CMakeFiles/measured_bt.dir/measured_bt.cpp.o.d"
+  "measured_bt"
+  "measured_bt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/measured_bt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for measured_bt.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/measured_stencil.dir/measured_stencil.cpp.o"
+  "CMakeFiles/measured_stencil.dir/measured_stencil.cpp.o.d"
+  "measured_stencil"
+  "measured_stencil.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/measured_stencil.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kcoup.dir/kcoup_cli.cpp.o"
+  "CMakeFiles/kcoup.dir/kcoup_cli.cpp.o.d"
+  "kcoup"
+  "kcoup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kcoup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_help "/root/repo/build/tools/kcoup" "help")
+set_tests_properties(cli_help PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;6;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_machines "/root/repo/build/tools/kcoup" "machines")
+set_tests_properties(cli_machines PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;7;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_study "/root/repo/build/tools/kcoup" "study" "--app" "sp" "--class" "W" "--procs" "4" "--chains" "4")
+set_tests_properties(cli_study PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;8;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_transitions "/root/repo/build/tools/kcoup" "transitions" "--sizes" "8,16")
+set_tests_properties(cli_transitions PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;9;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_reuse "/root/repo/build/tools/kcoup" "reuse" "--app" "bt" "--class" "W" "--donor" "4" "--targets" "9" "--chains" "2")
+set_tests_properties(cli_reuse PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;10;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_parallel "/root/repo/build/tools/kcoup" "parallel" "--app" "bt" "--n" "12" "--procs" "4" "--chains" "2")
+set_tests_properties(cli_parallel PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;11;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_rejects_bad_flag "/root/repo/build/tools/kcoup" "study" "--app" "bt" "--class" "W" "--bogus" "1")
+set_tests_properties(cli_rejects_bad_flag PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;12;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_rejects_bad_app "/root/repo/build/tools/kcoup" "study" "--app" "xx" "--class" "W")
+set_tests_properties(cli_rejects_bad_app PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;14;add_test;/root/repo/tools/CMakeLists.txt;0;")
