@@ -1,0 +1,127 @@
+// Extension bench: the measurement campaign runner (planner + executor).
+//
+// The paper's methodology needs one serial study per (application, class,
+// processor count, chain length) cell; the campaign planner instead expands
+// the whole sweep into atomic measurement tasks, deduplicates the tasks that
+// several chain lengths share (isolated runs, the actual run, prologue and
+// epilogue timings), and the executor runs the remainder on a worker pool.
+// This bench quantifies both effects on a modeled BT/SP sweep: how many
+// tasks deduplication removes, how many a warm coupling database removes on
+// a second pass, and what the worker pool does to wall-clock time — while
+// asserting that every configuration produces bit-identical predictions.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "campaign/campaign.hpp"
+#include "campaign/executor.hpp"
+#include "coupling/database.hpp"
+#include "machine/config.hpp"
+#include "npb/bt/bt_model.hpp"
+#include "npb/sp/sp_model.hpp"
+#include "report/table.hpp"
+
+using namespace kcoup;
+
+namespace {
+
+campaign::CampaignSpec sweep_spec() {
+  campaign::CampaignSpec spec;
+  spec.chain_lengths = {2, 3};
+  const machine::MachineConfig cfg = machine::ibm_sp_p2sc();
+  for (int p : {4, 9, 16}) {
+    spec.studies.push_back(campaign::CampaignStudy{
+        "BT", "S", p, [p, cfg] {
+          return campaign::own_app(
+              npb::bt::make_modeled_bt(npb::ProblemClass::kS, p, cfg));
+        }});
+    spec.studies.push_back(campaign::CampaignStudy{
+        "SP", "S", p, [p, cfg] {
+          return campaign::own_app(
+              npb::sp::make_modeled_sp(npb::ProblemClass::kS, p, cfg));
+        }});
+  }
+  return spec;
+}
+
+bool identical(const std::vector<coupling::StudyResult>& a,
+               const std::vector<coupling::StudyResult>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].actual_s != b[i].actual_s) return false;
+    if (a[i].by_length.size() != b[i].by_length.size()) return false;
+    for (std::size_t q = 0; q < a[i].by_length.size(); ++q) {
+      if (a[i].by_length[q].prediction_s != b[i].by_length[q].prediction_s)
+        return false;
+      if (a[i].by_length[q].relative_error != b[i].by_length[q].relative_error)
+        return false;
+    }
+  }
+  return true;
+}
+
+std::string fmt_count(std::size_t n) { return std::to_string(n); }
+
+std::string fmt_seconds(double s) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.3f s", s);
+  return buf;
+}
+
+}  // namespace
+
+int main() {
+  const campaign::CampaignSpec spec = sweep_spec();
+
+  report::Table t(
+      "Campaign runner: dedup + worker pool on a BT/SP class-S sweep "
+      "(6 cells x chains {2,3})");
+  t.set_header({"run", "requested", "planned", "dedup", "cache hits",
+                "executed", "wall"});
+
+  const auto serial = campaign::run_campaign(spec, /*workers=*/1);
+  t.add_row({"serial (1 worker)", fmt_count(serial.metrics.tasks_requested),
+             fmt_count(serial.metrics.tasks_planned),
+             fmt_count(serial.metrics.tasks_deduplicated),
+             fmt_count(serial.metrics.cache_hits),
+             fmt_count(serial.metrics.tasks_executed),
+             fmt_seconds(serial.metrics.wall_s)});
+
+  const auto pooled = campaign::run_campaign(spec, /*workers=*/8);
+  t.add_row({"pooled (8 workers)", fmt_count(pooled.metrics.tasks_requested),
+             fmt_count(pooled.metrics.tasks_planned),
+             fmt_count(pooled.metrics.tasks_deduplicated),
+             fmt_count(pooled.metrics.cache_hits),
+             fmt_count(pooled.metrics.tasks_executed),
+             fmt_seconds(pooled.metrics.wall_s)});
+
+  // Second pass against a database warmed by a first pass: chain tasks are
+  // served from the store, only the per-cell basics remain.
+  coupling::CouplingDatabase db;
+  (void)campaign::run_campaign(spec, /*workers=*/1, &db);
+  const auto warm = campaign::run_campaign(spec, /*workers=*/8, &db);
+  t.add_row({"pooled, warm db", fmt_count(warm.metrics.tasks_requested),
+             fmt_count(warm.metrics.tasks_planned),
+             fmt_count(warm.metrics.tasks_deduplicated),
+             fmt_count(warm.metrics.cache_hits),
+             fmt_count(warm.metrics.tasks_executed),
+             fmt_seconds(warm.metrics.wall_s)});
+  std::printf("%s\n", t.to_string().c_str());
+
+  const bool pooled_ok = identical(serial.studies, pooled.studies);
+  const bool warm_ok = identical(serial.studies, warm.studies);
+  std::printf("pooled == serial: %s   warm-db pooled == serial: %s\n",
+              pooled_ok ? "BIT-IDENTICAL" : "MISMATCH",
+              warm_ok ? "BIT-IDENTICAL" : "MISMATCH");
+
+  std::printf(
+      "\nReading: the naive sweep would run one serial study per\n"
+      "(cell, chain length); sharing isolated/actual/prologue/epilogue\n"
+      "tasks across chain lengths removes the 'dedup' column outright, and\n"
+      "a warm coupling database removes every chain task on top of that\n"
+      "('cache hits').  The worker pool changes wall-clock only — results\n"
+      "are asserted bit-identical to the serial path in all cases.\n");
+  return (pooled_ok && warm_ok) ? 0 : 1;
+}

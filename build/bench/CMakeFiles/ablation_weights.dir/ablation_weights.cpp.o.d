@@ -211,17 +211,7 @@ bench/CMakeFiles/ablation_weights.dir/ablation_weights.cpp.o: \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/uniform_int_dist.h /usr/include/c++/12/utility \
- /usr/include/c++/12/bits/stl_relops.h /root/repo/src/coupling/study.hpp \
- /root/repo/src/machine/config.hpp /root/repo/src/npb/bt/bt_model.hpp \
- /root/repo/src/npb/common/modeled_app.hpp \
- /root/repo/src/coupling/modeled_app.hpp \
- /root/repo/src/coupling/modeled_kernel.hpp \
- /root/repo/src/machine/machine.hpp \
- /root/repo/src/machine/cache_model.hpp /usr/include/c++/12/list \
- /usr/include/c++/12/bits/stl_list.h /usr/include/c++/12/bits/list.tcc \
- /root/repo/src/machine/work_profile.hpp /usr/include/c++/12/limits \
- /root/repo/src/npb/common/problem.hpp /root/repo/src/npb/sp/sp_model.hpp \
- /root/repo/src/report/table.hpp /root/repo/src/trace/stats.hpp \
+ /usr/include/c++/12/bits/stl_relops.h /root/repo/src/trace/stats.hpp \
  /usr/include/c++/12/cmath /usr/include/math.h \
  /usr/include/x86_64-linux-gnu/bits/math-vector.h \
  /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
@@ -232,7 +222,8 @@ bench/CMakeFiles/ablation_weights.dir/ablation_weights.cpp.o: \
  /usr/include/x86_64-linux-gnu/bits/mathcalls.h \
  /usr/include/x86_64-linux-gnu/bits/mathcalls-narrow.h \
  /usr/include/x86_64-linux-gnu/bits/iscanonical.h \
- /usr/include/c++/12/bits/specfun.h /usr/include/c++/12/tr1/gamma.tcc \
+ /usr/include/c++/12/bits/specfun.h /usr/include/c++/12/limits \
+ /usr/include/c++/12/tr1/gamma.tcc \
  /usr/include/c++/12/tr1/special_function_util.h \
  /usr/include/c++/12/tr1/bessel_function.tcc \
  /usr/include/c++/12/tr1/beta_function.tcc \
@@ -243,4 +234,15 @@ bench/CMakeFiles/ablation_weights.dir/ablation_weights.cpp.o: \
  /usr/include/c++/12/tr1/modified_bessel_func.tcc \
  /usr/include/c++/12/tr1/poly_hermite.tcc \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
- /usr/include/c++/12/tr1/riemann_zeta.tcc
+ /usr/include/c++/12/tr1/riemann_zeta.tcc \
+ /root/repo/src/coupling/study.hpp /root/repo/src/machine/config.hpp \
+ /root/repo/src/npb/bt/bt_model.hpp \
+ /root/repo/src/npb/common/modeled_app.hpp \
+ /root/repo/src/coupling/modeled_app.hpp \
+ /root/repo/src/coupling/modeled_kernel.hpp \
+ /root/repo/src/machine/machine.hpp \
+ /root/repo/src/machine/cache_model.hpp /usr/include/c++/12/list \
+ /usr/include/c++/12/bits/stl_list.h /usr/include/c++/12/bits/list.tcc \
+ /root/repo/src/machine/work_profile.hpp \
+ /root/repo/src/npb/common/problem.hpp /root/repo/src/npb/sp/sp_model.hpp \
+ /root/repo/src/report/table.hpp

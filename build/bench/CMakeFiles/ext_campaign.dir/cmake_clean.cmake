@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_campaign.dir/ext_campaign.cpp.o"
+  "CMakeFiles/ext_campaign.dir/ext_campaign.cpp.o.d"
+  "ext_campaign"
+  "ext_campaign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_campaign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -218,7 +218,7 @@ bench/CMakeFiles/micro_substrates.dir/micro_substrates.cpp.o: \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/enable_special_members.h \
- /usr/include/c++/12/bits/unordered_map.h \
+ /usr/include/c++/12/bits/unordered_map.h /root/repo/src/trace/stats.hpp \
  /root/repo/src/machine/machine.hpp \
  /root/repo/src/machine/cache_model.hpp /usr/include/c++/12/list \
  /usr/include/c++/12/bits/stl_list.h \

@@ -16,8 +16,8 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/bench/CMakeFiles/kcoup_bench_util.dir/DependInfo.cmake"
   "/root/repo/build/src/npb/sp/CMakeFiles/kcoup_npb_sp.dir/DependInfo.cmake"
   "/root/repo/build/src/machine/CMakeFiles/kcoup_machine.dir/DependInfo.cmake"
-  "/root/repo/build/src/report/CMakeFiles/kcoup_report.dir/DependInfo.cmake"
   "/root/repo/build/src/coupling/CMakeFiles/kcoup_coupling.dir/DependInfo.cmake"
+  "/root/repo/build/src/report/CMakeFiles/kcoup_report.dir/DependInfo.cmake"
   "/root/repo/build/src/npb/common/CMakeFiles/kcoup_npb_common.dir/DependInfo.cmake"
   "/root/repo/build/src/simmpi/CMakeFiles/kcoup_simmpi.dir/DependInfo.cmake"
   )

@@ -146,10 +146,9 @@ examples/CMakeFiles/bt_walkthrough.dir/bt_walkthrough.cpp.o: \
  /usr/include/c++/12/bits/list.tcc /root/repo/src/machine/config.hpp \
  /root/repo/src/machine/work_profile.hpp /usr/include/c++/12/limits \
  /root/repo/src/coupling/study.hpp /root/repo/src/coupling/analysis.hpp \
- /root/repo/src/coupling/measurement.hpp /root/repo/src/npb/bt/bt_app.hpp \
- /root/repo/src/npb/common/blocktri.hpp \
- /root/repo/src/npb/common/block5.hpp /usr/include/c++/12/cmath \
- /usr/include/math.h /usr/include/x86_64-linux-gnu/bits/math-vector.h \
+ /root/repo/src/coupling/measurement.hpp /root/repo/src/trace/stats.hpp \
+ /usr/include/c++/12/cmath /usr/include/math.h \
+ /usr/include/x86_64-linux-gnu/bits/math-vector.h \
  /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
  /usr/include/x86_64-linux-gnu/bits/flt-eval-method.h \
  /usr/include/x86_64-linux-gnu/bits/fp-logb.h \
@@ -170,6 +169,8 @@ examples/CMakeFiles/bt_walkthrough.dir/bt_walkthrough.cpp.o: \
  /usr/include/c++/12/tr1/poly_hermite.tcc \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
  /usr/include/c++/12/tr1/riemann_zeta.tcc \
+ /root/repo/src/npb/bt/bt_app.hpp /root/repo/src/npb/common/blocktri.hpp \
+ /root/repo/src/npb/common/block5.hpp \
  /root/repo/src/npb/common/decomp.hpp /usr/include/c++/12/cassert \
  /usr/include/assert.h /usr/include/c++/12/stdexcept \
  /usr/include/c++/12/exception /usr/include/c++/12/bits/exception_ptr.h \

@@ -8,6 +8,9 @@ set(CMAKE_DEPENDS_LANGUAGES
 
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/campaign/campaign.cpp" "src/coupling/CMakeFiles/kcoup_coupling.dir/__/campaign/campaign.cpp.o" "gcc" "src/coupling/CMakeFiles/kcoup_coupling.dir/__/campaign/campaign.cpp.o.d"
+  "/root/repo/src/campaign/executor.cpp" "src/coupling/CMakeFiles/kcoup_coupling.dir/__/campaign/executor.cpp.o" "gcc" "src/coupling/CMakeFiles/kcoup_coupling.dir/__/campaign/executor.cpp.o.d"
+  "/root/repo/src/campaign/planner.cpp" "src/coupling/CMakeFiles/kcoup_coupling.dir/__/campaign/planner.cpp.o" "gcc" "src/coupling/CMakeFiles/kcoup_coupling.dir/__/campaign/planner.cpp.o.d"
   "/root/repo/src/coupling/analysis.cpp" "src/coupling/CMakeFiles/kcoup_coupling.dir/analysis.cpp.o" "gcc" "src/coupling/CMakeFiles/kcoup_coupling.dir/analysis.cpp.o.d"
   "/root/repo/src/coupling/database.cpp" "src/coupling/CMakeFiles/kcoup_coupling.dir/database.cpp.o" "gcc" "src/coupling/CMakeFiles/kcoup_coupling.dir/database.cpp.o.d"
   "/root/repo/src/coupling/measurement.cpp" "src/coupling/CMakeFiles/kcoup_coupling.dir/measurement.cpp.o" "gcc" "src/coupling/CMakeFiles/kcoup_coupling.dir/measurement.cpp.o.d"
@@ -21,6 +24,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
 set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/machine/CMakeFiles/kcoup_machine.dir/DependInfo.cmake"
   "/root/repo/build/src/simmpi/CMakeFiles/kcoup_simmpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/report/CMakeFiles/kcoup_report.dir/DependInfo.cmake"
   )
 
 # Fortran module output directory.

@@ -1,4 +1,10 @@
 file(REMOVE_RECURSE
+  "CMakeFiles/kcoup_coupling.dir/__/campaign/campaign.cpp.o"
+  "CMakeFiles/kcoup_coupling.dir/__/campaign/campaign.cpp.o.d"
+  "CMakeFiles/kcoup_coupling.dir/__/campaign/executor.cpp.o"
+  "CMakeFiles/kcoup_coupling.dir/__/campaign/executor.cpp.o.d"
+  "CMakeFiles/kcoup_coupling.dir/__/campaign/planner.cpp.o"
+  "CMakeFiles/kcoup_coupling.dir/__/campaign/planner.cpp.o.d"
   "CMakeFiles/kcoup_coupling.dir/analysis.cpp.o"
   "CMakeFiles/kcoup_coupling.dir/analysis.cpp.o.d"
   "CMakeFiles/kcoup_coupling.dir/database.cpp.o"

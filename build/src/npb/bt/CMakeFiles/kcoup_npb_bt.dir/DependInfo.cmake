@@ -20,6 +20,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/simmpi/CMakeFiles/kcoup_simmpi.dir/DependInfo.cmake"
   "/root/repo/build/src/coupling/CMakeFiles/kcoup_coupling.dir/DependInfo.cmake"
   "/root/repo/build/src/machine/CMakeFiles/kcoup_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/report/CMakeFiles/kcoup_report.dir/DependInfo.cmake"
   )
 
 # Fortran module output directory.

@@ -145,16 +145,9 @@ src/npb/lu/CMakeFiles/kcoup_npb_lu.dir/lu_timed.cpp.o: \
  /root/repo/src/coupling/analysis.hpp /usr/include/c++/12/span \
  /root/repo/src/coupling/measurement.hpp \
  /root/repo/src/coupling/kernel.hpp /usr/include/c++/12/utility \
- /usr/include/c++/12/bits/stl_relops.h /root/repo/src/simmpi/simmpi.hpp \
- /root/repo/src/trace/virtual_clock.hpp /usr/include/c++/12/cassert \
- /usr/include/assert.h /root/repo/src/machine/machine.hpp \
- /root/repo/src/machine/cache_model.hpp /usr/include/c++/12/list \
- /usr/include/c++/12/bits/stl_list.h \
- /usr/include/c++/12/bits/allocated_ptr.h \
- /usr/include/c++/12/bits/list.tcc /root/repo/src/machine/config.hpp \
- /root/repo/src/machine/work_profile.hpp /usr/include/c++/12/limits \
- /root/repo/src/npb/common/decomp.hpp /usr/include/c++/12/cmath \
- /usr/include/math.h /usr/include/x86_64-linux-gnu/bits/math-vector.h \
+ /usr/include/c++/12/bits/stl_relops.h /root/repo/src/trace/stats.hpp \
+ /usr/include/c++/12/cmath /usr/include/math.h \
+ /usr/include/x86_64-linux-gnu/bits/math-vector.h \
  /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
  /usr/include/x86_64-linux-gnu/bits/flt-eval-method.h \
  /usr/include/x86_64-linux-gnu/bits/fp-logb.h \
@@ -163,7 +156,8 @@ src/npb/lu/CMakeFiles/kcoup_npb_lu.dir/lu_timed.cpp.o: \
  /usr/include/x86_64-linux-gnu/bits/mathcalls.h \
  /usr/include/x86_64-linux-gnu/bits/mathcalls-narrow.h \
  /usr/include/x86_64-linux-gnu/bits/iscanonical.h \
- /usr/include/c++/12/bits/specfun.h /usr/include/c++/12/tr1/gamma.tcc \
+ /usr/include/c++/12/bits/specfun.h /usr/include/c++/12/limits \
+ /usr/include/c++/12/tr1/gamma.tcc \
  /usr/include/c++/12/tr1/special_function_util.h \
  /usr/include/c++/12/tr1/bessel_function.tcc \
  /usr/include/c++/12/tr1/beta_function.tcc \
@@ -174,7 +168,16 @@ src/npb/lu/CMakeFiles/kcoup_npb_lu.dir/lu_timed.cpp.o: \
  /usr/include/c++/12/tr1/modified_bessel_func.tcc \
  /usr/include/c++/12/tr1/poly_hermite.tcc \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
- /usr/include/c++/12/tr1/riemann_zeta.tcc /usr/include/c++/12/stdexcept \
+ /usr/include/c++/12/tr1/riemann_zeta.tcc \
+ /root/repo/src/simmpi/simmpi.hpp /root/repo/src/trace/virtual_clock.hpp \
+ /usr/include/c++/12/cassert /usr/include/assert.h \
+ /root/repo/src/machine/machine.hpp \
+ /root/repo/src/machine/cache_model.hpp /usr/include/c++/12/list \
+ /usr/include/c++/12/bits/stl_list.h \
+ /usr/include/c++/12/bits/allocated_ptr.h \
+ /usr/include/c++/12/bits/list.tcc /root/repo/src/machine/config.hpp \
+ /root/repo/src/machine/work_profile.hpp \
+ /root/repo/src/npb/common/decomp.hpp /usr/include/c++/12/stdexcept \
  /usr/include/c++/12/exception /usr/include/c++/12/bits/exception_ptr.h \
  /usr/include/c++/12/bits/cxxabi_init_exception.h \
  /usr/include/c++/12/bits/nested_exception.h \

@@ -143,11 +143,9 @@ src/npb/sp/CMakeFiles/kcoup_npb_sp.dir/sp_measured.cpp.o: \
  /root/repo/src/coupling/analysis.hpp /usr/include/c++/12/span \
  /root/repo/src/coupling/measurement.hpp \
  /root/repo/src/coupling/kernel.hpp /usr/include/c++/12/utility \
- /usr/include/c++/12/bits/stl_relops.h /root/repo/src/simmpi/simmpi.hpp \
- /root/repo/src/trace/virtual_clock.hpp /usr/include/c++/12/cassert \
- /usr/include/assert.h /root/repo/src/npb/sp/sp_app.hpp \
- /root/repo/src/npb/common/decomp.hpp /usr/include/c++/12/cmath \
- /usr/include/math.h /usr/include/x86_64-linux-gnu/bits/math-vector.h \
+ /usr/include/c++/12/bits/stl_relops.h /root/repo/src/trace/stats.hpp \
+ /usr/include/c++/12/cmath /usr/include/math.h \
+ /usr/include/x86_64-linux-gnu/bits/math-vector.h \
  /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
  /usr/include/x86_64-linux-gnu/bits/flt-eval-method.h \
  /usr/include/x86_64-linux-gnu/bits/fp-logb.h \
@@ -168,8 +166,12 @@ src/npb/sp/CMakeFiles/kcoup_npb_sp.dir/sp_measured.cpp.o: \
  /usr/include/c++/12/tr1/modified_bessel_func.tcc \
  /usr/include/c++/12/tr1/poly_hermite.tcc \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
- /usr/include/c++/12/tr1/riemann_zeta.tcc /usr/include/c++/12/stdexcept \
- /usr/include/c++/12/exception /usr/include/c++/12/bits/exception_ptr.h \
+ /usr/include/c++/12/tr1/riemann_zeta.tcc \
+ /root/repo/src/simmpi/simmpi.hpp /root/repo/src/trace/virtual_clock.hpp \
+ /usr/include/c++/12/cassert /usr/include/assert.h \
+ /root/repo/src/npb/sp/sp_app.hpp /root/repo/src/npb/common/decomp.hpp \
+ /usr/include/c++/12/stdexcept /usr/include/c++/12/exception \
+ /usr/include/c++/12/bits/exception_ptr.h \
  /usr/include/c++/12/bits/cxxabi_init_exception.h \
  /usr/include/c++/12/bits/nested_exception.h \
  /root/repo/src/npb/common/field.hpp /root/repo/src/npb/common/block5.hpp \

@@ -297,11 +297,9 @@ tests/CMakeFiles/test_bt_measured.dir/test_bt_measured.cpp.o: \
  /root/repo/src/coupling/parallel_measurement.hpp \
  /root/repo/src/coupling/study.hpp /root/repo/src/coupling/analysis.hpp \
  /usr/include/c++/12/span /root/repo/src/coupling/measurement.hpp \
- /root/repo/src/coupling/kernel.hpp /root/repo/src/simmpi/simmpi.hpp \
- /root/repo/src/trace/virtual_clock.hpp /root/repo/src/npb/bt/bt_app.hpp \
- /root/repo/src/npb/common/blocktri.hpp \
- /root/repo/src/npb/common/block5.hpp /usr/include/c++/12/cmath \
- /usr/include/math.h /usr/include/x86_64-linux-gnu/bits/math-vector.h \
+ /root/repo/src/coupling/kernel.hpp /root/repo/src/trace/stats.hpp \
+ /usr/include/c++/12/cmath /usr/include/math.h \
+ /usr/include/x86_64-linux-gnu/bits/math-vector.h \
  /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
  /usr/include/x86_64-linux-gnu/bits/flt-eval-method.h \
  /usr/include/x86_64-linux-gnu/bits/fp-logb.h \
@@ -322,6 +320,9 @@ tests/CMakeFiles/test_bt_measured.dir/test_bt_measured.cpp.o: \
  /usr/include/c++/12/tr1/poly_hermite.tcc \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
  /usr/include/c++/12/tr1/riemann_zeta.tcc \
+ /root/repo/src/simmpi/simmpi.hpp /root/repo/src/trace/virtual_clock.hpp \
+ /root/repo/src/npb/bt/bt_app.hpp /root/repo/src/npb/common/blocktri.hpp \
+ /root/repo/src/npb/common/block5.hpp \
  /root/repo/src/npb/common/decomp.hpp /root/repo/src/npb/common/field.hpp \
  /root/repo/src/npb/common/problem.hpp \
  /root/repo/src/npb/common/stencil.hpp \

@@ -317,4 +317,5 @@ tests/CMakeFiles/test_coupling.dir/test_coupling.cpp.o: \
  /usr/include/c++/12/tr1/riemann_zeta.tcc \
  /root/repo/src/coupling/analysis.hpp /usr/include/c++/12/span \
  /root/repo/src/coupling/measurement.hpp \
- /root/repo/src/coupling/kernel.hpp /root/repo/src/coupling/study.hpp
+ /root/repo/src/coupling/kernel.hpp /root/repo/src/trace/stats.hpp \
+ /root/repo/src/coupling/study.hpp

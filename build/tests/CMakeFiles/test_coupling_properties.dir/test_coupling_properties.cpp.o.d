@@ -325,8 +325,9 @@ tests/CMakeFiles/test_coupling_properties.dir/test_coupling_properties.cpp.o: \
  /usr/include/c++/12/pstl/glue_numeric_defs.h \
  /root/repo/src/coupling/analysis.hpp /usr/include/c++/12/span \
  /root/repo/src/coupling/measurement.hpp \
- /root/repo/src/coupling/kernel.hpp /root/repo/src/coupling/study.hpp \
- /root/repo/src/machine/config.hpp /root/repo/src/npb/bt/bt_model.hpp \
+ /root/repo/src/coupling/kernel.hpp /root/repo/src/trace/stats.hpp \
+ /root/repo/src/coupling/study.hpp /root/repo/src/machine/config.hpp \
+ /root/repo/src/npb/bt/bt_model.hpp \
  /root/repo/src/npb/common/modeled_app.hpp \
  /root/repo/src/coupling/modeled_app.hpp \
  /root/repo/src/coupling/modeled_kernel.hpp \

@@ -296,14 +296,9 @@ tests/CMakeFiles/test_parallel_sp_lu.dir/test_parallel_sp_lu.cpp.o: \
  /root/repo/src/coupling/parallel_measurement.hpp \
  /root/repo/src/coupling/study.hpp /root/repo/src/coupling/analysis.hpp \
  /usr/include/c++/12/span /root/repo/src/coupling/measurement.hpp \
- /root/repo/src/coupling/kernel.hpp /root/repo/src/simmpi/simmpi.hpp \
- /root/repo/src/trace/virtual_clock.hpp /root/repo/src/machine/config.hpp \
- /root/repo/src/npb/lu/lu_timed.hpp /root/repo/src/machine/machine.hpp \
- /root/repo/src/machine/cache_model.hpp /usr/include/c++/12/list \
- /usr/include/c++/12/bits/stl_list.h /usr/include/c++/12/bits/list.tcc \
- /root/repo/src/machine/work_profile.hpp \
- /root/repo/src/npb/common/decomp.hpp /usr/include/c++/12/cmath \
- /usr/include/math.h /usr/include/x86_64-linux-gnu/bits/math-vector.h \
+ /root/repo/src/coupling/kernel.hpp /root/repo/src/trace/stats.hpp \
+ /usr/include/c++/12/cmath /usr/include/math.h \
+ /usr/include/x86_64-linux-gnu/bits/math-vector.h \
  /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
  /usr/include/x86_64-linux-gnu/bits/flt-eval-method.h \
  /usr/include/x86_64-linux-gnu/bits/fp-logb.h \
@@ -324,7 +319,13 @@ tests/CMakeFiles/test_parallel_sp_lu.dir/test_parallel_sp_lu.cpp.o: \
  /usr/include/c++/12/tr1/poly_hermite.tcc \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
  /usr/include/c++/12/tr1/riemann_zeta.tcc \
- /root/repo/src/npb/lu/lu_model.hpp \
+ /root/repo/src/simmpi/simmpi.hpp /root/repo/src/trace/virtual_clock.hpp \
+ /root/repo/src/machine/config.hpp /root/repo/src/npb/lu/lu_timed.hpp \
+ /root/repo/src/machine/machine.hpp \
+ /root/repo/src/machine/cache_model.hpp /usr/include/c++/12/list \
+ /usr/include/c++/12/bits/stl_list.h /usr/include/c++/12/bits/list.tcc \
+ /root/repo/src/machine/work_profile.hpp \
+ /root/repo/src/npb/common/decomp.hpp /root/repo/src/npb/lu/lu_model.hpp \
  /root/repo/src/npb/common/modeled_app.hpp \
  /root/repo/src/coupling/modeled_app.hpp \
  /root/repo/src/coupling/modeled_kernel.hpp \

@@ -318,9 +318,10 @@ tests/CMakeFiles/test_parallel_study.dir/test_parallel_study.cpp.o: \
  /root/repo/src/coupling/parallel_measurement.hpp \
  /root/repo/src/coupling/study.hpp /root/repo/src/coupling/analysis.hpp \
  /usr/include/c++/12/span /root/repo/src/coupling/measurement.hpp \
- /root/repo/src/coupling/kernel.hpp /root/repo/src/simmpi/simmpi.hpp \
- /root/repo/src/trace/virtual_clock.hpp /root/repo/src/machine/config.hpp \
- /root/repo/src/npb/bt/bt_timed.hpp /root/repo/src/machine/machine.hpp \
+ /root/repo/src/coupling/kernel.hpp /root/repo/src/trace/stats.hpp \
+ /root/repo/src/simmpi/simmpi.hpp /root/repo/src/trace/virtual_clock.hpp \
+ /root/repo/src/machine/config.hpp /root/repo/src/npb/bt/bt_timed.hpp \
+ /root/repo/src/machine/machine.hpp \
  /root/repo/src/machine/cache_model.hpp /usr/include/c++/12/list \
  /usr/include/c++/12/bits/stl_list.h /usr/include/c++/12/bits/list.tcc \
  /root/repo/src/machine/work_profile.hpp \

@@ -27,3 +27,6 @@ include("/root/repo/build/tests/test_coupling_properties[1]_include.cmake")
 include("/root/repo/build/tests/test_synthetic[1]_include.cmake")
 include("/root/repo/build/tests/test_npb_class_s[1]_include.cmake")
 include("/root/repo/build/tests/test_bt_measured[1]_include.cmake")
+include("/root/repo/build/tests/test_thread_pool[1]_include.cmake")
+include("/root/repo/build/tests/test_campaign[1]_include.cmake")
+include("/root/repo/build/tests/test_database_fuzz[1]_include.cmake")

@@ -211,33 +211,19 @@ tools/CMakeFiles/kcoup.dir/kcoup_cli.cpp.o: \
  /usr/include/c++/12/bits/sstream.tcc /usr/include/c++/12/vector \
  /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
- /usr/include/c++/12/bits/vector.tcc /root/repo/src/coupling/database.hpp \
- /usr/include/c++/12/cstddef /root/repo/src/coupling/analysis.hpp \
- /usr/include/c++/12/span /usr/include/c++/12/array \
- /root/repo/src/coupling/measurement.hpp \
- /root/repo/src/coupling/kernel.hpp /usr/include/c++/12/functional \
- /usr/include/c++/12/bits/std_function.h \
+ /usr/include/c++/12/bits/vector.tcc /root/repo/src/campaign/executor.hpp \
+ /usr/include/c++/12/cstddef /root/repo/src/campaign/campaign.hpp \
+ /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
- /usr/include/c++/12/bits/unordered_map.h \
+ /usr/include/c++/12/bits/unordered_map.h /usr/include/c++/12/array \
  /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/uniform_int_dist.h /usr/include/c++/12/utility \
- /usr/include/c++/12/bits/stl_relops.h /root/repo/src/coupling/study.hpp \
- /root/repo/src/machine/config.hpp /root/repo/src/npb/bt/bt_model.hpp \
- /root/repo/src/npb/common/modeled_app.hpp \
- /root/repo/src/coupling/modeled_app.hpp \
- /root/repo/src/coupling/modeled_kernel.hpp \
- /root/repo/src/machine/machine.hpp \
- /root/repo/src/machine/cache_model.hpp /usr/include/c++/12/list \
- /usr/include/c++/12/bits/stl_list.h /usr/include/c++/12/bits/list.tcc \
- /root/repo/src/machine/work_profile.hpp /usr/include/c++/12/limits \
- /root/repo/src/npb/common/problem.hpp /root/repo/src/npb/bt/bt_timed.hpp \
- /root/repo/src/coupling/parallel_measurement.hpp \
- /root/repo/src/simmpi/simmpi.hpp /root/repo/src/trace/virtual_clock.hpp \
- /usr/include/c++/12/cassert /usr/include/assert.h \
- /root/repo/src/npb/common/decomp.hpp /usr/include/c++/12/cmath \
+ /usr/include/c++/12/bits/stl_relops.h /root/repo/src/coupling/kernel.hpp \
+ /usr/include/c++/12/span /root/repo/src/coupling/measurement.hpp \
+ /root/repo/src/trace/stats.hpp /usr/include/c++/12/cmath \
  /usr/include/math.h /usr/include/x86_64-linux-gnu/bits/math-vector.h \
  /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
  /usr/include/x86_64-linux-gnu/bits/flt-eval-method.h \
@@ -247,7 +233,8 @@ tools/CMakeFiles/kcoup.dir/kcoup_cli.cpp.o: \
  /usr/include/x86_64-linux-gnu/bits/mathcalls.h \
  /usr/include/x86_64-linux-gnu/bits/mathcalls-narrow.h \
  /usr/include/x86_64-linux-gnu/bits/iscanonical.h \
- /usr/include/c++/12/bits/specfun.h /usr/include/c++/12/tr1/gamma.tcc \
+ /usr/include/c++/12/bits/specfun.h /usr/include/c++/12/limits \
+ /usr/include/c++/12/tr1/gamma.tcc \
  /usr/include/c++/12/tr1/special_function_util.h \
  /usr/include/c++/12/tr1/bessel_function.tcc \
  /usr/include/c++/12/tr1/beta_function.tcc \
@@ -258,7 +245,21 @@ tools/CMakeFiles/kcoup.dir/kcoup_cli.cpp.o: \
  /usr/include/c++/12/tr1/modified_bessel_func.tcc \
  /usr/include/c++/12/tr1/poly_hermite.tcc \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
- /usr/include/c++/12/tr1/riemann_zeta.tcc \
- /root/repo/src/npb/lu/lu_model.hpp /root/repo/src/npb/lu/lu_timed.hpp \
- /root/repo/src/npb/sp/sp_model.hpp /root/repo/src/npb/sp/sp_timed.hpp \
- /root/repo/src/report/table.hpp /root/repo/src/trace/stats.hpp
+ /usr/include/c++/12/tr1/riemann_zeta.tcc /root/repo/src/report/table.hpp \
+ /root/repo/src/campaign/planner.hpp /root/repo/src/coupling/database.hpp \
+ /root/repo/src/coupling/analysis.hpp /root/repo/src/coupling/study.hpp \
+ /root/repo/src/machine/config.hpp /root/repo/src/npb/bt/bt_model.hpp \
+ /root/repo/src/npb/common/modeled_app.hpp \
+ /root/repo/src/coupling/modeled_app.hpp \
+ /root/repo/src/coupling/modeled_kernel.hpp \
+ /root/repo/src/machine/machine.hpp \
+ /root/repo/src/machine/cache_model.hpp /usr/include/c++/12/list \
+ /usr/include/c++/12/bits/stl_list.h /usr/include/c++/12/bits/list.tcc \
+ /root/repo/src/machine/work_profile.hpp \
+ /root/repo/src/npb/common/problem.hpp /root/repo/src/npb/bt/bt_timed.hpp \
+ /root/repo/src/coupling/parallel_measurement.hpp \
+ /root/repo/src/simmpi/simmpi.hpp /root/repo/src/trace/virtual_clock.hpp \
+ /usr/include/c++/12/cassert /usr/include/assert.h \
+ /root/repo/src/npb/common/decomp.hpp /root/repo/src/npb/lu/lu_model.hpp \
+ /root/repo/src/npb/lu/lu_timed.hpp /root/repo/src/npb/sp/sp_model.hpp \
+ /root/repo/src/npb/sp/sp_timed.hpp

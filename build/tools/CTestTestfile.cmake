@@ -16,7 +16,13 @@ add_test(cli_reuse "/root/repo/build/tools/kcoup" "reuse" "--app" "bt" "--class"
 set_tests_properties(cli_reuse PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;10;add_test;/root/repo/tools/CMakeLists.txt;0;")
 add_test(cli_parallel "/root/repo/build/tools/kcoup" "parallel" "--app" "bt" "--n" "12" "--procs" "4" "--chains" "2")
 set_tests_properties(cli_parallel PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;11;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_campaign "/root/repo/build/tools/kcoup" "campaign" "--apps" "bt,sp" "--classes" "S" "--procs" "4,9" "--chains" "2,3" "--workers" "4")
+set_tests_properties(cli_campaign PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;12;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_campaign_serial_quiet "/root/repo/build/tools/kcoup" "campaign" "--apps" "bt" "--classes" "S" "--procs" "4" "--serial" "--quiet")
+set_tests_properties(cli_campaign_serial_quiet PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;13;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_campaign_rejects_empty "/root/repo/build/tools/kcoup" "campaign" "--apps" "bt" "--classes" "S" "--procs" "5")
+set_tests_properties(cli_campaign_rejects_empty PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;14;add_test;/root/repo/tools/CMakeLists.txt;0;")
 add_test(cli_rejects_bad_flag "/root/repo/build/tools/kcoup" "study" "--app" "bt" "--class" "W" "--bogus" "1")
-set_tests_properties(cli_rejects_bad_flag PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;12;add_test;/root/repo/tools/CMakeLists.txt;0;")
+set_tests_properties(cli_rejects_bad_flag PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;16;add_test;/root/repo/tools/CMakeLists.txt;0;")
 add_test(cli_rejects_bad_app "/root/repo/build/tools/kcoup" "study" "--app" "xx" "--class" "W")
-set_tests_properties(cli_rejects_bad_app PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;14;add_test;/root/repo/tools/CMakeLists.txt;0;")
+set_tests_properties(cli_rejects_bad_app PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;18;add_test;/root/repo/tools/CMakeLists.txt;0;")

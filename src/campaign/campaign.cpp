@@ -1,0 +1,184 @@
+#include "campaign/campaign.hpp"
+
+#include <cstdio>
+#include <istream>
+#include <sstream>
+#include <stdexcept>
+
+namespace kcoup::campaign {
+
+namespace {
+
+std::string trim(const std::string& s) {
+  const std::size_t b = s.find_first_not_of(" \t\r");
+  if (b == std::string::npos) return "";
+  const std::size_t e = s.find_last_not_of(" \t\r");
+  return s.substr(b, e - b + 1);
+}
+
+std::vector<std::string> split_list(const std::string& s) {
+  std::vector<std::string> out;
+  std::istringstream ss(s);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    item = trim(item);
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+int parse_int(const std::string& key, const std::string& value) {
+  try {
+    std::size_t pos = 0;
+    const int v = std::stoi(value, &pos);
+    if (pos != value.size()) throw std::invalid_argument(value);
+    return v;
+  } catch (const std::exception&) {
+    throw std::runtime_error("campaign spec: bad integer for '" + key +
+                             "': '" + value + "'");
+  }
+}
+
+double parse_double(const std::string& key, const std::string& value) {
+  try {
+    std::size_t pos = 0;
+    const double v = std::stod(value, &pos);
+    if (pos != value.size()) throw std::invalid_argument(value);
+    return v;
+  } catch (const std::exception&) {
+    throw std::runtime_error("campaign spec: bad number for '" + key +
+                             "': '" + value + "'");
+  }
+}
+
+}  // namespace
+
+CampaignTextSpec parse_campaign_text(std::istream& in) {
+  CampaignTextSpec spec;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    line = trim(line);
+    if (line.empty()) continue;
+    const std::size_t eq = line.find('=');
+    if (eq == std::string::npos) {
+      throw std::runtime_error("campaign spec line " + std::to_string(line_no) +
+                               ": expected 'key = value'");
+    }
+    const std::string key = trim(line.substr(0, eq));
+    const std::string value = trim(line.substr(eq + 1));
+    if (key.empty() || value.empty()) {
+      throw std::runtime_error("campaign spec line " + std::to_string(line_no) +
+                               ": empty key or value");
+    }
+    if (key == "apps") {
+      spec.applications = split_list(value);
+    } else if (key == "classes" || key == "configs") {
+      spec.configs = split_list(value);
+    } else if (key == "procs" || key == "ranks") {
+      spec.ranks.clear();
+      for (const std::string& item : split_list(value)) {
+        spec.ranks.push_back(parse_int(key, item));
+      }
+    } else if (key == "chains") {
+      spec.chain_lengths.clear();
+      for (const std::string& item : split_list(value)) {
+        const int q = parse_int(key, item);
+        if (q < 1) {
+          throw std::runtime_error("campaign spec line " +
+                                   std::to_string(line_no) +
+                                   ": chain length must be >= 1");
+        }
+        spec.chain_lengths.push_back(static_cast<std::size_t>(q));
+      }
+    } else if (key == "repetitions") {
+      spec.measurement.repetitions = parse_int(key, value);
+    } else if (key == "warmup") {
+      spec.measurement.warmup = parse_int(key, value);
+    } else if (key == "workers") {
+      const int w = parse_int(key, value);
+      if (w < 0) {
+        throw std::runtime_error("campaign spec line " +
+                                 std::to_string(line_no) +
+                                 ": workers must be >= 0");
+      }
+      spec.workers = static_cast<std::size_t>(w);
+    } else if (key == "machine") {
+      spec.machine = value;
+    } else if (key == "retry_rsd") {
+      spec.retry.max_relative_stddev = parse_double(key, value);
+    } else if (key == "retry_max") {
+      spec.retry.max_attempts = parse_int(key, value);
+    } else {
+      throw std::runtime_error("campaign spec line " + std::to_string(line_no) +
+                               ": unknown key '" + key + "'");
+    }
+  }
+  if (spec.applications.empty()) {
+    throw std::runtime_error("campaign spec: missing 'apps'");
+  }
+  if (spec.configs.empty()) {
+    throw std::runtime_error("campaign spec: missing 'classes'");
+  }
+  if (spec.ranks.empty()) {
+    throw std::runtime_error("campaign spec: missing 'procs'");
+  }
+  return spec;
+}
+
+report::Table CampaignMetrics::to_table() const {
+  report::Table t("Campaign metrics");
+  t.set_header({"metric", "value"});
+  auto count = [&t](const char* name, std::size_t v) {
+    t.add_row({name, std::to_string(v)});
+  };
+  auto secs = [&t](const char* name, double v) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.6f s", v);
+    t.add_row({name, buf});
+  };
+  count("studies", studies);
+  count("workers", workers);
+  count("tasks requested", tasks_requested);
+  count("tasks planned", tasks_planned);
+  count("tasks deduplicated", tasks_deduplicated);
+  count("cache hits", cache_hits);
+  count("tasks executed", tasks_executed);
+  count("tasks retried", tasks_retried);
+  secs("plan time", plan_s);
+  secs("measure time", measure_s);
+  secs("assemble time", assemble_s);
+  secs("wall time", wall_s);
+  return t;
+}
+
+std::string CampaignMetrics::to_csv() const {
+  std::ostringstream out;
+  out << "studies,workers,tasks_requested,tasks_planned,tasks_deduplicated,"
+         "cache_hits,tasks_executed,tasks_retried,plan_s,measure_s,"
+         "assemble_s,wall_s\n"
+      << studies << ',' << workers << ',' << tasks_requested << ','
+      << tasks_planned << ',' << tasks_deduplicated << ',' << cache_hits << ','
+      << tasks_executed << ',' << tasks_retried << ',' << plan_s << ','
+      << measure_s << ',' << assemble_s << ',' << wall_s << '\n';
+  return out.str();
+}
+
+std::string CampaignMetrics::to_jsonl() const {
+  std::ostringstream out;
+  out << "{\"studies\":" << studies << ",\"workers\":" << workers
+      << ",\"tasks_requested\":" << tasks_requested
+      << ",\"tasks_planned\":" << tasks_planned
+      << ",\"tasks_deduplicated\":" << tasks_deduplicated
+      << ",\"cache_hits\":" << cache_hits
+      << ",\"tasks_executed\":" << tasks_executed
+      << ",\"tasks_retried\":" << tasks_retried << ",\"plan_s\":" << plan_s
+      << ",\"measure_s\":" << measure_s << ",\"assemble_s\":" << assemble_s
+      << ",\"wall_s\":" << wall_s << "}\n";
+  return out.str();
+}
+
+}  // namespace kcoup::campaign

@@ -1,0 +1,237 @@
+#include "campaign/executor.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <exception>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+
+#include "coupling/analysis.hpp"
+#include "support/thread_pool.hpp"
+#include "trace/stats.hpp"
+
+namespace kcoup::campaign {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+struct TaskOutcome {
+  double value = 0.0;
+  int attempts = 1;
+};
+
+/// Perform one atomic measurement on a fresh application instance, retrying
+/// when the repetition samples are too noisy.  With the default (infinite)
+/// threshold the first measurement is always kept, which is what makes the
+/// executor bit-identical to the serial path.
+TaskOutcome measure_task(const CampaignSpec& spec, const MeasurementTask& task) {
+  const AppHandle handle = spec.studies[task.study].factory();
+  const coupling::MeasurementHarness harness(&handle.app(), spec.measurement);
+
+  TaskOutcome out;
+  if (task.key.kind == TaskKind::kActual) {
+    out.value = harness.actual_total();  // one full run; nothing to retry
+    return out;
+  }
+
+  auto sample = [&]() -> trace::RunningStats {
+    switch (task.key.kind) {
+      case TaskKind::kChain:
+        return harness.chain_stats(task.key.index, task.key.length);
+      case TaskKind::kPrologue:
+        return harness.prologue_stats(task.key.index);
+      case TaskKind::kEpilogue:
+        return harness.epilogue_stats(task.key.index);
+      case TaskKind::kActual: break;
+    }
+    throw std::logic_error("measure_task: unreachable kind");
+  };
+
+  trace::RunningStats stats = sample();
+  const RetryPolicy& retry = spec.retry;
+  while (out.attempts < retry.max_attempts && stats.count() > 1 &&
+         stats.mean() > 0.0 &&
+         stats.stddev() / stats.mean() > retry.max_relative_stddev) {
+    stats = sample();
+    ++out.attempts;
+  }
+  out.value = stats.mean();
+  return out;
+}
+
+}  // namespace
+
+CampaignResult execute_plan(const CampaignSpec& spec, const CampaignPlan& plan,
+                            std::size_t workers) {
+  const Clock::time_point wall0 = Clock::now();
+  if (plan.shapes.size() != spec.studies.size()) {
+    throw std::invalid_argument("execute_plan: plan does not match spec");
+  }
+  if (workers == 0) {
+    workers = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  workers = std::min(workers, std::max<std::size_t>(1, plan.tasks.size()));
+
+  // Keyed result store.  All keys are inserted up front so concurrent
+  // workers only ever write distinct, pre-existing mapped values — the map's
+  // structure is never mutated while the pool runs.
+  std::map<TaskKey, TaskOutcome> outcomes;
+  for (const MeasurementTask& t : plan.tasks) outcomes[t.key];
+
+  const Clock::time_point measure0 = Clock::now();
+  if (workers <= 1) {
+    for (const MeasurementTask& t : plan.tasks) {
+      outcomes[t.key] = measure_task(spec, t);
+    }
+  } else {
+    std::mutex error_mutex;
+    std::exception_ptr first_error;
+    support::ThreadPool pool(workers);
+    for (const MeasurementTask& t : plan.tasks) {
+      TaskOutcome* slot = &outcomes.find(t.key)->second;
+      pool.submit([&spec, &t, slot, &error_mutex, &first_error] {
+        try {
+          *slot = measure_task(spec, t);
+        } catch (...) {
+          std::lock_guard<std::mutex> lock(error_mutex);
+          if (!first_error) first_error = std::current_exception();
+        }
+      });
+    }
+    pool.wait_idle();
+    if (first_error) std::rethrow_exception(first_error);
+  }
+  const double measure_s = seconds_since(measure0);
+
+  const Clock::time_point assemble0 = Clock::now();
+  auto value_of = [&](const TaskKey& key) -> double {
+    const auto it = outcomes.find(key);
+    if (it != outcomes.end()) return it->second.value;
+    const auto cached = plan.cached.find(key);
+    if (cached != plan.cached.end()) return cached->second;
+    throw std::logic_error("execute_plan: no result for " + to_string(key));
+  };
+
+  CampaignResult result;
+  result.studies.reserve(spec.studies.size());
+  for (std::size_t s = 0; s < spec.studies.size(); ++s) {
+    const CampaignStudy& cell = spec.studies[s];
+    const StudyShape& shape = plan.shapes[s];
+    auto key = [&](TaskKind kind, std::size_t index, std::size_t length) {
+      return TaskKey{cell.application, cell.config, cell.ranks, kind, index,
+                     length};
+    };
+
+    coupling::StudyResult r;
+    r.actual_s = value_of(key(TaskKind::kActual, 0, 0));
+    r.isolated_means.reserve(shape.loop_size);
+    for (std::size_t k = 0; k < shape.loop_size; ++k) {
+      r.isolated_means.push_back(value_of(key(TaskKind::kChain, k, 1)));
+    }
+    for (std::size_t i = 0; i < shape.prologue_size; ++i) {
+      r.prologue_s += value_of(key(TaskKind::kPrologue, i, 0));
+    }
+    for (std::size_t i = 0; i < shape.epilogue_size; ++i) {
+      r.epilogue_s += value_of(key(TaskKind::kEpilogue, i, 0));
+    }
+
+    coupling::PredictionInputs inputs;
+    inputs.isolated_means = r.isolated_means;
+    inputs.prologue_s = r.prologue_s;
+    inputs.epilogue_s = r.epilogue_s;
+    inputs.iterations = shape.iterations;
+
+    r.summation_s = coupling::summation_prediction(inputs);
+    r.summation_error = trace::relative_error(r.summation_s, r.actual_s);
+
+    for (std::size_t q : spec.chain_lengths) {
+      coupling::ChainLengthResult cl;
+      cl.length = q;
+      cl.chains.reserve(shape.loop_size);
+      // Same assembly as measure_chains(): members, label and isolated_sum
+      // accumulate in chain order, so the floating-point results agree
+      // exactly with the serial path.
+      for (std::size_t start = 0; start < shape.loop_size; ++start) {
+        coupling::ChainCoupling c;
+        c.start = start;
+        c.length = q;
+        for (std::size_t i = 0; i < q; ++i) {
+          const std::size_t k = (start + i) % shape.loop_size;
+          c.members.push_back(k);
+          c.isolated_sum += r.isolated_means[k];
+          if (!c.label.empty()) c.label += ", ";
+          c.label += shape.kernel_names[k];
+        }
+        c.chain_time = value_of(key(TaskKind::kChain, start, q));
+        cl.chains.push_back(std::move(c));
+      }
+      cl.coefficients = coupling::coupling_coefficients(shape.loop_size,
+                                                        cl.chains);
+      cl.prediction_s = coupling::coupling_prediction(inputs, cl.chains);
+      cl.relative_error = trace::relative_error(cl.prediction_s, r.actual_s);
+      r.by_length.push_back(std::move(cl));
+    }
+    result.studies.push_back(std::move(r));
+  }
+  const double assemble_s = seconds_since(assemble0);
+
+  CampaignMetrics& m = result.metrics;
+  m.studies = spec.studies.size();
+  m.workers = workers;
+  m.tasks_requested = plan.tasks_requested;
+  m.tasks_planned = plan.tasks.size();
+  m.tasks_deduplicated = plan.tasks_deduplicated;
+  m.cache_hits = plan.cache_hits;
+  m.tasks_executed = plan.tasks.size();
+  for (const auto& [k, o] : outcomes) {
+    m.tasks_retried += static_cast<std::size_t>(o.attempts - 1);
+  }
+  m.measure_s = measure_s;
+  m.assemble_s = assemble_s;
+  m.wall_s = seconds_since(wall0);
+  return result;
+}
+
+CampaignResult run_campaign(const CampaignSpec& spec, std::size_t workers,
+                            coupling::CouplingDatabase* db) {
+  const Clock::time_point wall0 = Clock::now();
+  const Clock::time_point plan0 = Clock::now();
+  const CampaignPlan plan = plan_campaign(spec, db);
+  const double plan_s = seconds_since(plan0);
+
+  CampaignResult result = execute_plan(spec, plan, workers);
+  result.metrics.plan_s = plan_s;
+  result.metrics.wall_s = seconds_since(wall0);
+
+  if (db != nullptr) {
+    for (std::size_t s = 0; s < spec.studies.size(); ++s) {
+      const CampaignStudy& cell = spec.studies[s];
+      for (const coupling::ChainLengthResult& cl : result.studies[s].by_length) {
+        for (const coupling::ChainCoupling& c : cl.chains) {
+          // record() rejects degenerate values; skip them rather than lose
+          // the rest of the campaign's measurements.
+          if (!(std::isfinite(c.chain_time) && c.chain_time > 0.0 &&
+                std::isfinite(c.isolated_sum) && c.isolated_sum > 0.0)) {
+            continue;
+          }
+          coupling::CouplingRecord rec;
+          rec.key = coupling::CouplingKey{cell.application, cell.config,
+                                          cell.ranks, c.length, c.start};
+          rec.chain_time = c.chain_time;
+          rec.isolated_sum = c.isolated_sum;
+          db->record(std::move(rec));
+        }
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace kcoup::campaign

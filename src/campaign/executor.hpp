@@ -1,0 +1,35 @@
+#pragma once
+
+#include <cstddef>
+
+#include "campaign/campaign.hpp"
+#include "campaign/planner.hpp"
+#include "coupling/database.hpp"
+#include "coupling/study.hpp"
+
+namespace kcoup::campaign {
+
+/// Everything a campaign produces: one StudyResult per spec study (same
+/// order) plus the planner/executor metrics.
+struct CampaignResult {
+  std::vector<coupling::StudyResult> studies;
+  CampaignMetrics metrics;
+};
+
+/// Execute a plan with `workers` threads (0 = hardware concurrency, 1 =
+/// fully serial, no pool).  Every task instantiates a fresh application via
+/// its study's factory, so tasks are independent; results land in a keyed
+/// store and assembly is deterministic — the same StudyResults regardless of
+/// worker count, and bit-identical to coupling::run_study() on each cell.
+[[nodiscard]] CampaignResult execute_plan(const CampaignSpec& spec,
+                                          const CampaignPlan& plan,
+                                          std::size_t workers = 0);
+
+/// Plan + execute.  When `db` is given, chains it already holds are served
+/// from it (cache hits) and every chain measured or assembled by the
+/// campaign is recorded back, so later campaigns keep shrinking.
+[[nodiscard]] CampaignResult run_campaign(
+    const CampaignSpec& spec, std::size_t workers = 0,
+    coupling::CouplingDatabase* db = nullptr);
+
+}  // namespace kcoup::campaign

@@ -1,0 +1,84 @@
+#pragma once
+
+#include <compare>
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "campaign/campaign.hpp"
+#include "coupling/database.hpp"
+
+namespace kcoup::campaign {
+
+/// The four atomic measurement kinds a study decomposes into.  An isolated
+/// kernel measurement is a chain of length 1 (exactly how the serial
+/// MeasurementHarness computes it), so it deduplicates naturally against
+/// length-1 chain requests.
+enum class TaskKind { kChain, kActual, kPrologue, kEpilogue };
+
+/// Identity of one atomic measurement, shared across every study that needs
+/// it — the campaign-wide analogue of coupling::CouplingKey.  Tasks are
+/// keyed by the (application, config, ranks) label triple, not by study
+/// index, so duplicate cells in a spec collapse to one measurement.
+struct TaskKey {
+  std::string application;
+  std::string config;
+  int ranks = 1;
+  TaskKind kind = TaskKind::kChain;
+  std::size_t index = 0;   ///< chain start / prologue / epilogue position
+  std::size_t length = 0;  ///< chain length; 1 == isolated kernel
+
+  [[nodiscard]] auto operator<=>(const TaskKey&) const = default;
+};
+
+/// Human-readable "chain(BT,W,P=4,start=2,len=3)" form for logs and errors.
+[[nodiscard]] std::string to_string(const TaskKey& key);
+
+/// Structure of one study's application, captured once at planning time by
+/// instantiating its factory: everything assembly needs without touching
+/// the application again.
+struct StudyShape {
+  std::size_t loop_size = 0;
+  std::size_t prologue_size = 0;
+  std::size_t epilogue_size = 0;
+  int iterations = 1;
+  std::vector<std::string> kernel_names;  ///< main-loop kernels, loop order
+};
+
+/// One task to execute: its identity plus a study whose factory can build
+/// the application that performs it.
+struct MeasurementTask {
+  TaskKey key;
+  std::size_t study = 0;
+};
+
+/// The deduplicated execution plan for a campaign.  All tasks are mutually
+/// independent (every measurement starts from a reset application), so the
+/// executor may run them in any order or concurrently; assembly joins them
+/// back into per-study results through the key space.
+struct CampaignPlan {
+  std::vector<MeasurementTask> tasks;
+  std::map<TaskKey, double> cached;  ///< chain_time served by the database
+  std::vector<StudyShape> shapes;    ///< parallel to spec.studies
+  std::size_t tasks_requested = 0;
+  std::size_t tasks_deduplicated = 0;
+  std::size_t cache_hits = 0;
+};
+
+/// Expand a spec into the minimal set of atomic measurements:
+///
+///  * per cell, the N isolated measurements, the actual run and the
+///    prologue/epilogue measurements are planned once, not once per chain
+///    length;
+///  * duplicate cells (same application/config/ranks triple) share all
+///    tasks;
+///  * chain tasks already present in `db` (exact CouplingKey hit) become
+///    cache entries instead of tasks.
+///
+/// Throws std::invalid_argument for chain lengths outside [1, loop size]
+/// (mirroring measure_chains) or an empty loop.
+[[nodiscard]] CampaignPlan plan_campaign(
+    const CampaignSpec& spec, const coupling::CouplingDatabase* db = nullptr);
+
+}  // namespace kcoup::campaign

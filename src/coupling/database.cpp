@@ -22,6 +22,12 @@ void CouplingDatabase::record(const std::string& application,
 }
 
 void CouplingDatabase::record(CouplingRecord rec) {
+  if (!std::isfinite(rec.chain_time) || rec.chain_time <= 0.0 ||
+      !std::isfinite(rec.isolated_sum) || rec.isolated_sum <= 0.0) {
+    throw std::invalid_argument(
+        "CouplingDatabase::record: chain_time and isolated_sum must be "
+        "finite and positive");
+  }
   // Replace an existing record for the same key.
   for (CouplingRecord& r : records_) {
     if (r.key == rec.key) {
@@ -110,6 +116,33 @@ void CouplingDatabase::save_csv(std::ostream& out) const {
   }
 }
 
+namespace {
+
+// Strict field parsers: the whole field must be consumed, so trailing
+// garbage ("4x", "1.0extra") is rejected instead of silently truncated.
+int parse_int_field(const std::string& s) {
+  std::size_t pos = 0;
+  const int v = std::stoi(s, &pos);
+  if (pos != s.size()) throw std::invalid_argument(s);
+  return v;
+}
+
+std::size_t parse_size_field(const std::string& s) {
+  std::size_t pos = 0;
+  const unsigned long v = std::stoul(s, &pos);
+  if (pos != s.size()) throw std::invalid_argument(s);
+  return static_cast<std::size_t>(v);
+}
+
+double parse_double_field(const std::string& s) {
+  std::size_t pos = 0;
+  const double v = std::stod(s, &pos);
+  if (pos != s.size()) throw std::invalid_argument(s);
+  return v;
+}
+
+}  // namespace
+
 void CouplingDatabase::load_csv(std::istream& in) {
   std::string line;
   if (!std::getline(in, line)) {
@@ -118,30 +151,37 @@ void CouplingDatabase::load_csv(std::istream& in) {
   std::size_t line_no = 1;
   while (std::getline(in, line)) {
     ++line_no;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
     if (line.empty()) continue;
+    std::vector<std::string> fields;
+    std::string field;
     std::istringstream ls(line);
-    CouplingRecord r;
-    std::string ranks, length, start, chain_time, isolated;
-    if (!std::getline(ls, r.key.application, ',') ||
-        !std::getline(ls, r.key.config, ',') || !std::getline(ls, ranks, ',') ||
-        !std::getline(ls, length, ',') || !std::getline(ls, start, ',') ||
-        !std::getline(ls, chain_time, ',') || !std::getline(ls, isolated)) {
-      throw std::runtime_error(
-          "CouplingDatabase::load_csv: malformed line " +
-          std::to_string(line_no));
+    while (std::getline(ls, field, ',')) fields.push_back(field);
+    if (fields.size() != 7) {
+      throw std::runtime_error("CouplingDatabase::load_csv: malformed line " +
+                               std::to_string(line_no) + " (expected 7 fields, got " +
+                               std::to_string(fields.size()) + ")");
     }
+    CouplingRecord r;
+    r.key.application = fields[0];
+    r.key.config = fields[1];
     try {
-      r.key.ranks = std::stoi(ranks);
-      r.key.chain_length = static_cast<std::size_t>(std::stoul(length));
-      r.key.chain_start = static_cast<std::size_t>(std::stoul(start));
-      r.chain_time = std::stod(chain_time);
-      r.isolated_sum = std::stod(isolated);
+      r.key.ranks = parse_int_field(fields[2]);
+      r.key.chain_length = parse_size_field(fields[3]);
+      r.key.chain_start = parse_size_field(fields[4]);
+      r.chain_time = parse_double_field(fields[5]);
+      r.isolated_sum = parse_double_field(fields[6]);
     } catch (const std::exception&) {
       throw std::runtime_error(
           "CouplingDatabase::load_csv: bad number on line " +
           std::to_string(line_no));
     }
-    record(std::move(r));
+    try {
+      record(std::move(r));
+    } catch (const std::invalid_argument& e) {
+      throw std::runtime_error("CouplingDatabase::load_csv: line " +
+                               std::to_string(line_no) + ": " + e.what());
+    }
   }
 }
 

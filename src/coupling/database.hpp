@@ -2,6 +2,7 @@
 
 #include <cstddef>
 #include <iosfwd>
+#include <limits>
 #include <optional>
 #include <string>
 #include <vector>
@@ -28,7 +29,13 @@ struct CouplingRecord {
   CouplingKey key;
   double chain_time = 0.0;    ///< P_S on the donor configuration
   double isolated_sum = 0.0;  ///< sum of P_k on the donor configuration
-  [[nodiscard]] double coupling() const { return chain_time / isolated_sum; }
+
+  /// C_S = P_S / sum P_k.  A record with no isolated time has no defined
+  /// coupling; report NaN instead of dividing by zero.
+  [[nodiscard]] double coupling() const {
+    if (isolated_sum == 0.0) return std::numeric_limits<double>::quiet_NaN();
+    return chain_time / isolated_sum;
+  }
 };
 
 /// A persistent store of measured coupling values — the paper's stated
@@ -48,7 +55,10 @@ class CouplingDatabase {
   void record(const std::string& application, const std::string& config,
               int ranks, std::span<const ChainCoupling> chains);
 
-  /// Record a single measurement.
+  /// Record a single measurement.  Throws std::invalid_argument for
+  /// non-finite or non-positive chain/isolated times: such a record can
+  /// never yield a meaningful coupling value, and persisting it would
+  /// corrupt every campaign that reuses the store.
   void record(CouplingRecord record);
 
   [[nodiscard]] std::size_t size() const { return records_.size(); }

@@ -13,6 +13,11 @@ double MeasurementHarness::isolated_mean(std::size_t index) const {
 
 double MeasurementHarness::chain_mean(std::size_t start,
                                       std::size_t length) const {
+  return chain_stats(start, length).mean();
+}
+
+trace::RunningStats MeasurementHarness::chain_stats(std::size_t start,
+                                                    std::size_t length) const {
   const std::size_t n = app_->loop_size();
   if (n == 0) throw std::invalid_argument("chain_mean: empty loop");
   if (length == 0 || length > n) {
@@ -31,7 +36,7 @@ double MeasurementHarness::chain_mean(std::size_t start,
   for (int w = 0; w < options_.warmup; ++w) traverse_once();
   trace::RunningStats stats;
   for (int r = 0; r < options_.repetitions; ++r) stats.add(traverse_once());
-  return stats.mean();
+  return stats;
 }
 
 std::vector<double> MeasurementHarness::all_isolated_means() const {
@@ -44,6 +49,11 @@ std::vector<double> MeasurementHarness::all_isolated_means() const {
 }
 
 double MeasurementHarness::prologue_mean(std::size_t index) const {
+  return prologue_stats(index).mean();
+}
+
+trace::RunningStats MeasurementHarness::prologue_stats(
+    std::size_t index) const {
   assert(index < app_->prologue.size());
   // Prologue kernels run once per application start; measure them in that
   // position (after reset) and average over repeated application starts.
@@ -57,10 +67,15 @@ double MeasurementHarness::prologue_mean(std::size_t index) const {
     }
     stats.add(t);
   }
-  return stats.mean();
+  return stats;
 }
 
 double MeasurementHarness::epilogue_mean(std::size_t index) const {
+  return epilogue_stats(index).mean();
+}
+
+trace::RunningStats MeasurementHarness::epilogue_stats(
+    std::size_t index) const {
   assert(index < app_->epilogue.size());
   // Epilogue kernels see end-of-run state; one application run per sample is
   // expensive, so sample fewer times (they contribute a single invocation).
@@ -79,7 +94,7 @@ double MeasurementHarness::epilogue_mean(std::size_t index) const {
     }
     stats.add(t);
   }
-  return stats.mean();
+  return stats;
 }
 
 double MeasurementHarness::actual_total() const {

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "coupling/kernel.hpp"
+#include "trace/stats.hpp"
 
 namespace kcoup::coupling {
 
@@ -41,6 +42,14 @@ class MeasurementHarness {
   /// Steady-state mean seconds of one traversal of the cyclic chain of
   /// `length` kernels starting at loop position `start` (wraps around).
   [[nodiscard]] double chain_mean(std::size_t start, std::size_t length) const;
+
+  /// Full sample statistics behind chain_mean()/prologue_mean()/
+  /// epilogue_mean().  The campaign executor uses the spread to decide
+  /// whether a measurement needs to be retried.
+  [[nodiscard]] trace::RunningStats chain_stats(std::size_t start,
+                                                std::size_t length) const;
+  [[nodiscard]] trace::RunningStats prologue_stats(std::size_t index) const;
+  [[nodiscard]] trace::RunningStats epilogue_stats(std::size_t index) const;
 
   /// Isolated means for every loop kernel, in loop order.
   [[nodiscard]] std::vector<double> all_isolated_means() const;

@@ -1,6 +1,8 @@
 #include "coupling/study.hpp"
 
-#include "trace/stats.hpp"
+#include <utility>
+
+#include "campaign/executor.hpp"
 
 namespace kcoup::coupling {
 
@@ -13,38 +15,20 @@ const ChainLengthResult* StudyResult::best() const {
 }
 
 StudyResult run_study(const LoopApplication& app, const StudyOptions& options) {
-  MeasurementHarness harness(&app, options.measurement);
+  // A study is a single-cell campaign executed serially: the same planner
+  // and assembly as `kcoup campaign`, with a borrowed (non-owning)
+  // application since one worker never runs two measurements at once.
+  campaign::CampaignSpec spec;
+  spec.chain_lengths = options.chain_lengths;
+  spec.measurement = options.measurement;
+  campaign::CampaignStudy cell;
+  cell.application = app.name;
+  cell.ranks = 1;
+  cell.factory = [&app] { return campaign::borrow_app(&app); };
+  spec.studies.push_back(std::move(cell));
 
-  StudyResult result;
-  result.actual_s = harness.actual_total();
-  result.isolated_means = harness.all_isolated_means();
-  for (std::size_t i = 0; i < app.prologue.size(); ++i) {
-    result.prologue_s += harness.prologue_mean(i);
-  }
-  for (std::size_t i = 0; i < app.epilogue.size(); ++i) {
-    result.epilogue_s += harness.epilogue_mean(i);
-  }
-
-  PredictionInputs inputs;
-  inputs.isolated_means = result.isolated_means;
-  inputs.prologue_s = result.prologue_s;
-  inputs.epilogue_s = result.epilogue_s;
-  inputs.iterations = app.iterations;
-
-  result.summation_s = summation_prediction(inputs);
-  result.summation_error =
-      trace::relative_error(result.summation_s, result.actual_s);
-
-  for (std::size_t q : options.chain_lengths) {
-    ChainLengthResult r;
-    r.length = q;
-    r.chains = measure_chains(harness, q, result.isolated_means);
-    r.coefficients = coupling_coefficients(app.loop_size(), r.chains);
-    r.prediction_s = coupling_prediction(inputs, r.chains);
-    r.relative_error = trace::relative_error(r.prediction_s, result.actual_s);
-    result.by_length.push_back(std::move(r));
-  }
-  return result;
+  campaign::CampaignResult result = campaign::run_campaign(spec, /*workers=*/1);
+  return std::move(result.studies.front());
 }
 
 }  // namespace kcoup::coupling

@@ -1,0 +1,86 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace kcoup::support {
+
+/// Fixed-size worker pool draining a FIFO job queue.
+///
+/// Used by the campaign executor to run independent measurement tasks
+/// concurrently.  Jobs must not throw — callers that can fail capture their
+/// own errors (the executor stores the first std::exception_ptr and rethrows
+/// after the pool drains).
+class ThreadPool {
+ public:
+  explicit ThreadPool(std::size_t workers) {
+    if (workers == 0) workers = 1;
+    workers_.reserve(workers);
+    for (std::size_t i = 0; i < workers; ++i) {
+      workers_.emplace_back([this] { run(); });
+    }
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  ~ThreadPool() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      stop_ = true;
+    }
+    wake_.notify_all();
+    for (std::thread& t : workers_) t.join();
+  }
+
+  void submit(std::function<void()> job) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      queue_.push_back(std::move(job));
+    }
+    wake_.notify_one();
+  }
+
+  /// Blocks until the queue is empty and every worker is between jobs.
+  void wait_idle() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    idle_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+  }
+
+  [[nodiscard]] std::size_t worker_count() const { return workers_.size(); }
+
+ private:
+  void run() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    for (;;) {
+      wake_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (stop_) return;
+        continue;
+      }
+      std::function<void()> job = std::move(queue_.front());
+      queue_.pop_front();
+      ++active_;
+      lock.unlock();
+      job();
+      lock.lock();
+      --active_;
+      if (queue_.empty() && active_ == 0) idle_.notify_all();
+    }
+  }
+
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  std::condition_variable idle_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  std::size_t active_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace kcoup::support

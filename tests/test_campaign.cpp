@@ -1,0 +1,412 @@
+// Tests for the campaign subsystem: the deduplicating planner, the
+// concurrent executor's determinism against the serial path, retry and
+// cache-hit behaviour, and the text spec parser.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <sstream>
+#include <vector>
+
+#include "campaign/campaign.hpp"
+#include "campaign/executor.hpp"
+#include "campaign/planner.hpp"
+#include "coupling/database.hpp"
+#include "coupling/study.hpp"
+#include "machine/config.hpp"
+#include "npb/bt/bt_model.hpp"
+#include "npb/sp/sp_model.hpp"
+
+namespace kcoup::campaign {
+namespace {
+
+// --- Synthetic applications --------------------------------------------------
+
+/// A self-contained loop application over deterministic callable kernels.
+/// Kernel k costs (k+1) * scale seconds per invocation.
+struct SyntheticApp {
+  std::vector<std::unique_ptr<coupling::CallableKernel>> kernels;
+  coupling::LoopApplication app;
+
+  explicit SyntheticApp(std::size_t loop_size, double scale) {
+    app.name = "synthetic";
+    app.iterations = 3;
+    for (std::size_t k = 0; k < loop_size; ++k) {
+      kernels.push_back(std::make_unique<coupling::CallableKernel>(
+          "k" + std::to_string(k),
+          [k, scale] { return static_cast<double>(k + 1) * scale; }));
+      app.loop.push_back(kernels.back().get());
+    }
+  }
+};
+
+/// Adapter so own_app() finds an `app()` accessor.
+struct SyntheticOwner {
+  SyntheticApp inner;
+  SyntheticOwner(std::size_t loop_size, double scale)
+      : inner(loop_size, scale) {}
+  [[nodiscard]] const coupling::LoopApplication& app() const {
+    return inner.app;
+  }
+};
+
+AppFactory synthetic_factory(std::size_t loop_size, double scale) {
+  return [loop_size, scale] {
+    return own_app(std::make_unique<SyntheticOwner>(loop_size, scale));
+  };
+}
+
+CampaignStudy synthetic_cell(const std::string& name, int ranks,
+                             std::size_t loop_size, double scale) {
+  CampaignStudy cell;
+  cell.application = name;
+  cell.config = "C";
+  cell.ranks = ranks;
+  cell.factory = synthetic_factory(loop_size, scale);
+  return cell;
+}
+
+// --- Planner -----------------------------------------------------------------
+
+TEST(PlannerTest, DeduplicatesSharedTasksAcrossChainLengths) {
+  CampaignSpec spec;
+  spec.studies.push_back(synthetic_cell("A", 1, 3, 1.0));
+  spec.studies.push_back(synthetic_cell("B", 1, 3, 2.0));
+  spec.chain_lengths = {2, 3};
+
+  const CampaignPlan plan = plan_campaign(spec);
+  // Naive: per cell and per chain length, 3 isolated + 3 chains + 1 actual.
+  EXPECT_EQ(plan.tasks_requested, 2u * 2u * (3u + 3u + 1u));
+  // Planned: per cell, 3 isolated + 1 actual once, plus 3 chains per length.
+  EXPECT_EQ(plan.tasks.size(), 2u * (3u + 1u + 2u * 3u));
+  EXPECT_EQ(plan.tasks_deduplicated,
+            plan.tasks_requested - plan.tasks.size());
+  EXPECT_EQ(plan.cache_hits, 0u);
+}
+
+TEST(PlannerTest, ChainLengthOneSharesIsolatedMeasurements) {
+  CampaignSpec spec;
+  spec.studies.push_back(synthetic_cell("A", 1, 4, 1.0));
+  spec.chain_lengths = {1, 2};
+
+  const CampaignPlan plan = plan_campaign(spec);
+  // q=1 chains ARE the isolated measurements: 4 isolated + 1 actual + 4
+  // q=2 chains.
+  EXPECT_EQ(plan.tasks.size(), 4u + 1u + 4u);
+  EXPECT_EQ(plan.tasks_requested, 2u * (4u + 4u + 1u));
+}
+
+TEST(PlannerTest, DuplicateCellsCollapseToOneMeasurementSet) {
+  CampaignSpec spec;
+  spec.studies.push_back(synthetic_cell("A", 1, 3, 1.0));
+  spec.studies.push_back(synthetic_cell("A", 1, 3, 1.0));  // same triple
+  spec.chain_lengths = {2};
+
+  const CampaignPlan plan = plan_campaign(spec);
+  EXPECT_EQ(plan.tasks.size(), 3u + 1u + 3u);
+  EXPECT_EQ(plan.shapes.size(), 2u);
+}
+
+TEST(PlannerTest, DatabaseHitsBecomeCacheEntries) {
+  CampaignSpec spec;
+  spec.studies.push_back(synthetic_cell("A", 1, 3, 1.0));
+  spec.chain_lengths = {2};
+
+  coupling::CouplingDatabase db;
+  db.record(coupling::CouplingRecord{coupling::CouplingKey{"A", "C", 1, 2, 1},
+                                     4.25, 5.0});
+
+  const CampaignPlan plan = plan_campaign(spec, &db);
+  EXPECT_EQ(plan.cache_hits, 1u);
+  EXPECT_EQ(plan.tasks.size(), 3u + 1u + 3u - 1u);
+  const TaskKey key{"A", "C", 1, TaskKind::kChain, 1, 2};
+  ASSERT_TRUE(plan.cached.count(key));
+  EXPECT_DOUBLE_EQ(plan.cached.at(key), 4.25);
+
+  // The cached chain time flows into the assembled result.
+  const CampaignResult result = execute_plan(spec, plan, 1);
+  EXPECT_DOUBLE_EQ(result.studies[0].by_length[0].chains[1].chain_time, 4.25);
+  EXPECT_EQ(result.metrics.cache_hits, 1u);
+}
+
+TEST(PlannerTest, RejectsInvalidChainLengths) {
+  CampaignSpec spec;
+  spec.studies.push_back(synthetic_cell("A", 1, 3, 1.0));
+  spec.chain_lengths = {4};
+  EXPECT_THROW(plan_campaign(spec), std::invalid_argument);
+  spec.chain_lengths = {0};
+  EXPECT_THROW(plan_campaign(spec), std::invalid_argument);
+}
+
+TEST(PlannerTest, RejectsMissingFactory) {
+  CampaignSpec spec;
+  CampaignStudy cell;
+  cell.application = "A";
+  spec.studies.push_back(std::move(cell));
+  EXPECT_THROW(plan_campaign(spec), std::invalid_argument);
+}
+
+// --- Executor determinism ----------------------------------------------------
+
+void expect_identical(const coupling::StudyResult& a,
+                      const coupling::StudyResult& b) {
+  EXPECT_EQ(a.actual_s, b.actual_s);
+  EXPECT_EQ(a.isolated_means, b.isolated_means);
+  EXPECT_EQ(a.prologue_s, b.prologue_s);
+  EXPECT_EQ(a.epilogue_s, b.epilogue_s);
+  EXPECT_EQ(a.summation_s, b.summation_s);
+  EXPECT_EQ(a.summation_error, b.summation_error);
+  ASSERT_EQ(a.by_length.size(), b.by_length.size());
+  for (std::size_t i = 0; i < a.by_length.size(); ++i) {
+    const coupling::ChainLengthResult& x = a.by_length[i];
+    const coupling::ChainLengthResult& y = b.by_length[i];
+    EXPECT_EQ(x.length, y.length);
+    EXPECT_EQ(x.coefficients, y.coefficients);
+    EXPECT_EQ(x.prediction_s, y.prediction_s);
+    EXPECT_EQ(x.relative_error, y.relative_error);
+    ASSERT_EQ(x.chains.size(), y.chains.size());
+    for (std::size_t c = 0; c < x.chains.size(); ++c) {
+      EXPECT_EQ(x.chains[c].start, y.chains[c].start);
+      EXPECT_EQ(x.chains[c].length, y.chains[c].length);
+      EXPECT_EQ(x.chains[c].members, y.chains[c].members);
+      EXPECT_EQ(x.chains[c].label, y.chains[c].label);
+      EXPECT_EQ(x.chains[c].chain_time, y.chains[c].chain_time);
+      EXPECT_EQ(x.chains[c].isolated_sum, y.chains[c].isolated_sum);
+    }
+  }
+}
+
+/// {BT, SP} x {1, 4} ranks x chain lengths {2, 3} on modeled class-S apps.
+CampaignSpec npb_campaign_spec() {
+  const machine::MachineConfig cfg = machine::ibm_sp_p2sc();
+  CampaignSpec spec;
+  spec.chain_lengths = {2, 3};
+  for (int ranks : {1, 4}) {
+    CampaignStudy bt;
+    bt.application = "BT";
+    bt.config = "S";
+    bt.ranks = ranks;
+    bt.factory = [ranks, cfg] {
+      return own_app(
+          npb::bt::make_modeled_bt(npb::ProblemClass::kS, ranks, cfg));
+    };
+    spec.studies.push_back(std::move(bt));
+
+    CampaignStudy sp;
+    sp.application = "SP";
+    sp.config = "S";
+    sp.ranks = ranks;
+    sp.factory = [ranks, cfg] {
+      return own_app(
+          npb::sp::make_modeled_sp(npb::ProblemClass::kS, ranks, cfg));
+    };
+    spec.studies.push_back(std::move(sp));
+  }
+  return spec;
+}
+
+/// Serial reference: one run_study() per cell, exactly the pre-campaign
+/// workflow.
+std::vector<coupling::StudyResult> serial_reference(const CampaignSpec& spec) {
+  std::vector<coupling::StudyResult> out;
+  coupling::StudyOptions options;
+  options.chain_lengths = spec.chain_lengths;
+  options.measurement = spec.measurement;
+  for (const CampaignStudy& cell : spec.studies) {
+    const AppHandle handle = cell.factory();
+    out.push_back(coupling::run_study(handle.app(), options));
+  }
+  return out;
+}
+
+TEST(CampaignMultiWorkerTest, ResultsBitIdenticalToSerialLoop) {
+  const CampaignSpec spec = npb_campaign_spec();
+  const std::vector<coupling::StudyResult> expected = serial_reference(spec);
+
+  for (std::size_t workers : {1u, 2u, 8u}) {
+    const CampaignResult result = run_campaign(spec, workers);
+    ASSERT_EQ(result.studies.size(), expected.size()) << workers << " workers";
+    for (std::size_t s = 0; s < expected.size(); ++s) {
+      SCOPED_TRACE("workers=" + std::to_string(workers) +
+                   " study=" + std::to_string(s));
+      expect_identical(result.studies[s], expected[s]);
+    }
+    EXPECT_GT(result.metrics.tasks_deduplicated, 0u);
+    EXPECT_EQ(result.metrics.cache_hits, 0u);
+  }
+}
+
+TEST(CampaignMultiWorkerTest, DatabaseRoundTripKeepsResultsIdentical) {
+  const CampaignSpec spec = npb_campaign_spec();
+  coupling::CouplingDatabase db;
+
+  const CampaignResult first = run_campaign(spec, 4, &db);
+  EXPECT_GT(db.size(), 0u);
+
+  // Second run serves every chain from the database and still assembles the
+  // exact same results (the measurements are deterministic).
+  const CampaignResult second = run_campaign(spec, 4, &db);
+  EXPECT_GT(second.metrics.cache_hits, 0u);
+  EXPECT_LT(second.metrics.tasks_executed, first.metrics.tasks_executed);
+  ASSERT_EQ(first.studies.size(), second.studies.size());
+  for (std::size_t s = 0; s < first.studies.size(); ++s) {
+    SCOPED_TRACE("study=" + std::to_string(s));
+    expect_identical(first.studies[s], second.studies[s]);
+  }
+}
+
+TEST(CampaignMultiWorkerTest, SyntheticManyCellsStress) {
+  CampaignSpec spec;
+  spec.chain_lengths = {2, 3};
+  for (int cell = 0; cell < 12; ++cell) {
+    spec.studies.push_back(synthetic_cell("S" + std::to_string(cell % 5), 1, 4,
+                                          1.0 + 0.25 * (cell % 5)));
+  }
+  const CampaignResult serial = run_campaign(spec, 1);
+  const CampaignResult parallel = run_campaign(spec, 8);
+  ASSERT_EQ(serial.studies.size(), parallel.studies.size());
+  for (std::size_t s = 0; s < serial.studies.size(); ++s) {
+    SCOPED_TRACE("study=" + std::to_string(s));
+    expect_identical(serial.studies[s], parallel.studies[s]);
+  }
+}
+
+// --- Retry -------------------------------------------------------------------
+
+/// Kernels with an artificial noise schedule: every sample alternates
+/// between 1 and 3 seconds, so the relative stddev is large until the
+/// attempt budget runs out.
+struct NoisyOwner {
+  std::vector<std::unique_ptr<coupling::CallableKernel>> kernels;
+  coupling::LoopApplication app;
+  std::shared_ptr<int> tick = std::make_shared<int>(0);
+
+  NoisyOwner() {
+    app.name = "noisy";
+    app.iterations = 1;
+    auto tick_ptr = tick;
+    kernels.push_back(std::make_unique<coupling::CallableKernel>(
+        "noisy", [tick_ptr] { return (++*tick_ptr % 2 == 0) ? 3.0 : 1.0; }));
+    app.loop.push_back(kernels.back().get());
+  }
+};
+
+TEST(CampaignRetryTest, NoisyMeasurementsAreRetriedUpToTheBudget) {
+  CampaignSpec spec;
+  spec.chain_lengths = {};
+  spec.measurement.repetitions = 4;
+  spec.measurement.warmup = 0;
+  spec.retry.max_relative_stddev = 0.10;
+  spec.retry.max_attempts = 3;
+
+  CampaignStudy cell;
+  cell.application = "NOISY";
+  cell.config = "C";
+  cell.ranks = 1;
+  cell.factory = [] {
+    auto owner = std::make_unique<NoisyOwner>();
+    const coupling::LoopApplication* app = &owner->app;
+    return AppHandle(std::shared_ptr<void>(std::move(owner)), app);
+  };
+  spec.studies.push_back(std::move(cell));
+
+  const CampaignResult result = run_campaign(spec, 1);
+  // The isolated task alternates 1/3: rsd stays ~0.57 every attempt, so it
+  // retries max_attempts - 1 = 2 extra times.  The actual task has one
+  // sample and never retries.
+  EXPECT_EQ(result.metrics.tasks_retried, 2u);
+}
+
+TEST(CampaignRetryTest, DefaultPolicyNeverRetries) {
+  CampaignSpec spec;
+  spec.chain_lengths = {2};
+  spec.studies.push_back(synthetic_cell("A", 1, 3, 1.0));
+  const CampaignResult result = run_campaign(spec, 1);
+  EXPECT_EQ(result.metrics.tasks_retried, 0u);
+}
+
+// --- Text spec ---------------------------------------------------------------
+
+TEST(CampaignTextSpecTest, ParsesFullSpec) {
+  std::istringstream in(
+      "# BT/SP sweep\n"
+      "apps = bt, sp\n"
+      "classes = S,W\n"
+      "procs = 4,9,16\n"
+      "chains = 2,3\n"
+      "repetitions = 10\n"
+      "warmup = 1\n"
+      "workers = 8\n"
+      "machine = generic-smp\n"
+      "retry_rsd = 0.25\n"
+      "retry_max = 4\n");
+  const CampaignTextSpec spec = parse_campaign_text(in);
+  EXPECT_EQ(spec.applications, (std::vector<std::string>{"bt", "sp"}));
+  EXPECT_EQ(spec.configs, (std::vector<std::string>{"S", "W"}));
+  EXPECT_EQ(spec.ranks, (std::vector<int>{4, 9, 16}));
+  EXPECT_EQ(spec.chain_lengths, (std::vector<std::size_t>{2, 3}));
+  EXPECT_EQ(spec.measurement.repetitions, 10);
+  EXPECT_EQ(spec.measurement.warmup, 1);
+  EXPECT_EQ(spec.workers, 8u);
+  EXPECT_EQ(spec.machine, "generic-smp");
+  EXPECT_DOUBLE_EQ(spec.retry.max_relative_stddev, 0.25);
+  EXPECT_EQ(spec.retry.max_attempts, 4);
+}
+
+TEST(CampaignTextSpecTest, DefaultsAndMinimalSpec) {
+  std::istringstream in("apps=bt\nclasses=S\nprocs=4\n");
+  const CampaignTextSpec spec = parse_campaign_text(in);
+  EXPECT_EQ(spec.chain_lengths, (std::vector<std::size_t>{2}));
+  EXPECT_EQ(spec.measurement.repetitions, 50);
+  EXPECT_EQ(spec.workers, 0u);
+  EXPECT_EQ(spec.machine, "ibm-sp");
+}
+
+TEST(CampaignTextSpecTest, RejectsMalformedInput) {
+  {
+    std::istringstream in("apps=bt\nclasses=S\n");  // missing procs
+    EXPECT_THROW(parse_campaign_text(in), std::runtime_error);
+  }
+  {
+    std::istringstream in("apps=bt\nclasses=S\nprocs=four\n");
+    EXPECT_THROW(parse_campaign_text(in), std::runtime_error);
+  }
+  {
+    std::istringstream in("apps=bt\nclasses=S\nprocs=4\nbogus=1\n");
+    EXPECT_THROW(parse_campaign_text(in), std::runtime_error);
+  }
+  {
+    std::istringstream in("apps=bt\nclasses=S\nprocs=4\nchains=0\n");
+    EXPECT_THROW(parse_campaign_text(in), std::runtime_error);
+  }
+  {
+    std::istringstream in("just some words\n");
+    EXPECT_THROW(parse_campaign_text(in), std::runtime_error);
+  }
+}
+
+// --- Metrics rendering -------------------------------------------------------
+
+TEST(CampaignMetricsTest, ExportsTableCsvAndJsonl) {
+  CampaignSpec spec;
+  spec.chain_lengths = {2, 3};
+  spec.studies.push_back(synthetic_cell("A", 1, 3, 1.0));
+  const CampaignResult result = run_campaign(spec, 2);
+
+  const std::string table = result.metrics.to_table().to_string();
+  EXPECT_NE(table.find("tasks deduplicated"), std::string::npos);
+
+  const std::string csv = result.metrics.to_csv();
+  EXPECT_NE(csv.find("tasks_deduplicated"), std::string::npos);
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 2);
+
+  const std::string jsonl = result.metrics.to_jsonl();
+  EXPECT_EQ(jsonl.front(), '{');
+  EXPECT_NE(jsonl.find("\"tasks_planned\":"), std::string::npos);
+  EXPECT_EQ(std::count(jsonl.begin(), jsonl.end(), '\n'), 1);
+}
+
+}  // namespace
+}  // namespace kcoup::campaign

@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
 #include <sstream>
 
 #include "coupling/database.hpp"
@@ -34,6 +36,36 @@ TEST(DatabaseTest, RecordAndExactFind) {
   EXPECT_DOUBLE_EQ(r->coupling(), 0.9);
   EXPECT_FALSE(db.find(CouplingKey{"BT", "W", 9, 2, 1}).has_value());
   EXPECT_FALSE(db.find(CouplingKey{"SP", "W", 4, 2, 1}).has_value());
+}
+
+TEST(DatabaseTest, CouplingGuardsAgainstZeroIsolatedSum) {
+  // Regression: coupling() used to divide by zero.
+  CouplingRecord r;
+  r.chain_time = 1.5;
+  r.isolated_sum = 0.0;
+  EXPECT_TRUE(std::isnan(r.coupling()));
+  r.isolated_sum = 3.0;
+  EXPECT_DOUBLE_EQ(r.coupling(), 0.5);
+}
+
+TEST(DatabaseTest, RecordRejectsDegenerateValues) {
+  CouplingDatabase db;
+  const CouplingKey key{"BT", "W", 4, 2, 0};
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_THROW(db.record(CouplingRecord{key, 0.0, 1.0}), std::invalid_argument);
+  EXPECT_THROW(db.record(CouplingRecord{key, -1.0, 1.0}),
+               std::invalid_argument);
+  EXPECT_THROW(db.record(CouplingRecord{key, 1.0, 0.0}), std::invalid_argument);
+  EXPECT_THROW(db.record(CouplingRecord{key, 1.0, -1.0}),
+               std::invalid_argument);
+  EXPECT_THROW(db.record(CouplingRecord{key, nan, 1.0}), std::invalid_argument);
+  EXPECT_THROW(db.record(CouplingRecord{key, 1.0, nan}), std::invalid_argument);
+  EXPECT_THROW(db.record(CouplingRecord{key, inf, 1.0}), std::invalid_argument);
+  EXPECT_THROW(db.record(CouplingRecord{key, 1.0, inf}), std::invalid_argument);
+  EXPECT_EQ(db.size(), 0u);
+  db.record(CouplingRecord{key, 1.0, 2.0});
+  EXPECT_EQ(db.size(), 1u);
 }
 
 TEST(DatabaseTest, RecordReplacesSameKey) {

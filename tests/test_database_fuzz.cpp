@@ -1,0 +1,165 @@
+// Fuzz and edge-case tests for CouplingDatabase::load_csv: campaign
+// persistence must never corrupt the store, whatever the file contains.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "coupling/database.hpp"
+
+namespace kcoup::coupling {
+namespace {
+
+constexpr const char* kHeader =
+    "application,config,ranks,chain_length,chain_start,chain_time,"
+    "isolated_sum\n";
+
+TEST(DatabaseFuzzTest, TruncatedLinesThrow) {
+  for (const char* body :
+       {"BT", "BT,W", "BT,W,4", "BT,W,4,2", "BT,W,4,2,0", "BT,W,4,2,0,1.5"}) {
+    CouplingDatabase db;
+    std::istringstream in(std::string(kHeader) + body + "\n");
+    EXPECT_THROW(db.load_csv(in), std::runtime_error) << body;
+    EXPECT_EQ(db.size(), 0u) << body;
+  }
+}
+
+TEST(DatabaseFuzzTest, ExtraFieldsThrow) {
+  CouplingDatabase db;
+  std::istringstream in(std::string(kHeader) + "BT,W,4,2,0,1.5,2.0,junk\n");
+  EXPECT_THROW(db.load_csv(in), std::runtime_error);
+}
+
+TEST(DatabaseFuzzTest, NonNumericFieldsThrow) {
+  for (const char* body :
+       {"BT,W,four,2,0,1.5,2.0", "BT,W,4,two,0,1.5,2.0",
+        "BT,W,4,2,zero,1.5,2.0", "BT,W,4,2,0,fast,2.0",
+        "BT,W,4,2,0,1.5,much", "BT,W,4x,2,0,1.5,2.0",
+        "BT,W,4,2,0,1.5e,2.0", "BT,W,4,2,0,1.5,2.0extra"}) {
+    CouplingDatabase db;
+    std::istringstream in(std::string(kHeader) + body + "\n");
+    EXPECT_THROW(db.load_csv(in), std::runtime_error) << body;
+  }
+}
+
+TEST(DatabaseFuzzTest, NonPositiveAndNonFiniteValuesThrow) {
+  for (const char* body :
+       {"BT,W,4,2,0,0,2.0", "BT,W,4,2,0,-1.5,2.0", "BT,W,4,2,0,1.5,0",
+        "BT,W,4,2,0,1.5,-2.0", "BT,W,4,2,0,nan,2.0", "BT,W,4,2,0,inf,2.0",
+        "BT,W,4,2,0,1.5,nan"}) {
+    CouplingDatabase db;
+    std::istringstream in(std::string(kHeader) + body + "\n");
+    EXPECT_THROW(db.load_csv(in), std::runtime_error) << body;
+  }
+}
+
+TEST(DatabaseFuzzTest, DuplicateKeysLastWins) {
+  CouplingDatabase db;
+  std::istringstream in(std::string(kHeader) +
+                        "BT,W,4,2,0,1.5,2.0\n"
+                        "BT,W,4,2,0,7.5,8.0\n"
+                        "BT,W,4,2,0,3.5,4.0\n");
+  db.load_csv(in);
+  EXPECT_EQ(db.size(), 1u);
+  const auto r = db.find(CouplingKey{"BT", "W", 4, 2, 0});
+  ASSERT_TRUE(r.has_value());
+  EXPECT_DOUBLE_EQ(r->chain_time, 3.5);
+  EXPECT_DOUBLE_EQ(r->isolated_sum, 4.0);
+}
+
+TEST(DatabaseFuzzTest, BlankAndCrLfLinesAreTolerated) {
+  CouplingDatabase db;
+  std::istringstream in(std::string(kHeader) +
+                        "\n"
+                        "BT,W,4,2,0,1.5,2.0\r\n"
+                        "\n"
+                        "SP,A,9,3,1,2.5,3.0\n");
+  db.load_csv(in);
+  EXPECT_EQ(db.size(), 2u);
+  EXPECT_TRUE(db.find(CouplingKey{"BT", "W", 4, 2, 0}).has_value());
+  EXPECT_TRUE(db.find(CouplingKey{"SP", "A", 9, 3, 1}).has_value());
+}
+
+/// Deterministic mutation fuzzing: a valid store with random single-byte
+/// corruptions either loads some prefix-consistent subset or throws — it
+/// never crashes and never stores an unparseable record.
+TEST(DatabaseFuzzTest, RandomCorruptionsNeverCorruptTheStore) {
+  CouplingDatabase source;
+  std::mt19937 rng(20020722);  // HPDC 2002 vintage seed
+  std::uniform_int_distribution<int> ranks_dist(1, 64);
+  std::uniform_real_distribution<double> time_dist(1e-6, 10.0);
+  for (int i = 0; i < 32; ++i) {
+    CouplingRecord r;
+    r.key.application = (i % 3 == 0) ? "BT" : (i % 3 == 1) ? "SP" : "LU";
+    r.key.config = (i % 2 == 0) ? "W" : "A";
+    r.key.ranks = ranks_dist(rng);
+    r.key.chain_length = 2 + static_cast<std::size_t>(i % 3);
+    r.key.chain_start = static_cast<std::size_t>(i % 5);
+    r.chain_time = time_dist(rng);
+    r.isolated_sum = time_dist(rng);
+    source.record(std::move(r));
+  }
+  std::ostringstream clean;
+  source.save_csv(clean);
+  const std::string text = clean.str();
+
+  std::uniform_int_distribution<std::size_t> pos_dist(0, text.size() - 1);
+  std::uniform_int_distribution<int> byte_dist(0, 255);
+  for (int trial = 0; trial < 500; ++trial) {
+    std::string mutated = text;
+    const std::size_t pos = pos_dist(rng);
+    mutated[pos] = static_cast<char>(byte_dist(rng));
+
+    CouplingDatabase db;
+    std::istringstream in(mutated);
+    try {
+      db.load_csv(in);
+    } catch (const std::runtime_error&) {
+      continue;  // rejected: fine
+    }
+    // Accepted: every stored record must be well-formed.
+    for (const CouplingRecord& r : db.records()) {
+      EXPECT_TRUE(std::isfinite(r.chain_time));
+      EXPECT_GT(r.chain_time, 0.0);
+      EXPECT_TRUE(std::isfinite(r.isolated_sum));
+      EXPECT_GT(r.isolated_sum, 0.0);
+      EXPECT_TRUE(std::isfinite(r.coupling()));
+    }
+  }
+}
+
+/// Round-trip fuzz: any valid store survives save -> load -> save exactly.
+TEST(DatabaseFuzzTest, SaveLoadSaveIsStable) {
+  CouplingDatabase source;
+  std::mt19937 rng(42);
+  std::uniform_real_distribution<double> time_dist(1e-9, 1e3);
+  for (int i = 0; i < 64; ++i) {
+    CouplingRecord r;
+    r.key.application = "A" + std::to_string(i % 7);
+    r.key.config = "c" + std::to_string(i % 4);
+    r.key.ranks = 1 << (i % 6);
+    r.key.chain_length = 1 + static_cast<std::size_t>(i % 4);
+    r.key.chain_start = static_cast<std::size_t>(i % 6);
+    r.chain_time = time_dist(rng);
+    r.isolated_sum = time_dist(rng);
+    source.record(std::move(r));
+  }
+  std::ostringstream first;
+  source.save_csv(first);
+
+  CouplingDatabase loaded;
+  std::istringstream in(first.str());
+  loaded.load_csv(in);
+  EXPECT_EQ(loaded.size(), source.size());
+
+  std::ostringstream second;
+  loaded.save_csv(second);
+  EXPECT_EQ(first.str(), second.str());
+}
+
+}  // namespace
+}  // namespace kcoup::coupling

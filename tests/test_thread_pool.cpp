@@ -1,0 +1,78 @@
+// Tests for the reusable worker pool behind the campaign executor.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+#include "support/thread_pool.hpp"
+
+namespace kcoup::support {
+namespace {
+
+TEST(ThreadPoolTest, RunsEverySubmittedJob) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(4);
+    EXPECT_EQ(pool.worker_count(), 4u);
+    for (int i = 0; i < 1000; ++i) {
+      pool.submit([&count] { count.fetch_add(1, std::memory_order_relaxed); });
+    }
+    pool.wait_idle();
+    EXPECT_EQ(count.load(), 1000);
+  }
+  EXPECT_EQ(count.load(), 1000);
+}
+
+TEST(ThreadPoolTest, ZeroWorkersClampsToOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.worker_count(), 1u);
+  std::atomic<int> count{0};
+  pool.submit([&count] { ++count; });
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 1);
+}
+
+TEST(ThreadPoolTest, WaitIdleIsReusable) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  pool.wait_idle();  // nothing queued: returns immediately
+  for (int round = 0; round < 5; ++round) {
+    for (int i = 0; i < 50; ++i) {
+      pool.submit([&count] { count.fetch_add(1, std::memory_order_relaxed); });
+    }
+    pool.wait_idle();
+    EXPECT_EQ(count.load(), 50 * (round + 1));
+  }
+}
+
+TEST(ThreadPoolTest, JobsMaySubmitMoreJobs) {
+  ThreadPool pool(3);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 10; ++i) {
+    pool.submit([&pool, &count] {
+      pool.submit([&count] { count.fetch_add(1, std::memory_order_relaxed); });
+    });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 10);
+}
+
+TEST(ThreadPoolTest, DistinctSlotsNeedNoLocking) {
+  // The executor's pattern: pre-sized storage, one writer per slot.
+  std::vector<double> slots(256, 0.0);
+  {
+    ThreadPool pool(8);
+    for (std::size_t i = 0; i < slots.size(); ++i) {
+      double* slot = &slots[i];
+      pool.submit([slot, i] { *slot = static_cast<double>(i) * 2.0; });
+    }
+    pool.wait_idle();
+  }
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    EXPECT_EQ(slots[i], static_cast<double>(i) * 2.0);
+  }
+}
+
+}  // namespace
+}  // namespace kcoup::support

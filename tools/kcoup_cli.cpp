@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "campaign/executor.hpp"
 #include "coupling/database.hpp"
 #include "coupling/study.hpp"
 #include "machine/config.hpp"
@@ -41,13 +42,20 @@ using namespace kcoup;
 
 class Args {
  public:
-  Args(int argc, char** argv) {
+  /// `bool_flags` names valueless flags (e.g. --serial): present means true,
+  /// no value is consumed.  Every other --flag still requires a value.
+  Args(int argc, char** argv, std::set<std::string> bool_flags = {})
+      : bool_flags_(std::move(bool_flags)) {
     for (int i = 2; i < argc; ++i) {
       std::string key = argv[i];
       if (key.rfind("--", 0) != 0) {
         throw std::runtime_error("expected --flag, got '" + key + "'");
       }
       key = key.substr(2);
+      if (bool_flags_.count(key)) {
+        values_[key] = "1";
+        continue;
+      }
       if (i + 1 >= argc) {
         throw std::runtime_error("missing value for --" + key);
       }
@@ -75,6 +83,14 @@ class Args {
     return it->second;
   }
 
+  /// True iff the valueless flag was passed.
+  [[nodiscard]] bool flag(const std::string& key) const {
+    auto it = values_.find(key);
+    if (it == values_.end()) return false;
+    used_.insert(key);
+    return true;
+  }
+
   void check_all_used() const {
     for (const auto& [k, v] : values_) {
       if (!used_.count(k)) {
@@ -84,6 +100,7 @@ class Args {
   }
 
  private:
+  std::set<std::string> bool_flags_;
   std::map<std::string, std::string> values_;
   mutable std::set<std::string> used_;
 };
@@ -103,6 +120,28 @@ std::vector<std::size_t> parse_size_list(const std::string& s) {
   std::vector<std::size_t> out;
   for (int v : parse_int_list(s)) out.push_back(static_cast<std::size_t>(v));
   return out;
+}
+
+int parse_int_arg(const std::string& flag, const std::string& v) {
+  try {
+    std::size_t pos = 0;
+    const int n = std::stoi(v, &pos);
+    if (pos != v.size()) throw std::invalid_argument(v);
+    return n;
+  } catch (const std::exception&) {
+    throw std::runtime_error("bad integer for --" + flag + ": '" + v + "'");
+  }
+}
+
+double parse_double_arg(const std::string& flag, const std::string& v) {
+  try {
+    std::size_t pos = 0;
+    const double d = std::stod(v, &pos);
+    if (pos != v.size()) throw std::invalid_argument(v);
+    return d;
+  } catch (const std::exception&) {
+    throw std::runtime_error("bad number for --" + flag + ": '" + v + "'");
+  }
 }
 
 npb::ProblemClass parse_class(const std::string& s) {
@@ -134,6 +173,24 @@ void write_csv(const std::string& path, const report::Table& table) {
   if (!out) throw std::runtime_error("cannot write " + path);
   out << table.to_csv();
   std::printf("wrote %s\n", path.c_str());
+}
+
+std::vector<std::string> parse_string_list(const std::string& s) {
+  std::vector<std::string> out;
+  std::istringstream ss(s);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  if (out.empty()) throw std::runtime_error("empty list: '" + s + "'");
+  return out;
+}
+
+npb::Benchmark parse_benchmark(const std::string& s) {
+  if (s == "bt" || s == "BT") return npb::Benchmark::kBT;
+  if (s == "sp" || s == "SP") return npb::Benchmark::kSP;
+  if (s == "lu" || s == "LU") return npb::Benchmark::kLU;
+  throw std::runtime_error("unknown app '" + s + "' (use bt/sp/lu)");
 }
 
 // --- Commands ---------------------------------------------------------------
@@ -337,6 +394,153 @@ int cmd_parallel(const Args& args) {
   return 0;
 }
 
+// A whole sweep — apps x classes x processor counts x chain lengths — run
+// through the deduplicating planner and the concurrent executor.
+int cmd_campaign(const Args& args) {
+  campaign::CampaignTextSpec text;
+  if (const auto spec_path = args.maybe("spec")) {
+    std::ifstream in(*spec_path);
+    if (!in) throw std::runtime_error("cannot read spec file " + *spec_path);
+    text = campaign::parse_campaign_text(in);
+  } else {
+    text.applications = parse_string_list(args.get("apps"));
+    text.configs = parse_string_list(args.get("classes"));
+    text.ranks = parse_int_list(args.get("procs"));
+  }
+  // Flags override spec-file values.
+  if (const auto v = args.maybe("chains")) {
+    text.chain_lengths = parse_size_list(*v);
+  }
+  const auto require_min = [](const std::string& flag, int n, int min) {
+    if (n < min) {
+      throw std::runtime_error("--" + flag + " must be >= " +
+                               std::to_string(min) + ", got " +
+                               std::to_string(n));
+    }
+    return n;
+  };
+  if (const auto v = args.maybe("reps")) {
+    text.measurement.repetitions =
+        require_min("reps", parse_int_arg("reps", *v), 1);
+  }
+  if (const auto v = args.maybe("warmup")) {
+    text.measurement.warmup =
+        require_min("warmup", parse_int_arg("warmup", *v), 0);
+  }
+  if (const auto v = args.maybe("workers")) {
+    text.workers = static_cast<std::size_t>(
+        require_min("workers", parse_int_arg("workers", *v), 0));
+  }
+  if (const auto v = args.maybe("machine")) text.machine = *v;
+  if (const auto v = args.maybe("retry-rsd")) {
+    text.retry.max_relative_stddev = parse_double_arg("retry-rsd", *v);
+  }
+  if (const auto v = args.maybe("retry-max")) {
+    text.retry.max_attempts =
+        require_min("retry-max", parse_int_arg("retry-max", *v), 1);
+  }
+  const bool serial = args.flag("serial");
+  const bool quiet = args.flag("quiet");
+  const auto db_path = args.maybe("db");
+  const auto metrics_csv = args.maybe("metrics-csv");
+  const auto metrics_jsonl = args.maybe("metrics-jsonl");
+  args.check_all_used();
+
+  const machine::MachineConfig cfg = parse_machine(text.machine);
+  campaign::CampaignSpec spec;
+  spec.chain_lengths = text.chain_lengths;
+  spec.measurement = text.measurement;
+  spec.retry = text.retry;
+  for (const std::string& app_name : text.applications) {
+    const npb::Benchmark bench = parse_benchmark(app_name);
+    for (const std::string& cls_name : text.configs) {
+      const npb::ProblemClass cls = parse_class(cls_name);
+      for (int p : text.ranks) {
+        if (!npb::valid_rank_count(bench, p)) {
+          if (!quiet) {
+            std::printf("skipping %s class %s P=%d (invalid rank count)\n",
+                        npb::to_string(bench).c_str(),
+                        npb::to_string(cls).c_str(), p);
+          }
+          continue;
+        }
+        campaign::CampaignStudy cell;
+        cell.application = npb::to_string(bench);
+        cell.config = npb::to_string(cls);
+        cell.ranks = p;
+        const std::string lower = app_name;
+        cell.factory = [lower, cls, p, cfg] {
+          return campaign::own_app(make_app(lower, cls, p, cfg));
+        };
+        spec.studies.push_back(std::move(cell));
+      }
+    }
+  }
+  if (spec.studies.empty()) {
+    throw std::runtime_error("campaign: no valid (app, class, procs) cells");
+  }
+
+  coupling::CouplingDatabase db;
+  if (db_path) {
+    std::ifstream in(*db_path);
+    if (in) db.load_csv(in);
+  }
+
+  const std::size_t workers = serial ? 1 : text.workers;
+  const campaign::CampaignResult result =
+      campaign::run_campaign(spec, workers, db_path ? &db : nullptr);
+
+  if (db_path) {
+    std::ofstream out(*db_path);
+    if (!out) throw std::runtime_error("cannot write " + *db_path);
+    db.save_csv(out);
+    if (!quiet) {
+      std::printf("coupling database: %zu records -> %s\n", db.size(),
+                  db_path->c_str());
+    }
+  }
+
+  if (!quiet) {
+    report::Table t("Campaign predictions");
+    std::vector<std::string> header{"app", "class", "P", "actual",
+                                    "summation"};
+    for (std::size_t q : spec.chain_lengths) {
+      header.push_back("coupling q=" + std::to_string(q));
+    }
+    t.set_header(std::move(header));
+    for (std::size_t s = 0; s < spec.studies.size(); ++s) {
+      const campaign::CampaignStudy& cell = spec.studies[s];
+      const coupling::StudyResult& r = result.studies[s];
+      std::vector<std::string> row{cell.application, cell.config,
+                                   std::to_string(cell.ranks),
+                                   report::format_seconds(r.actual_s),
+                                   report::format_prediction(
+                                       r.summation_s, r.summation_error)};
+      for (const auto& cl : r.by_length) {
+        row.push_back(
+            report::format_prediction(cl.prediction_s, cl.relative_error));
+      }
+      t.add_row(std::move(row));
+    }
+    std::printf("%s\n", t.to_string().c_str());
+  }
+
+  std::printf("%s\n", result.metrics.to_table().to_string().c_str());
+  if (metrics_csv) {
+    std::ofstream out(*metrics_csv);
+    if (!out) throw std::runtime_error("cannot write " + *metrics_csv);
+    out << result.metrics.to_csv();
+    std::printf("wrote %s\n", metrics_csv->c_str());
+  }
+  if (metrics_jsonl) {
+    std::ofstream out(*metrics_jsonl, std::ios::app);
+    if (!out) throw std::runtime_error("cannot write " + *metrics_jsonl);
+    out << result.metrics.to_jsonl();
+    std::printf("appended %s\n", metrics_jsonl->c_str());
+  }
+  return 0;
+}
+
 int cmd_machines(const Args& args) {
   args.check_all_used();
   for (const machine::MachineConfig& c :
@@ -371,6 +575,12 @@ void usage() {
       "                    [--chains q]\n"
       "  kcoup parallel    --app bt|sp|lu --n N [--iters I] [--procs P]\n"
       "                    [--chains 2,3]\n"
+      "  kcoup campaign    --apps bt,sp --classes S,W --procs 4,9\n"
+      "                    [--chains 2,3] [--workers N | --serial] [--quiet]\n"
+      "                    [--spec file] [--reps R] [--warmup W]\n"
+      "                    [--retry-rsd F] [--retry-max N] [--db store.csv]\n"
+      "                    [--metrics-csv path] [--metrics-jsonl path]\n"
+      "                    [--machine ibm-sp|generic-smp]\n"
       "  kcoup machines\n");
 }
 
@@ -383,11 +593,14 @@ int main(int argc, char** argv) {
   }
   const std::string cmd = argv[1];
   try {
-    const Args args(argc, argv);
+    std::set<std::string> bool_flags;
+    if (cmd == "campaign") bool_flags = {"serial", "quiet"};
+    const Args args(argc, argv, std::move(bool_flags));
     if (cmd == "study") return cmd_study(args);
     if (cmd == "transitions") return cmd_transitions(args);
     if (cmd == "reuse") return cmd_reuse(args);
     if (cmd == "parallel") return cmd_parallel(args);
+    if (cmd == "campaign") return cmd_campaign(args);
     if (cmd == "machines") return cmd_machines(args);
     if (cmd == "help" || cmd == "--help" || cmd == "-h") {
       usage();
