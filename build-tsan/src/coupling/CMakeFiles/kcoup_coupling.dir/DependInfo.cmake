@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/campaign/campaign.cpp" "src/coupling/CMakeFiles/kcoup_coupling.dir/__/campaign/campaign.cpp.o" "gcc" "src/coupling/CMakeFiles/kcoup_coupling.dir/__/campaign/campaign.cpp.o.d"
+  "/root/repo/src/campaign/executor.cpp" "src/coupling/CMakeFiles/kcoup_coupling.dir/__/campaign/executor.cpp.o" "gcc" "src/coupling/CMakeFiles/kcoup_coupling.dir/__/campaign/executor.cpp.o.d"
+  "/root/repo/src/campaign/planner.cpp" "src/coupling/CMakeFiles/kcoup_coupling.dir/__/campaign/planner.cpp.o" "gcc" "src/coupling/CMakeFiles/kcoup_coupling.dir/__/campaign/planner.cpp.o.d"
+  "/root/repo/src/coupling/analysis.cpp" "src/coupling/CMakeFiles/kcoup_coupling.dir/analysis.cpp.o" "gcc" "src/coupling/CMakeFiles/kcoup_coupling.dir/analysis.cpp.o.d"
+  "/root/repo/src/coupling/database.cpp" "src/coupling/CMakeFiles/kcoup_coupling.dir/database.cpp.o" "gcc" "src/coupling/CMakeFiles/kcoup_coupling.dir/database.cpp.o.d"
+  "/root/repo/src/coupling/measurement.cpp" "src/coupling/CMakeFiles/kcoup_coupling.dir/measurement.cpp.o" "gcc" "src/coupling/CMakeFiles/kcoup_coupling.dir/measurement.cpp.o.d"
+  "/root/repo/src/coupling/parallel_measurement.cpp" "src/coupling/CMakeFiles/kcoup_coupling.dir/parallel_measurement.cpp.o" "gcc" "src/coupling/CMakeFiles/kcoup_coupling.dir/parallel_measurement.cpp.o.d"
+  "/root/repo/src/coupling/scaling_model.cpp" "src/coupling/CMakeFiles/kcoup_coupling.dir/scaling_model.cpp.o" "gcc" "src/coupling/CMakeFiles/kcoup_coupling.dir/scaling_model.cpp.o.d"
+  "/root/repo/src/coupling/study.cpp" "src/coupling/CMakeFiles/kcoup_coupling.dir/study.cpp.o" "gcc" "src/coupling/CMakeFiles/kcoup_coupling.dir/study.cpp.o.d"
+  "/root/repo/src/coupling/synthetic.cpp" "src/coupling/CMakeFiles/kcoup_coupling.dir/synthetic.cpp.o" "gcc" "src/coupling/CMakeFiles/kcoup_coupling.dir/synthetic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/machine/CMakeFiles/kcoup_machine.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/simmpi/CMakeFiles/kcoup_simmpi.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/report/CMakeFiles/kcoup_report.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kcoup_coupling.dir/__/campaign/campaign.cpp.o"
+  "CMakeFiles/kcoup_coupling.dir/__/campaign/campaign.cpp.o.d"
+  "CMakeFiles/kcoup_coupling.dir/__/campaign/executor.cpp.o"
+  "CMakeFiles/kcoup_coupling.dir/__/campaign/executor.cpp.o.d"
+  "CMakeFiles/kcoup_coupling.dir/__/campaign/planner.cpp.o"
+  "CMakeFiles/kcoup_coupling.dir/__/campaign/planner.cpp.o.d"
+  "CMakeFiles/kcoup_coupling.dir/analysis.cpp.o"
+  "CMakeFiles/kcoup_coupling.dir/analysis.cpp.o.d"
+  "CMakeFiles/kcoup_coupling.dir/database.cpp.o"
+  "CMakeFiles/kcoup_coupling.dir/database.cpp.o.d"
+  "CMakeFiles/kcoup_coupling.dir/measurement.cpp.o"
+  "CMakeFiles/kcoup_coupling.dir/measurement.cpp.o.d"
+  "CMakeFiles/kcoup_coupling.dir/parallel_measurement.cpp.o"
+  "CMakeFiles/kcoup_coupling.dir/parallel_measurement.cpp.o.d"
+  "CMakeFiles/kcoup_coupling.dir/scaling_model.cpp.o"
+  "CMakeFiles/kcoup_coupling.dir/scaling_model.cpp.o.d"
+  "CMakeFiles/kcoup_coupling.dir/study.cpp.o"
+  "CMakeFiles/kcoup_coupling.dir/study.cpp.o.d"
+  "CMakeFiles/kcoup_coupling.dir/synthetic.cpp.o"
+  "CMakeFiles/kcoup_coupling.dir/synthetic.cpp.o.d"
+  "libkcoup_coupling.a"
+  "libkcoup_coupling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kcoup_coupling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kcoup_machine.dir/cache_model.cpp.o"
+  "CMakeFiles/kcoup_machine.dir/cache_model.cpp.o.d"
+  "CMakeFiles/kcoup_machine.dir/machine.cpp.o"
+  "CMakeFiles/kcoup_machine.dir/machine.cpp.o.d"
+  "CMakeFiles/kcoup_machine.dir/presets.cpp.o"
+  "CMakeFiles/kcoup_machine.dir/presets.cpp.o.d"
+  "libkcoup_machine.a"
+  "libkcoup_machine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kcoup_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

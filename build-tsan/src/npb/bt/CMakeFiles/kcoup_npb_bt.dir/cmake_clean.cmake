@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kcoup_npb_bt.dir/bt_app.cpp.o"
+  "CMakeFiles/kcoup_npb_bt.dir/bt_app.cpp.o.d"
+  "CMakeFiles/kcoup_npb_bt.dir/bt_measured.cpp.o"
+  "CMakeFiles/kcoup_npb_bt.dir/bt_measured.cpp.o.d"
+  "CMakeFiles/kcoup_npb_bt.dir/bt_model.cpp.o"
+  "CMakeFiles/kcoup_npb_bt.dir/bt_model.cpp.o.d"
+  "CMakeFiles/kcoup_npb_bt.dir/bt_timed.cpp.o"
+  "CMakeFiles/kcoup_npb_bt.dir/bt_timed.cpp.o.d"
+  "libkcoup_npb_bt.a"
+  "libkcoup_npb_bt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kcoup_npb_bt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

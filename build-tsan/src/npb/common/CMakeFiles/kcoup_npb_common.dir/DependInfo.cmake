@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/npb/common/block5.cpp" "src/npb/common/CMakeFiles/kcoup_npb_common.dir/block5.cpp.o" "gcc" "src/npb/common/CMakeFiles/kcoup_npb_common.dir/block5.cpp.o.d"
+  "/root/repo/src/npb/common/blocktri.cpp" "src/npb/common/CMakeFiles/kcoup_npb_common.dir/blocktri.cpp.o" "gcc" "src/npb/common/CMakeFiles/kcoup_npb_common.dir/blocktri.cpp.o.d"
+  "/root/repo/src/npb/common/penta.cpp" "src/npb/common/CMakeFiles/kcoup_npb_common.dir/penta.cpp.o" "gcc" "src/npb/common/CMakeFiles/kcoup_npb_common.dir/penta.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kcoup_npb_common.dir/block5.cpp.o"
+  "CMakeFiles/kcoup_npb_common.dir/block5.cpp.o.d"
+  "CMakeFiles/kcoup_npb_common.dir/blocktri.cpp.o"
+  "CMakeFiles/kcoup_npb_common.dir/blocktri.cpp.o.d"
+  "CMakeFiles/kcoup_npb_common.dir/penta.cpp.o"
+  "CMakeFiles/kcoup_npb_common.dir/penta.cpp.o.d"
+  "libkcoup_npb_common.a"
+  "libkcoup_npb_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kcoup_npb_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kcoup_npb_lu.dir/lu_app.cpp.o"
+  "CMakeFiles/kcoup_npb_lu.dir/lu_app.cpp.o.d"
+  "CMakeFiles/kcoup_npb_lu.dir/lu_measured.cpp.o"
+  "CMakeFiles/kcoup_npb_lu.dir/lu_measured.cpp.o.d"
+  "CMakeFiles/kcoup_npb_lu.dir/lu_model.cpp.o"
+  "CMakeFiles/kcoup_npb_lu.dir/lu_model.cpp.o.d"
+  "CMakeFiles/kcoup_npb_lu.dir/lu_timed.cpp.o"
+  "CMakeFiles/kcoup_npb_lu.dir/lu_timed.cpp.o.d"
+  "libkcoup_npb_lu.a"
+  "libkcoup_npb_lu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kcoup_npb_lu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

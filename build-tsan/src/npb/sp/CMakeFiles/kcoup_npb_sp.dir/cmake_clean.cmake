@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kcoup_npb_sp.dir/sp_app.cpp.o"
+  "CMakeFiles/kcoup_npb_sp.dir/sp_app.cpp.o.d"
+  "CMakeFiles/kcoup_npb_sp.dir/sp_measured.cpp.o"
+  "CMakeFiles/kcoup_npb_sp.dir/sp_measured.cpp.o.d"
+  "CMakeFiles/kcoup_npb_sp.dir/sp_model.cpp.o"
+  "CMakeFiles/kcoup_npb_sp.dir/sp_model.cpp.o.d"
+  "CMakeFiles/kcoup_npb_sp.dir/sp_timed.cpp.o"
+  "CMakeFiles/kcoup_npb_sp.dir/sp_timed.cpp.o.d"
+  "libkcoup_npb_sp.a"
+  "libkcoup_npb_sp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kcoup_npb_sp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kcoup_report.dir/table.cpp.o"
+  "CMakeFiles/kcoup_report.dir/table.cpp.o.d"
+  "libkcoup_report.a"
+  "libkcoup_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kcoup_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

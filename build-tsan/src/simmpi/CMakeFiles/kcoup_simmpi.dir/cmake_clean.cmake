@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kcoup_simmpi.dir/simmpi.cpp.o"
+  "CMakeFiles/kcoup_simmpi.dir/simmpi.cpp.o.d"
+  "libkcoup_simmpi.a"
+  "libkcoup_simmpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kcoup_simmpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

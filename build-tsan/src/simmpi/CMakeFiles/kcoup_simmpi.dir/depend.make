@@ -1,0 +1,2 @@
+# Empty dependencies file for kcoup_simmpi.
+# This may be replaced when dependencies are built.

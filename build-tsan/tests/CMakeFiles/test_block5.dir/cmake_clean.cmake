@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_block5.dir/test_block5.cpp.o"
+  "CMakeFiles/test_block5.dir/test_block5.cpp.o.d"
+  "test_block5"
+  "test_block5.pdb"
+  "test_block5[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_block5.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_blocktri.dir/test_blocktri.cpp.o"
+  "CMakeFiles/test_blocktri.dir/test_blocktri.cpp.o.d"
+  "test_blocktri"
+  "test_blocktri.pdb"
+  "test_blocktri[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_blocktri.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_bt_measured.cpp" "tests/CMakeFiles/test_bt_measured.dir/test_bt_measured.cpp.o" "gcc" "tests/CMakeFiles/test_bt_measured.dir/test_bt_measured.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/npb/bt/CMakeFiles/kcoup_npb_bt.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/npb/sp/CMakeFiles/kcoup_npb_sp.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/npb/lu/CMakeFiles/kcoup_npb_lu.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/npb/common/CMakeFiles/kcoup_npb_common.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/coupling/CMakeFiles/kcoup_coupling.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/simmpi/CMakeFiles/kcoup_simmpi.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/report/CMakeFiles/kcoup_report.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/machine/CMakeFiles/kcoup_machine.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bt_measured.dir/test_bt_measured.cpp.o"
+  "CMakeFiles/test_bt_measured.dir/test_bt_measured.cpp.o.d"
+  "test_bt_measured"
+  "test_bt_measured.pdb"
+  "test_bt_measured[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bt_measured.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

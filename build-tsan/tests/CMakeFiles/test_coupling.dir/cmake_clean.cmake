@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_coupling.dir/test_coupling.cpp.o"
+  "CMakeFiles/test_coupling.dir/test_coupling.cpp.o.d"
+  "test_coupling"
+  "test_coupling.pdb"
+  "test_coupling[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_coupling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_coupling_properties.dir/test_coupling_properties.cpp.o"
+  "CMakeFiles/test_coupling_properties.dir/test_coupling_properties.cpp.o.d"
+  "test_coupling_properties"
+  "test_coupling_properties.pdb"
+  "test_coupling_properties[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_coupling_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_database_fuzz.dir/test_database_fuzz.cpp.o"
+  "CMakeFiles/test_database_fuzz.dir/test_database_fuzz.cpp.o.d"
+  "test_database_fuzz"
+  "test_database_fuzz.pdb"
+  "test_database_fuzz[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_database_fuzz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

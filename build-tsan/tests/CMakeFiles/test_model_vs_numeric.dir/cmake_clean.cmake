@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_model_vs_numeric.dir/test_model_vs_numeric.cpp.o"
+  "CMakeFiles/test_model_vs_numeric.dir/test_model_vs_numeric.cpp.o.d"
+  "test_model_vs_numeric"
+  "test_model_vs_numeric.pdb"
+  "test_model_vs_numeric[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_model_vs_numeric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_modeled_apps.dir/test_modeled_apps.cpp.o"
+  "CMakeFiles/test_modeled_apps.dir/test_modeled_apps.cpp.o.d"
+  "test_modeled_apps"
+  "test_modeled_apps.pdb"
+  "test_modeled_apps[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_modeled_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

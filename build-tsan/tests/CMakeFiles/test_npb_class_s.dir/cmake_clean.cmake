@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_npb_class_s.dir/test_npb_class_s.cpp.o"
+  "CMakeFiles/test_npb_class_s.dir/test_npb_class_s.cpp.o.d"
+  "test_npb_class_s"
+  "test_npb_class_s.pdb"
+  "test_npb_class_s[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_npb_class_s.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

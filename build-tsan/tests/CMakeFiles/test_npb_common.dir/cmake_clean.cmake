@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_npb_common.dir/test_npb_common.cpp.o"
+  "CMakeFiles/test_npb_common.dir/test_npb_common.cpp.o.d"
+  "test_npb_common"
+  "test_npb_common.pdb"
+  "test_npb_common[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_npb_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_parallel_sp_lu.dir/test_parallel_sp_lu.cpp.o"
+  "CMakeFiles/test_parallel_sp_lu.dir/test_parallel_sp_lu.cpp.o.d"
+  "test_parallel_sp_lu"
+  "test_parallel_sp_lu.pdb"
+  "test_parallel_sp_lu[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_parallel_sp_lu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

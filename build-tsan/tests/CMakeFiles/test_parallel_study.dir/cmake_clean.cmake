@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_parallel_study.dir/test_parallel_study.cpp.o"
+  "CMakeFiles/test_parallel_study.dir/test_parallel_study.cpp.o.d"
+  "test_parallel_study"
+  "test_parallel_study.pdb"
+  "test_parallel_study[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_parallel_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

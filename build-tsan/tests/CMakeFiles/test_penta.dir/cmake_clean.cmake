@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_penta.dir/test_penta.cpp.o"
+  "CMakeFiles/test_penta.dir/test_penta.cpp.o.d"
+  "test_penta"
+  "test_penta.pdb"
+  "test_penta[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_penta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

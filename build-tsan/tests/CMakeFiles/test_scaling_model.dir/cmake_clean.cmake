@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_scaling_model.dir/test_scaling_model.cpp.o"
+  "CMakeFiles/test_scaling_model.dir/test_scaling_model.cpp.o.d"
+  "test_scaling_model"
+  "test_scaling_model.pdb"
+  "test_scaling_model[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_scaling_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

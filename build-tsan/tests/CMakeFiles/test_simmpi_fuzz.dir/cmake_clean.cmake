@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_simmpi_fuzz.dir/test_simmpi_fuzz.cpp.o"
+  "CMakeFiles/test_simmpi_fuzz.dir/test_simmpi_fuzz.cpp.o.d"
+  "test_simmpi_fuzz"
+  "test_simmpi_fuzz.pdb"
+  "test_simmpi_fuzz[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_simmpi_fuzz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

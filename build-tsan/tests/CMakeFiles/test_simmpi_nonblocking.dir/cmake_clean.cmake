@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_simmpi_nonblocking.dir/test_simmpi_nonblocking.cpp.o"
+  "CMakeFiles/test_simmpi_nonblocking.dir/test_simmpi_nonblocking.cpp.o.d"
+  "test_simmpi_nonblocking"
+  "test_simmpi_nonblocking.pdb"
+  "test_simmpi_nonblocking[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_simmpi_nonblocking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

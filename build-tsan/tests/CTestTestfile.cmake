@@ -1,0 +1,32 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build-tsan/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-tsan/tests/test_trace[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_machine[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_simmpi[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_block5[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_penta[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_blocktri[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_npb_common[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_coupling[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_report[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_npb_apps[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_modeled_apps[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_database[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_model_vs_numeric[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_parallel_study[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_parallel_sp_lu[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_simmpi_nonblocking[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_scaling_model[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_machine_properties[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_simmpi_fuzz[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_coupling_properties[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_synthetic[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_npb_class_s[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_bt_measured[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_thread_pool[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_campaign[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_database_fuzz[1]_include.cmake")
