@@ -51,6 +51,17 @@ double parse_double(const std::string& key, const std::string& value) {
   }
 }
 
+bool parse_bool(const std::string& key, const std::string& value) {
+  if (value == "on" || value == "true" || value == "1" || value == "yes") {
+    return true;
+  }
+  if (value == "off" || value == "false" || value == "0" || value == "no") {
+    return false;
+  }
+  throw std::runtime_error("campaign spec: bad boolean for '" + key + "': '" +
+                           value + "' (use on/off)");
+}
+
 }  // namespace
 
 CampaignTextSpec parse_campaign_text(std::istream& in) {
@@ -98,6 +109,16 @@ CampaignTextSpec parse_campaign_text(std::istream& in) {
       spec.measurement.repetitions = parse_int(key, value);
     } else if (key == "warmup") {
       spec.measurement.warmup = parse_int(key, value);
+    } else if (key == "epilogue_repetitions") {
+      const int r = parse_int(key, value);
+      if (r < 1) {
+        throw std::runtime_error("campaign spec line " +
+                                 std::to_string(line_no) +
+                                 ": epilogue_repetitions must be >= 1");
+      }
+      spec.measurement.epilogue_repetitions = r;
+    } else if (key == "pool") {
+      spec.pool_handles = parse_bool(key, value);
     } else if (key == "workers") {
       const int w = parse_int(key, value);
       if (w < 0) {
@@ -148,22 +169,30 @@ report::Table CampaignMetrics::to_table() const {
   count("cache hits", cache_hits);
   count("tasks executed", tasks_executed);
   count("tasks retried", tasks_retried);
+  count("handles created", handles_created);
+  count("handles reused", handles_reused);
   secs("plan time", plan_s);
   secs("measure time", measure_s);
   secs("assemble time", assemble_s);
   secs("wall time", wall_s);
+  secs("task time min", task_min_s);
+  secs("task time max", task_max_s);
+  secs("task time mean", task_mean_s);
   return t;
 }
 
 std::string CampaignMetrics::to_csv() const {
   std::ostringstream out;
   out << "studies,workers,tasks_requested,tasks_planned,tasks_deduplicated,"
-         "cache_hits,tasks_executed,tasks_retried,plan_s,measure_s,"
-         "assemble_s,wall_s\n"
+         "cache_hits,tasks_executed,tasks_retried,handles_created,"
+         "handles_reused,plan_s,measure_s,assemble_s,wall_s,task_min_s,"
+         "task_max_s,task_mean_s\n"
       << studies << ',' << workers << ',' << tasks_requested << ','
       << tasks_planned << ',' << tasks_deduplicated << ',' << cache_hits << ','
-      << tasks_executed << ',' << tasks_retried << ',' << plan_s << ','
-      << measure_s << ',' << assemble_s << ',' << wall_s << '\n';
+      << tasks_executed << ',' << tasks_retried << ',' << handles_created
+      << ',' << handles_reused << ',' << plan_s << ',' << measure_s << ','
+      << assemble_s << ',' << wall_s << ',' << task_min_s << ',' << task_max_s
+      << ',' << task_mean_s << '\n';
   return out.str();
 }
 
@@ -175,9 +204,13 @@ std::string CampaignMetrics::to_jsonl() const {
       << ",\"tasks_deduplicated\":" << tasks_deduplicated
       << ",\"cache_hits\":" << cache_hits
       << ",\"tasks_executed\":" << tasks_executed
-      << ",\"tasks_retried\":" << tasks_retried << ",\"plan_s\":" << plan_s
+      << ",\"tasks_retried\":" << tasks_retried
+      << ",\"handles_created\":" << handles_created
+      << ",\"handles_reused\":" << handles_reused << ",\"plan_s\":" << plan_s
       << ",\"measure_s\":" << measure_s << ",\"assemble_s\":" << assemble_s
-      << ",\"wall_s\":" << wall_s << "}\n";
+      << ",\"wall_s\":" << wall_s << ",\"task_min_s\":" << task_min_s
+      << ",\"task_max_s\":" << task_max_s
+      << ",\"task_mean_s\":" << task_mean_s << "}\n";
   return out.str();
 }
 

@@ -15,9 +15,10 @@
 namespace kcoup::campaign {
 
 /// Type-erased ownership of whatever backs a LoopApplication (a ModeledApp,
-/// a timed-app bundle, a test fixture...).  The executor creates one fresh
-/// instance per measurement task, so concurrent tasks never share mutable
-/// machine state.
+/// a timed-app bundle, a test fixture...).  The executor keeps one instance
+/// per (worker, study cell) and resets it between tasks — or one fresh
+/// instance per task with pooling disabled — so concurrent tasks never
+/// share mutable machine state.
 class AppHandle {
  public:
   AppHandle(std::shared_ptr<void> owner, const coupling::LoopApplication* app)
@@ -78,13 +79,20 @@ struct CampaignSpec {
   std::vector<std::size_t> chain_lengths;  ///< e.g. {2, 3, 4}
   coupling::MeasurementOptions measurement;
   RetryPolicy retry;
+  /// Reuse one application instance per (application, config, ranks) cell
+  /// per worker, reset between tasks, instead of constructing a fresh
+  /// instance for every task.  Sound because every harness measurement
+  /// begins with app.reset(); disable to force the fresh-instance-per-task
+  /// behaviour (e.g. for factories whose instances are not reset-stable).
+  bool pool_handles = true;
 };
 
 /// The key/value text form of a campaign sweep (`kcoup campaign --spec`).
 /// Application names stay as strings; the caller resolves them to factories
 /// (the CLI builds modeled NPB apps).  Format: one `key = value` per line,
 /// `#` comments, lists comma-separated.  Keys: apps, classes, procs, chains,
-/// repetitions, warmup, workers, machine, retry_rsd, retry_max.
+/// repetitions, warmup, epilogue_repetitions, workers, pool, machine,
+/// retry_rsd, retry_max.
 struct CampaignTextSpec {
   std::vector<std::string> applications;        ///< e.g. {"bt", "sp"}
   std::vector<std::string> configs;             ///< e.g. {"W", "A"}
@@ -93,6 +101,7 @@ struct CampaignTextSpec {
   coupling::MeasurementOptions measurement;
   RetryPolicy retry;
   std::size_t workers = 0;  ///< 0 = hardware concurrency
+  bool pool_handles = true;
   std::string machine = "ibm-sp";
 };
 
@@ -112,10 +121,17 @@ struct CampaignMetrics {
   std::size_t cache_hits = 0;          ///< chains served by the database
   std::size_t tasks_executed = 0;
   std::size_t tasks_retried = 0;       ///< extra attempts beyond the first
+  std::size_t handles_created = 0;     ///< factory calls by the executor
+  std::size_t handles_reused = 0;      ///< tasks served from a handle pool
   double plan_s = 0.0;
   double measure_s = 0.0;
   double assemble_s = 0.0;
   double wall_s = 0.0;
+  /// Per-task measurement wall-clock (handle acquisition included), over the
+  /// tasks this campaign actually executed; all zero when none ran.
+  double task_min_s = 0.0;
+  double task_max_s = 0.0;
+  double task_mean_s = 0.0;
 
   [[nodiscard]] report::Table to_table() const;
   /// Header line + one data row.

@@ -7,6 +7,7 @@
 #include <mutex>
 #include <stdexcept>
 #include <thread>
+#include <tuple>
 
 #include "coupling/analysis.hpp"
 #include "support/thread_pool.hpp"
@@ -25,14 +26,41 @@ double seconds_since(Clock::time_point t0) {
 struct TaskOutcome {
   double value = 0.0;
   int attempts = 1;
+  double measure_s = 0.0;  ///< wall-clock of this task, acquisition included
 };
 
-/// Perform one atomic measurement on a fresh application instance, retrying
-/// when the repetition samples are too noisy.  With the default (infinite)
-/// threshold the first measurement is always kept, which is what makes the
-/// executor bit-identical to the serial path.
-TaskOutcome measure_task(const CampaignSpec& spec, const MeasurementTask& task) {
-  const AppHandle handle = spec.studies[task.study].factory();
+/// Per-worker store of reusable application instances, one per study cell.
+/// Each worker owns its pool exclusively, so acquisition needs no locking;
+/// reuse is sound because every harness measurement starts with app.reset().
+struct HandlePool {
+  std::map<std::tuple<std::string, std::string, int>, AppHandle> handles;
+  std::size_t created = 0;
+  std::size_t reused = 0;
+
+  const AppHandle& acquire(const CampaignSpec& spec,
+                           const MeasurementTask& task) {
+    auto key = std::make_tuple(task.key.application, task.key.config,
+                               task.key.ranks);
+    const auto it = handles.find(key);
+    if (it != handles.end()) {
+      ++reused;
+      return it->second;
+    }
+    ++created;
+    return handles
+        .emplace(std::move(key), spec.studies[task.study].factory())
+        .first->second;
+  }
+};
+
+/// Perform one atomic measurement, retrying when the repetition samples are
+/// too noisy.  Retries *merge* their samples into the running statistics —
+/// earlier repetitions are evidence, not waste, and a merged estimate cannot
+/// oscillate the way keep-only-the-last-attempt did.  With the default
+/// (infinite) threshold the first measurement is always kept, which is what
+/// makes the executor bit-identical to the serial path.
+TaskOutcome measure_task(const CampaignSpec& spec, const MeasurementTask& task,
+                         const AppHandle& handle) {
   const coupling::MeasurementHarness harness(&handle.app(), spec.measurement);
 
   TaskOutcome out;
@@ -59,11 +87,43 @@ TaskOutcome measure_task(const CampaignSpec& spec, const MeasurementTask& task) 
   while (out.attempts < retry.max_attempts && stats.count() > 1 &&
          stats.mean() > 0.0 &&
          stats.stddev() / stats.mean() > retry.max_relative_stddev) {
-    stats = sample();
+    stats.merge(sample());
     ++out.attempts;
   }
   out.value = stats.mean();
   return out;
+}
+
+/// Run one task end to end: acquire (or build) the application instance,
+/// measure, and record the task's wall-clock.
+TaskOutcome run_task(const CampaignSpec& spec, const MeasurementTask& task,
+                     HandlePool& pool) {
+  const Clock::time_point t0 = Clock::now();
+  TaskOutcome out;
+  if (spec.pool_handles) {
+    out = measure_task(spec, task, pool.acquire(spec, task));
+  } else {
+    ++pool.created;
+    out = measure_task(spec, task, spec.studies[task.study].factory());
+  }
+  out.measure_s = seconds_since(t0);
+  return out;
+}
+
+/// Longest-task-first submission order: schedule by descending planner cost
+/// so an expensive straggler cannot serialize the tail of the pool, with the
+/// task key as a deterministic tie-break.
+std::vector<const MeasurementTask*> cost_sorted(
+    const std::vector<MeasurementTask>& tasks) {
+  std::vector<const MeasurementTask*> order;
+  order.reserve(tasks.size());
+  for (const MeasurementTask& t : tasks) order.push_back(&t);
+  std::sort(order.begin(), order.end(),
+            [](const MeasurementTask* a, const MeasurementTask* b) {
+              if (a->cost != b->cost) return a->cost > b->cost;
+              return a->key < b->key;
+            });
+  return order;
 }
 
 }  // namespace
@@ -86,26 +146,45 @@ CampaignResult execute_plan(const CampaignSpec& spec, const CampaignPlan& plan,
   for (const MeasurementTask& t : plan.tasks) outcomes[t.key];
 
   const Clock::time_point measure0 = Clock::now();
+  std::size_t handles_created = 0;
+  std::size_t handles_reused = 0;
   if (workers <= 1) {
+    HandlePool handle_pool;
     for (const MeasurementTask& t : plan.tasks) {
-      outcomes[t.key] = measure_task(spec, t);
+      outcomes[t.key] = run_task(spec, t, handle_pool);
     }
+    handles_created = handle_pool.created;
+    handles_reused = handle_pool.reused;
   } else {
     std::mutex error_mutex;
     std::exception_ptr first_error;
-    support::ThreadPool pool(workers);
-    for (const MeasurementTask& t : plan.tasks) {
-      TaskOutcome* slot = &outcomes.find(t.key)->second;
-      pool.submit([&spec, &t, slot, &error_mutex, &first_error] {
-        try {
-          *slot = measure_task(spec, t);
-        } catch (...) {
-          std::lock_guard<std::mutex> lock(error_mutex);
-          if (!first_error) first_error = std::current_exception();
-        }
-      });
+    // One handle pool per worker: a worker indexes its own pool through
+    // ThreadPool::this_worker_index(), so pooled handles are never shared
+    // between threads and acquisition is lock-free.  The pools (and every
+    // handle they hold) are released when this scope unwinds, error or not.
+    std::vector<HandlePool> handle_pools(workers);
+    {
+      support::ThreadPool pool(workers);
+      for (const MeasurementTask* t : cost_sorted(plan.tasks)) {
+        TaskOutcome* slot = &outcomes.find(t->key)->second;
+        pool.submit([&spec, t, slot, &handle_pools, &error_mutex,
+                     &first_error] {
+          try {
+            *slot = run_task(
+                spec, *t,
+                handle_pools[support::ThreadPool::this_worker_index()]);
+          } catch (...) {
+            std::lock_guard<std::mutex> lock(error_mutex);
+            if (!first_error) first_error = std::current_exception();
+          }
+        });
+      }
+      pool.wait_idle();
     }
-    pool.wait_idle();
+    for (const HandlePool& p : handle_pools) {
+      handles_created += p.created;
+      handles_reused += p.reused;
+    }
     if (first_error) std::rethrow_exception(first_error);
   }
   const double measure_s = seconds_since(measure0);
@@ -190,8 +269,17 @@ CampaignResult execute_plan(const CampaignSpec& spec, const CampaignPlan& plan,
   m.tasks_deduplicated = plan.tasks_deduplicated;
   m.cache_hits = plan.cache_hits;
   m.tasks_executed = plan.tasks.size();
+  m.handles_created = handles_created;
+  m.handles_reused = handles_reused;
+  trace::RunningStats task_times;
   for (const auto& [k, o] : outcomes) {
     m.tasks_retried += static_cast<std::size_t>(o.attempts - 1);
+    task_times.add(o.measure_s);
+  }
+  if (task_times.count() > 0) {
+    m.task_min_s = task_times.min();
+    m.task_max_s = task_times.max();
+    m.task_mean_s = task_times.mean();
   }
   m.measure_s = measure_s;
   m.assemble_s = assemble_s;

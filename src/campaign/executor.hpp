@@ -17,10 +17,15 @@ struct CampaignResult {
 };
 
 /// Execute a plan with `workers` threads (0 = hardware concurrency, 1 =
-/// fully serial, no pool).  Every task instantiates a fresh application via
-/// its study's factory, so tasks are independent; results land in a keyed
-/// store and assembly is deterministic — the same StudyResults regardless of
-/// worker count, and bit-identical to coupling::run_study() on each cell.
+/// fully serial, no pool).  By default each worker keeps one application
+/// instance per study cell and reuses it across that cell's tasks (every
+/// measurement starts from app.reset(), so instances are interchangeable);
+/// set CampaignSpec::pool_handles = false to instantiate a fresh application
+/// per task instead.  Tasks are submitted longest-estimated-first so a
+/// straggler cannot serialize the tail.  Results land in a keyed store and
+/// assembly is deterministic — the same StudyResults regardless of worker
+/// count, pooling or submission order, and bit-identical to
+/// coupling::run_study() on each cell.
 [[nodiscard]] CampaignResult execute_plan(const CampaignSpec& spec,
                                           const CampaignPlan& plan,
                                           std::size_t workers = 0);

@@ -22,6 +22,30 @@ TaskKey cell_key(const CampaignStudy& s, TaskKind kind, std::size_t index,
   return TaskKey{s.application, s.config, s.ranks, kind, index, length};
 }
 
+/// Estimated execution cost in kernel invocations, mirroring what the
+/// MeasurementHarness actually runs for each task kind.
+double task_cost(const TaskKey& key, const StudyShape& shape,
+                 const coupling::MeasurementOptions& m) {
+  const double full_run = static_cast<double>(shape.prologue_size) +
+                          static_cast<double>(shape.iterations) *
+                              static_cast<double>(shape.loop_size) +
+                          static_cast<double>(shape.epilogue_size);
+  switch (key.kind) {
+    case TaskKind::kChain:
+      return static_cast<double>(key.length) *
+             static_cast<double>(m.repetitions + m.warmup);
+    case TaskKind::kActual:
+      return full_run;
+    case TaskKind::kPrologue:
+      return static_cast<double>(key.index + 1) *
+             static_cast<double>(m.repetitions);
+    case TaskKind::kEpilogue:
+      return static_cast<double>(m.epilogue_repetitions) *
+             (full_run + static_cast<double>(key.index + 1));
+  }
+  return 1.0;
+}
+
 }  // namespace
 
 std::string to_string(const TaskKey& key) {
@@ -91,7 +115,8 @@ CampaignPlan plan_campaign(const CampaignSpec& spec,
   std::set<TaskKey> planned;
   auto add = [&](std::size_t study, TaskKey key) {
     if (planned.insert(key).second) {
-      plan.tasks.push_back(MeasurementTask{std::move(key), study});
+      const double cost = task_cost(key, plan.shapes[study], spec.measurement);
+      plan.tasks.push_back(MeasurementTask{std::move(key), study, cost});
     }
   };
 

@@ -47,10 +47,15 @@ struct StudyShape {
 };
 
 /// One task to execute: its identity plus a study whose factory can build
-/// the application that performs it.
+/// the application that performs it.  `cost` is the planner's execution-cost
+/// estimate in kernel invocations — chain traversals multiply chain length
+/// by the repetition budget, actual/epilogue tasks pay for full application
+/// runs — which the executor uses to schedule longest-task-first so one
+/// expensive straggler cannot serialize the tail of the worker pool.
 struct MeasurementTask {
   TaskKey key;
   std::size_t study = 0;
+  double cost = 1.0;
 };
 
 /// The deduplicated execution plan for a campaign.  All tasks are mutually

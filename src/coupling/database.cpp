@@ -1,8 +1,8 @@
 #include "coupling/database.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <istream>
-#include <limits>
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
@@ -48,18 +48,28 @@ std::optional<CouplingRecord> CouplingDatabase::find(
 
 std::optional<CouplingRecord> CouplingDatabase::find_nearest_ranks(
     const CouplingKey& key) const {
+  // Log-scale distance |log p - log t| orders candidates exactly like the
+  // ratio max(p,t)/min(p,t), which integer cross-multiplication compares
+  // without rounding — so equidistant candidates (e.g. P=2 and P=8 for a
+  // P=4 target) are recognised exactly and tie-break on the smaller rank
+  // count, never on record insertion order.
+  const auto closer = [&key](int p, int q) {
+    const long long pn = std::max(p, key.ranks);
+    const long long pd = std::min(p, key.ranks);
+    const long long qn = std::max(q, key.ranks);
+    const long long qd = std::min(q, key.ranks);
+    return pn * qd < qn * pd;  // pn/pd < qn/qd
+  };
   const CouplingRecord* best = nullptr;
-  double best_distance = std::numeric_limits<double>::infinity();
   for (const CouplingRecord& r : records_) {
     if (r.key.application != key.application || r.key.config != key.config ||
         r.key.chain_length != key.chain_length ||
         r.key.chain_start != key.chain_start) {
       continue;
     }
-    const double d = std::fabs(std::log(static_cast<double>(r.key.ranks)) -
-                               std::log(static_cast<double>(key.ranks)));
-    if (d < best_distance) {
-      best_distance = d;
+    if (best == nullptr || closer(r.key.ranks, best->key.ranks) ||
+        (!closer(best->key.ranks, r.key.ranks) &&
+         r.key.ranks < best->key.ranks)) {
       best = &r;
     }
   }

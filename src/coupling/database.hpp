@@ -68,7 +68,9 @@ class CouplingDatabase {
 
   /// Reuse lookup: the record for the same application/config/chain with
   /// the processor count nearest to `ranks` (log-scale distance; exact hits
-  /// included).  Returns nullopt if no candidate exists.
+  /// included).  Equidistant candidates resolve to the smaller rank count,
+  /// independent of insertion order.  Returns nullopt if no candidate
+  /// exists.
   [[nodiscard]] std::optional<CouplingRecord> find_nearest_ranks(
       const CouplingKey& key) const;
 

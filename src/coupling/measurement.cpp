@@ -78,10 +78,9 @@ trace::RunningStats MeasurementHarness::epilogue_stats(
     std::size_t index) const {
   assert(index < app_->epilogue.size());
   // Epilogue kernels see end-of-run state; one application run per sample is
-  // expensive, so sample fewer times (they contribute a single invocation).
-  const int reps = 3;
+  // expensive, so they get their own (smaller) repetition budget.
   trace::RunningStats stats;
-  for (int r = 0; r < reps; ++r) {
+  for (int r = 0; r < options_.epilogue_repetitions; ++r) {
     app_->reset();
     for (Kernel* k : app_->prologue) k->invoke();
     for (int it = 0; it < app_->iterations; ++it) {

@@ -17,6 +17,10 @@ namespace kcoup::coupling {
 struct MeasurementOptions {
   int repetitions = 50;
   int warmup = 3;
+  /// Samples per epilogue kernel.  Each sample costs a full application run
+  /// (prologue + iterations x main loop), so the default is deliberately
+  /// smaller than `repetitions`.
+  int epilogue_repetitions = 3;
 };
 
 /// Performs the paper's three kinds of measurements on a LoopApplication:

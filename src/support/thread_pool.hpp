@@ -18,11 +18,17 @@ namespace kcoup::support {
 /// after the pool drains).
 class ThreadPool {
  public:
+  /// Returned by this_worker_index() on threads that are not pool workers.
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
   explicit ThreadPool(std::size_t workers) {
     if (workers == 0) workers = 1;
     workers_.reserve(workers);
     for (std::size_t i = 0; i < workers; ++i) {
-      workers_.emplace_back([this] { run(); });
+      workers_.emplace_back([this, i] {
+        tls_worker_index_ = i;
+        run();
+      });
     }
   }
 
@@ -54,6 +60,14 @@ class ThreadPool {
 
   [[nodiscard]] std::size_t worker_count() const { return workers_.size(); }
 
+  /// Index in [0, worker_count()) of the pool worker executing the calling
+  /// thread, or `npos` off-pool.  Lets jobs keep per-worker state (e.g. the
+  /// campaign executor's application-handle pools) without synchronisation.
+  /// A worker of a nested pool sees the index the innermost pool assigned.
+  [[nodiscard]] static std::size_t this_worker_index() {
+    return tls_worker_index_;
+  }
+
  private:
   void run() {
     std::unique_lock<std::mutex> lock(mutex_);
@@ -73,6 +87,8 @@ class ThreadPool {
       if (queue_.empty() && active_ == 0) idle_.notify_all();
     }
   }
+
+  inline static thread_local std::size_t tls_worker_index_ = npos;
 
   std::mutex mutex_;
   std::condition_variable wake_;

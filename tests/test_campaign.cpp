@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <memory>
 #include <sstream>
@@ -257,6 +258,153 @@ TEST(CampaignMultiWorkerTest, DatabaseRoundTripKeepsResultsIdentical) {
   }
 }
 
+TEST(CampaignMultiWorkerTest, PoolingOnOrOffIsBitIdenticalToSerial) {
+  CampaignSpec spec = npb_campaign_spec();
+  const std::vector<coupling::StudyResult> expected = serial_reference(spec);
+
+  for (bool pooled : {true, false}) {
+    spec.pool_handles = pooled;
+    for (std::size_t workers : {1u, 4u}) {
+      const CampaignResult result = run_campaign(spec, workers);
+      ASSERT_EQ(result.studies.size(), expected.size());
+      for (std::size_t s = 0; s < expected.size(); ++s) {
+        SCOPED_TRACE("pooled=" + std::to_string(pooled) +
+                     " workers=" + std::to_string(workers) +
+                     " study=" + std::to_string(s));
+        expect_identical(result.studies[s], expected[s]);
+      }
+    }
+  }
+}
+
+TEST(CampaignMultiWorkerTest, HandlePoolMetricsAccountForEveryTask) {
+  CampaignSpec spec;
+  spec.chain_lengths = {2};
+  spec.studies.push_back(synthetic_cell("A", 1, 4, 1.0));
+  spec.studies.push_back(synthetic_cell("B", 1, 4, 2.0));
+
+  // Pooled: every task either created a handle or reused one, and each
+  // (worker, cell) pair creates at most one handle.
+  for (std::size_t workers : {1u, 3u}) {
+    const CampaignResult pooled = run_campaign(spec, workers);
+    EXPECT_EQ(pooled.metrics.handles_created + pooled.metrics.handles_reused,
+              pooled.metrics.tasks_executed);
+    EXPECT_GE(pooled.metrics.handles_created, spec.studies.size());
+    EXPECT_LE(pooled.metrics.handles_created,
+              pooled.metrics.workers * spec.studies.size());
+    EXPECT_GT(pooled.metrics.handles_reused, 0u);
+  }
+
+  // Pooling disabled: one fresh handle per task, nothing reused.
+  spec.pool_handles = false;
+  const CampaignResult fresh = run_campaign(spec, 3);
+  EXPECT_EQ(fresh.metrics.handles_created, fresh.metrics.tasks_executed);
+  EXPECT_EQ(fresh.metrics.handles_reused, 0u);
+}
+
+TEST(CampaignMultiWorkerTest, TaskTimeMetricsAreCoherent) {
+  CampaignSpec spec;
+  spec.chain_lengths = {2, 3};
+  spec.studies.push_back(synthetic_cell("A", 1, 4, 1.0));
+  const CampaignResult result = run_campaign(spec, 2);
+  EXPECT_GE(result.metrics.task_min_s, 0.0);
+  EXPECT_GE(result.metrics.task_mean_s, result.metrics.task_min_s);
+  EXPECT_GE(result.metrics.task_max_s, result.metrics.task_mean_s);
+}
+
+// --- Executor error path -----------------------------------------------------
+
+/// Counts live instances so tests can prove the executor's handle pools are
+/// fully drained — success or error.
+struct CountedOwner {
+  inline static std::atomic<int> live{0};
+  SyntheticApp inner;
+  explicit CountedOwner(std::size_t loop_size) : inner(loop_size, 1.0) {
+    ++live;
+  }
+  ~CountedOwner() { --live; }
+  [[nodiscard]] const coupling::LoopApplication& app() const {
+    return inner.app;
+  }
+};
+
+TEST(CampaignErrorTest, ThrowingFactoryRethrowsFirstErrorAndLeaksNoHandles) {
+  // The factory succeeds while the planner captures study shapes, then
+  // throws for every executor acquisition.
+  auto calls = std::make_shared<std::atomic<int>>(0);
+  CampaignSpec spec;
+  spec.chain_lengths = {2};
+  CampaignStudy cell;
+  cell.application = "BOOM";
+  cell.config = "C";
+  cell.ranks = 1;
+  cell.factory = [calls] {
+    if (calls->fetch_add(1) >= 1) {
+      throw std::runtime_error("factory exploded");
+    }
+    return own_app(std::make_unique<CountedOwner>(3));
+  };
+  spec.studies.push_back(std::move(cell));
+
+  for (std::size_t workers : {1u, 4u}) {
+    calls->store(0);
+    EXPECT_THROW((void)run_campaign(spec, workers), std::runtime_error);
+    EXPECT_EQ(CountedOwner::live.load(), 0)
+        << workers << " workers leaked handles";
+  }
+}
+
+TEST(CampaignErrorTest, MidCampaignFactoryFailureDrainsPool) {
+  // Several cells; one cell's factory throws on every executor call.  The
+  // good cells' handles must still be released and the error must surface.
+  auto calls = std::make_shared<std::atomic<int>>(0);
+  CampaignSpec spec;
+  spec.chain_lengths = {2};
+  for (int i = 0; i < 3; ++i) {
+    CampaignStudy good;
+    good.application = "GOOD" + std::to_string(i);
+    good.config = "C";
+    good.ranks = 1;
+    good.factory = [] { return own_app(std::make_unique<CountedOwner>(3)); };
+    spec.studies.push_back(std::move(good));
+  }
+  CampaignStudy bad;
+  bad.application = "BAD";
+  bad.config = "C";
+  bad.ranks = 1;
+  bad.factory = [calls] {
+    if (calls->fetch_add(1) >= 1) {
+      throw std::runtime_error("mid-campaign failure");
+    }
+    return own_app(std::make_unique<CountedOwner>(3));
+  };
+  spec.studies.push_back(std::move(bad));
+
+  EXPECT_THROW((void)run_campaign(spec, 4), std::runtime_error);
+  EXPECT_EQ(CountedOwner::live.load(), 0);
+}
+
+// --- Cost annotation ---------------------------------------------------------
+
+TEST(PlannerTest, AnnotatesTasksWithExecutionCostEstimates) {
+  CampaignSpec spec;
+  spec.measurement.repetitions = 10;
+  spec.measurement.warmup = 2;
+  spec.chain_lengths = {2, 3};
+  spec.studies.push_back(synthetic_cell("A", 1, 3, 1.0));
+
+  const CampaignPlan plan = plan_campaign(spec);
+  double cost_q1 = 0.0, cost_q3 = 0.0;
+  for (const MeasurementTask& t : plan.tasks) {
+    EXPECT_GT(t.cost, 0.0) << to_string(t.key);
+    if (t.key.kind == TaskKind::kChain && t.key.length == 1) cost_q1 = t.cost;
+    if (t.key.kind == TaskKind::kChain && t.key.length == 3) cost_q3 = t.cost;
+  }
+  // A q=3 chain traverses three kernels per repetition: 3x the q=1 cost.
+  EXPECT_DOUBLE_EQ(cost_q1, 1.0 * (10 + 2));
+  EXPECT_DOUBLE_EQ(cost_q3, 3.0 * (10 + 2));
+}
+
 TEST(CampaignMultiWorkerTest, SyntheticManyCellsStress) {
   CampaignSpec spec;
   spec.chain_lengths = {2, 3};
@@ -319,6 +467,53 @@ TEST(CampaignRetryTest, NoisyMeasurementsAreRetriedUpToTheBudget) {
   EXPECT_EQ(result.metrics.tasks_retried, 2u);
 }
 
+TEST(CampaignRetryTest, RetriesMergeSamplesInsteadOfDiscardingThem) {
+  // The kernel's samples are scripted per instance: the actual run consumes
+  // one invocation (9), the isolated measurement's first attempt sees {1, 3}
+  // (rsd 0.71 -> retry), later attempts see constant 4s.  Merging keeps the
+  // early samples: mean over {1,3,4,4,4,4} = 10/3.  The old
+  // keep-only-the-last-attempt behaviour would report 4.0.
+  struct ScriptedOwner {
+    std::vector<double> script{9.0, 1.0, 3.0, 4.0, 4.0, 4.0, 4.0};
+    std::size_t calls = 0;
+    std::unique_ptr<coupling::CallableKernel> kernel;
+    coupling::LoopApplication app;
+    ScriptedOwner() {
+      app.name = "scripted";
+      app.iterations = 1;
+      kernel = std::make_unique<coupling::CallableKernel>("scripted", [this] {
+        const double v = calls < script.size() ? script[calls] : 4.0;
+        ++calls;
+        return v;
+      });
+      app.loop.push_back(kernel.get());
+    }
+    [[nodiscard]] const coupling::LoopApplication& a() const { return app; }
+  };
+
+  CampaignSpec spec;
+  spec.chain_lengths = {};
+  spec.measurement.repetitions = 2;
+  spec.measurement.warmup = 0;
+  spec.retry.max_relative_stddev = 0.10;
+  spec.retry.max_attempts = 3;
+
+  CampaignStudy cell;
+  cell.application = "SCRIPTED";
+  cell.config = "C";
+  cell.ranks = 1;
+  cell.factory = [] {
+    auto owner = std::make_unique<ScriptedOwner>();
+    const coupling::LoopApplication* app = &owner->app;
+    return AppHandle(std::shared_ptr<void>(std::move(owner)), app);
+  };
+  spec.studies.push_back(std::move(cell));
+
+  const CampaignResult result = run_campaign(spec, 1);
+  EXPECT_EQ(result.metrics.tasks_retried, 2u);
+  EXPECT_DOUBLE_EQ(result.studies[0].isolated_means[0], 10.0 / 3.0);
+}
+
 TEST(CampaignRetryTest, DefaultPolicyNeverRetries) {
   CampaignSpec spec;
   spec.chain_lengths = {2};
@@ -339,6 +534,8 @@ TEST(CampaignTextSpecTest, ParsesFullSpec) {
       "repetitions = 10\n"
       "warmup = 1\n"
       "workers = 8\n"
+      "epilogue_repetitions = 7\n"
+      "pool = off\n"
       "machine = generic-smp\n"
       "retry_rsd = 0.25\n"
       "retry_max = 4\n");
@@ -349,6 +546,8 @@ TEST(CampaignTextSpecTest, ParsesFullSpec) {
   EXPECT_EQ(spec.chain_lengths, (std::vector<std::size_t>{2, 3}));
   EXPECT_EQ(spec.measurement.repetitions, 10);
   EXPECT_EQ(spec.measurement.warmup, 1);
+  EXPECT_EQ(spec.measurement.epilogue_repetitions, 7);
+  EXPECT_FALSE(spec.pool_handles);
   EXPECT_EQ(spec.workers, 8u);
   EXPECT_EQ(spec.machine, "generic-smp");
   EXPECT_DOUBLE_EQ(spec.retry.max_relative_stddev, 0.25);
@@ -360,6 +559,8 @@ TEST(CampaignTextSpecTest, DefaultsAndMinimalSpec) {
   const CampaignTextSpec spec = parse_campaign_text(in);
   EXPECT_EQ(spec.chain_lengths, (std::vector<std::size_t>{2}));
   EXPECT_EQ(spec.measurement.repetitions, 50);
+  EXPECT_EQ(spec.measurement.epilogue_repetitions, 3);
+  EXPECT_TRUE(spec.pool_handles);
   EXPECT_EQ(spec.workers, 0u);
   EXPECT_EQ(spec.machine, "ibm-sp");
 }
@@ -385,6 +586,15 @@ TEST(CampaignTextSpecTest, RejectsMalformedInput) {
     std::istringstream in("just some words\n");
     EXPECT_THROW(parse_campaign_text(in), std::runtime_error);
   }
+  {
+    std::istringstream in("apps=bt\nclasses=S\nprocs=4\npool=maybe\n");
+    EXPECT_THROW(parse_campaign_text(in), std::runtime_error);
+  }
+  {
+    std::istringstream in(
+        "apps=bt\nclasses=S\nprocs=4\nepilogue_repetitions=0\n");
+    EXPECT_THROW(parse_campaign_text(in), std::runtime_error);
+  }
 }
 
 // --- Metrics rendering -------------------------------------------------------
@@ -400,11 +610,15 @@ TEST(CampaignMetricsTest, ExportsTableCsvAndJsonl) {
 
   const std::string csv = result.metrics.to_csv();
   EXPECT_NE(csv.find("tasks_deduplicated"), std::string::npos);
+  EXPECT_NE(csv.find("handles_created"), std::string::npos);
+  EXPECT_NE(csv.find("task_mean_s"), std::string::npos);
   EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 2);
 
   const std::string jsonl = result.metrics.to_jsonl();
   EXPECT_EQ(jsonl.front(), '{');
   EXPECT_NE(jsonl.find("\"tasks_planned\":"), std::string::npos);
+  EXPECT_NE(jsonl.find("\"handles_reused\":"), std::string::npos);
+  EXPECT_NE(jsonl.find("\"task_max_s\":"), std::string::npos);
   EXPECT_EQ(std::count(jsonl.begin(), jsonl.end(), '\n'), 1);
 }
 

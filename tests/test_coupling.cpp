@@ -92,6 +92,25 @@ TEST(MeasurementTest, ActualTotalCountsEverything) {
   EXPECT_DOUBLE_EQ(h.actual_total(), 30.0);
 }
 
+TEST(MeasurementTest, EpilogueStatsHonourEpilogueRepetitions) {
+  SyntheticApp s({{1.0, 0.0}}, 2);
+  int epilogue_calls = 0;
+  CallableKernel final("final", [&epilogue_calls] {
+    ++epilogue_calls;
+    return 7.0;
+  });
+  s.app.epilogue.push_back(&final);
+
+  MeasurementOptions options;
+  options.repetitions = 50;  // must NOT drive the epilogue sample count
+  options.epilogue_repetitions = 5;
+  MeasurementHarness h(&s.app, options);
+  const trace::RunningStats stats = h.epilogue_stats(0);
+  EXPECT_EQ(stats.count(), 5u);
+  EXPECT_EQ(epilogue_calls, 5);
+  EXPECT_DOUBLE_EQ(stats.mean(), 7.0);
+}
+
 TEST(CouplingValueTest, NoInteractionGivesUnity) {
   SyntheticApp s({{3.0, 0.0}, {5.0, 0.0}, {7.0, 0.0}}, 2);
   MeasurementHarness h(&s.app, MeasurementOptions{5, 1});

@@ -90,6 +90,27 @@ TEST(DatabaseTest, NearestRanksPrefersLogDistance) {
             36);
 }
 
+TEST(DatabaseTest, NearestRanksTieBreaksOnSmallerRankCount) {
+  // P=2 and P=8 are log-equidistant from a P=4 target.  The winner must be
+  // the smaller rank count regardless of record insertion order.
+  {
+    CouplingDatabase db;
+    db.record(CouplingRecord{CouplingKey{"BT", "A", 8, 2, 0}, 1.0, 1.0});
+    db.record(CouplingRecord{CouplingKey{"BT", "A", 2, 2, 0}, 2.0, 2.0});
+    const auto r = db.find_nearest_ranks(CouplingKey{"BT", "A", 4, 2, 0});
+    ASSERT_TRUE(r.has_value());
+    EXPECT_EQ(r->key.ranks, 2);
+  }
+  {
+    CouplingDatabase db;
+    db.record(CouplingRecord{CouplingKey{"BT", "A", 2, 2, 0}, 2.0, 2.0});
+    db.record(CouplingRecord{CouplingKey{"BT", "A", 8, 2, 0}, 1.0, 1.0});
+    const auto r = db.find_nearest_ranks(CouplingKey{"BT", "A", 4, 2, 0});
+    ASSERT_TRUE(r.has_value());
+    EXPECT_EQ(r->key.ranks, 2);
+  }
+}
+
 TEST(DatabaseTest, OtherConfigPrefersRequested) {
   CouplingDatabase db;
   db.record(CouplingRecord{CouplingKey{"BT", "S", 4, 2, 0}, 1.0, 1.0});

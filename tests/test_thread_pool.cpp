@@ -46,6 +46,31 @@ TEST(ThreadPoolTest, WaitIdleIsReusable) {
   }
 }
 
+TEST(ThreadPoolTest, WorkerIndexIsStablePerWorkerAndInRange) {
+  // Off-pool threads have no index.
+  EXPECT_EQ(ThreadPool::this_worker_index(), ThreadPool::npos);
+
+  constexpr std::size_t kWorkers = 4;
+  ThreadPool pool(kWorkers);
+  std::vector<std::atomic<int>> hits(kWorkers);
+  std::atomic<bool> out_of_range{false};
+  for (int i = 0; i < 200; ++i) {
+    pool.submit([&hits, &out_of_range] {
+      const std::size_t w = ThreadPool::this_worker_index();
+      if (w >= kWorkers) {
+        out_of_range = true;
+      } else {
+        hits[w].fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  pool.wait_idle();
+  EXPECT_FALSE(out_of_range.load());
+  int total = 0;
+  for (const auto& h : hits) total += h.load();
+  EXPECT_EQ(total, 200);
+}
+
 TEST(ThreadPoolTest, JobsMaySubmitMoreJobs) {
   ThreadPool pool(3);
   std::atomic<int> count{0};

@@ -427,6 +427,10 @@ int cmd_campaign(const Args& args) {
     text.measurement.warmup =
         require_min("warmup", parse_int_arg("warmup", *v), 0);
   }
+  if (const auto v = args.maybe("epilogue-reps")) {
+    text.measurement.epilogue_repetitions =
+        require_min("epilogue-reps", parse_int_arg("epilogue-reps", *v), 1);
+  }
   if (const auto v = args.maybe("workers")) {
     text.workers = static_cast<std::size_t>(
         require_min("workers", parse_int_arg("workers", *v), 0));
@@ -441,6 +445,7 @@ int cmd_campaign(const Args& args) {
   }
   const bool serial = args.flag("serial");
   const bool quiet = args.flag("quiet");
+  if (args.flag("no-pool")) text.pool_handles = false;
   const auto db_path = args.maybe("db");
   const auto metrics_csv = args.maybe("metrics-csv");
   const auto metrics_jsonl = args.maybe("metrics-jsonl");
@@ -451,6 +456,7 @@ int cmd_campaign(const Args& args) {
   spec.chain_lengths = text.chain_lengths;
   spec.measurement = text.measurement;
   spec.retry = text.retry;
+  spec.pool_handles = text.pool_handles;
   for (const std::string& app_name : text.applications) {
     const npb::Benchmark bench = parse_benchmark(app_name);
     for (const std::string& cls_name : text.configs) {
@@ -578,6 +584,7 @@ void usage() {
       "  kcoup campaign    --apps bt,sp --classes S,W --procs 4,9\n"
       "                    [--chains 2,3] [--workers N | --serial] [--quiet]\n"
       "                    [--spec file] [--reps R] [--warmup W]\n"
+      "                    [--epilogue-reps R] [--no-pool]\n"
       "                    [--retry-rsd F] [--retry-max N] [--db store.csv]\n"
       "                    [--metrics-csv path] [--metrics-jsonl path]\n"
       "                    [--machine ibm-sp|generic-smp]\n"
@@ -594,7 +601,7 @@ int main(int argc, char** argv) {
   const std::string cmd = argv[1];
   try {
     std::set<std::string> bool_flags;
-    if (cmd == "campaign") bool_flags = {"serial", "quiet"};
+    if (cmd == "campaign") bool_flags = {"serial", "quiet", "no-pool"};
     const Args args(argc, argv, std::move(bool_flags));
     if (cmd == "study") return cmd_study(args);
     if (cmd == "transitions") return cmd_transitions(args);
