@@ -2,8 +2,11 @@
 
 #include <cstdio>
 #include <istream>
+#include <locale>
 #include <sstream>
 #include <stdexcept>
+
+#include "support/num_format.hpp"
 
 namespace kcoup::campaign {
 
@@ -40,15 +43,12 @@ int parse_int(const std::string& key, const std::string& value) {
 }
 
 double parse_double(const std::string& key, const std::string& value) {
-  try {
-    std::size_t pos = 0;
-    const double v = std::stod(value, &pos);
-    if (pos != value.size()) throw std::invalid_argument(value);
-    return v;
-  } catch (const std::exception&) {
-    throw std::runtime_error("campaign spec: bad number for '" + key +
-                             "': '" + value + "'");
+  const auto v = support::parse_double(value);
+  if (!v.has_value()) {
+    throw std::runtime_error("campaign spec: bad number for '" + key + "': '" +
+                             value + "'");
   }
+  return *v;
 }
 
 bool parse_bool(const std::string& key, const std::string& value) {
@@ -60,6 +60,12 @@ bool parse_bool(const std::string& key, const std::string& value) {
   }
   throw std::runtime_error("campaign spec: bad boolean for '" + key + "': '" +
                            value + "' (use on/off)");
+}
+
+[[noreturn]] void reject(std::size_t line_no, const std::string& key,
+                         const std::string& why) {
+  throw std::runtime_error("campaign spec line " + std::to_string(line_no) +
+                           ": '" + key + "' " + why);
 }
 
 }  // namespace
@@ -92,47 +98,45 @@ CampaignTextSpec parse_campaign_text(std::istream& in) {
     } else if (key == "procs" || key == "ranks") {
       spec.ranks.clear();
       for (const std::string& item : split_list(value)) {
-        spec.ranks.push_back(parse_int(key, item));
+        const int r = parse_int(key, item);
+        if (r < 1) reject(line_no, key, "entries must be >= 1");
+        spec.ranks.push_back(r);
       }
     } else if (key == "chains") {
       spec.chain_lengths.clear();
       for (const std::string& item : split_list(value)) {
         const int q = parse_int(key, item);
-        if (q < 1) {
-          throw std::runtime_error("campaign spec line " +
-                                   std::to_string(line_no) +
-                                   ": chain length must be >= 1");
-        }
+        if (q < 1) reject(line_no, key, "entries must be >= 1");
         spec.chain_lengths.push_back(static_cast<std::size_t>(q));
       }
     } else if (key == "repetitions") {
-      spec.measurement.repetitions = parse_int(key, value);
+      const int r = parse_int(key, value);
+      if (r < 1) reject(line_no, key, "must be >= 1");
+      spec.measurement.repetitions = r;
     } else if (key == "warmup") {
-      spec.measurement.warmup = parse_int(key, value);
+      const int w = parse_int(key, value);
+      if (w < 0) reject(line_no, key, "must be >= 0");
+      spec.measurement.warmup = w;
     } else if (key == "epilogue_repetitions") {
       const int r = parse_int(key, value);
-      if (r < 1) {
-        throw std::runtime_error("campaign spec line " +
-                                 std::to_string(line_no) +
-                                 ": epilogue_repetitions must be >= 1");
-      }
+      if (r < 1) reject(line_no, key, "must be >= 1");
       spec.measurement.epilogue_repetitions = r;
     } else if (key == "pool") {
       spec.pool_handles = parse_bool(key, value);
     } else if (key == "workers") {
       const int w = parse_int(key, value);
-      if (w < 0) {
-        throw std::runtime_error("campaign spec line " +
-                                 std::to_string(line_no) +
-                                 ": workers must be >= 0");
-      }
+      if (w < 0) reject(line_no, key, "must be >= 0");
       spec.workers = static_cast<std::size_t>(w);
     } else if (key == "machine") {
       spec.machine = value;
     } else if (key == "retry_rsd") {
-      spec.retry.max_relative_stddev = parse_double(key, value);
+      const double rsd = parse_double(key, value);
+      if (!(rsd >= 0.0)) reject(line_no, key, "must be >= 0");
+      spec.retry.max_relative_stddev = rsd;
     } else if (key == "retry_max") {
-      spec.retry.max_attempts = parse_int(key, value);
+      const int m = parse_int(key, value);
+      if (m < 1) reject(line_no, key, "must be >= 1");
+      spec.retry.max_attempts = m;
     } else {
       throw std::runtime_error("campaign spec line " + std::to_string(line_no) +
                                ": unknown key '" + key + "'");
@@ -148,6 +152,36 @@ CampaignTextSpec parse_campaign_text(std::istream& in) {
     throw std::runtime_error("campaign spec: missing 'procs'");
   }
   return spec;
+}
+
+std::string to_text(const CampaignTextSpec& spec) {
+  std::ostringstream out;
+  out.imbue(std::locale::classic());
+  auto list = [&out](const char* key, const auto& items) {
+    out << key << " = ";
+    bool first = true;
+    for (const auto& item : items) {
+      if (!first) out << ", ";
+      out << item;
+      first = false;
+    }
+    out << '\n';
+  };
+  list("apps", spec.applications);
+  list("classes", spec.configs);
+  list("procs", spec.ranks);
+  list("chains", spec.chain_lengths);
+  out << "repetitions = " << spec.measurement.repetitions << '\n';
+  out << "warmup = " << spec.measurement.warmup << '\n';
+  out << "epilogue_repetitions = " << spec.measurement.epilogue_repetitions
+      << '\n';
+  out << "workers = " << spec.workers << '\n';
+  out << "pool = " << (spec.pool_handles ? "on" : "off") << '\n';
+  out << "machine = " << spec.machine << '\n';
+  out << "retry_rsd = " << support::format_double(spec.retry.max_relative_stddev)
+      << '\n';
+  out << "retry_max = " << spec.retry.max_attempts << '\n';
+  return out.str();
 }
 
 report::Table CampaignMetrics::to_table() const {
@@ -167,8 +201,10 @@ report::Table CampaignMetrics::to_table() const {
   count("tasks planned", tasks_planned);
   count("tasks deduplicated", tasks_deduplicated);
   count("cache hits", cache_hits);
+  count("journal hits", journal_hits);
   count("tasks executed", tasks_executed);
   count("tasks retried", tasks_retried);
+  count("tasks failed", tasks_failed);
   count("handles created", handles_created);
   count("handles reused", handles_reused);
   secs("plan time", plan_s);
@@ -183,28 +219,32 @@ report::Table CampaignMetrics::to_table() const {
 
 std::string CampaignMetrics::to_csv() const {
   std::ostringstream out;
+  out.imbue(std::locale::classic());
   out << "studies,workers,tasks_requested,tasks_planned,tasks_deduplicated,"
-         "cache_hits,tasks_executed,tasks_retried,handles_created,"
-         "handles_reused,plan_s,measure_s,assemble_s,wall_s,task_min_s,"
-         "task_max_s,task_mean_s\n"
+         "cache_hits,journal_hits,tasks_executed,tasks_retried,tasks_failed,"
+         "handles_created,handles_reused,plan_s,measure_s,assemble_s,wall_s,"
+         "task_min_s,task_max_s,task_mean_s\n"
       << studies << ',' << workers << ',' << tasks_requested << ','
       << tasks_planned << ',' << tasks_deduplicated << ',' << cache_hits << ','
-      << tasks_executed << ',' << tasks_retried << ',' << handles_created
-      << ',' << handles_reused << ',' << plan_s << ',' << measure_s << ','
-      << assemble_s << ',' << wall_s << ',' << task_min_s << ',' << task_max_s
-      << ',' << task_mean_s << '\n';
+      << journal_hits << ',' << tasks_executed << ',' << tasks_retried << ','
+      << tasks_failed << ',' << handles_created << ',' << handles_reused << ','
+      << plan_s << ',' << measure_s << ',' << assemble_s << ',' << wall_s
+      << ',' << task_min_s << ',' << task_max_s << ',' << task_mean_s << '\n';
   return out.str();
 }
 
 std::string CampaignMetrics::to_jsonl() const {
   std::ostringstream out;
+  out.imbue(std::locale::classic());
   out << "{\"studies\":" << studies << ",\"workers\":" << workers
       << ",\"tasks_requested\":" << tasks_requested
       << ",\"tasks_planned\":" << tasks_planned
       << ",\"tasks_deduplicated\":" << tasks_deduplicated
       << ",\"cache_hits\":" << cache_hits
+      << ",\"journal_hits\":" << journal_hits
       << ",\"tasks_executed\":" << tasks_executed
       << ",\"tasks_retried\":" << tasks_retried
+      << ",\"tasks_failed\":" << tasks_failed
       << ",\"handles_created\":" << handles_created
       << ",\"handles_reused\":" << handles_reused << ",\"plan_s\":" << plan_s
       << ",\"measure_s\":" << measure_s << ",\"assemble_s\":" << assemble_s

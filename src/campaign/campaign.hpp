@@ -8,6 +8,7 @@
 #include <utility>
 #include <vector>
 
+#include "campaign/faultsim.hpp"
 #include "coupling/kernel.hpp"
 #include "coupling/measurement.hpp"
 #include "report/table.hpp"
@@ -85,6 +86,16 @@ struct CampaignSpec {
   /// begins with app.reset(); disable to force the fresh-instance-per-task
   /// behaviour (e.g. for factories whose instances are not reset-stable).
   bool pool_handles = true;
+  /// Deterministic fault injection (off by default).  When enabled, the
+  /// executor throws or perturbs the selected tasks; selection is a pure
+  /// function of (faults.seed, TaskKey), so the same plan fails the same
+  /// way at any worker count.
+  FaultPlan faults;
+  /// When non-empty, every completed task is appended to this JSONL journal
+  /// (write-then-flush) and, on the next run, keys already present in the
+  /// file are replayed into the plan as cache hits — a killed campaign
+  /// resumes without re-measuring.
+  std::string journal_path;
 };
 
 /// The key/value text form of a campaign sweep (`kcoup campaign --spec`).
@@ -105,9 +116,15 @@ struct CampaignTextSpec {
   std::string machine = "ibm-sp";
 };
 
-/// Parses the text form; throws std::runtime_error on unknown keys or
-/// malformed values.
+/// Parses the text form; throws std::runtime_error (naming the offending
+/// key) on unknown keys, malformed values, or nonsensical values
+/// (repetitions < 1, negative warmup, retry_max < 1, ...).
 [[nodiscard]] CampaignTextSpec parse_campaign_text(std::istream& in);
+
+/// Serializes a CampaignTextSpec back to the text form parse_campaign_text
+/// accepts; round-trips every field exactly (doubles are written with
+/// 17 significant digits in the C locale).
+[[nodiscard]] std::string to_text(const CampaignTextSpec& spec);
 
 /// Planner/executor observability: how much work the campaign asked for,
 /// how much was actually run, and where the time went.
@@ -119,8 +136,10 @@ struct CampaignMetrics {
   std::size_t tasks_planned = 0;       ///< after dedup and cache lookup
   std::size_t tasks_deduplicated = 0;  ///< requested - planned - cache hits
   std::size_t cache_hits = 0;          ///< chains served by the database
+  std::size_t journal_hits = 0;        ///< tasks replayed from a resume journal
   std::size_t tasks_executed = 0;
   std::size_t tasks_retried = 0;       ///< extra attempts beyond the first
+  std::size_t tasks_failed = 0;        ///< tasks that exhausted the retry budget
   std::size_t handles_created = 0;     ///< factory calls by the executor
   std::size_t handles_reused = 0;      ///< tasks served from a handle pool
   double plan_s = 0.0;

@@ -4,11 +4,16 @@
 #include <chrono>
 #include <cmath>
 #include <exception>
+#include <fstream>
+#include <limits>
+#include <memory>
 #include <mutex>
+#include <optional>
 #include <stdexcept>
 #include <thread>
 #include <tuple>
 
+#include "campaign/journal.hpp"
 #include "coupling/analysis.hpp"
 #include "support/thread_pool.hpp"
 #include "trace/stats.hpp"
@@ -27,6 +32,18 @@ struct TaskOutcome {
   double value = 0.0;
   int attempts = 1;
   double measure_s = 0.0;  ///< wall-clock of this task, acquisition included
+  bool ok = false;         ///< false until the task completes successfully
+};
+
+/// Failed tasks, collected across workers.
+struct FailureSink {
+  std::mutex mutex;
+  std::vector<TaskFailure> failures;
+
+  void record(const TaskKey& key, int attempts, const char* what) {
+    std::lock_guard<std::mutex> lock(mutex);
+    failures.push_back(TaskFailure{key, attempts, what});
+  }
 };
 
 /// Per-worker store of reusable application instances, one per study cell.
@@ -46,22 +63,29 @@ struct HandlePool {
       ++reused;
       return it->second;
     }
+    // The factory may throw (and with fault injection, is expected to):
+    // count the handle only once it actually exists.
+    AppHandle handle = spec.studies[task.study].factory();
     ++created;
-    return handles
-        .emplace(std::move(key), spec.studies[task.study].factory())
-        .first->second;
+    return handles.emplace(std::move(key), std::move(handle)).first->second;
   }
 };
 
 /// Perform one atomic measurement, retrying when the repetition samples are
 /// too noisy.  Retries *merge* their samples into the running statistics —
 /// earlier repetitions are evidence, not waste, and a merged estimate cannot
-/// oscillate the way keep-only-the-last-attempt did.  With the default
-/// (infinite) threshold the first measurement is always kept, which is what
-/// makes the executor bit-identical to the serial path.
+/// oscillate the way keep-only-the-last-attempt did.  `attempt_budget` is
+/// what remains of RetryPolicy::max_attempts after any exception-consumed
+/// attempts; with the default (infinite) threshold the first measurement is
+/// always kept, which is what makes the executor bit-identical to the
+/// serial path.
 TaskOutcome measure_task(const CampaignSpec& spec, const MeasurementTask& task,
-                         const AppHandle& handle) {
+                         const AppHandle& handle,
+                         const FaultSimulator* faults, int attempt_budget) {
   const coupling::MeasurementHarness harness(&handle.app(), spec.measurement);
+  if (faults != nullptr && faults->measure_throws(task.key)) {
+    throw FaultInjected(FaultKind::kMeasureThrow, task.key);
+  }
 
   TaskOutcome out;
   if (task.key.kind == TaskKind::kActual) {
@@ -83,8 +107,16 @@ TaskOutcome measure_task(const CampaignSpec& spec, const MeasurementTask& task,
   };
 
   trace::RunningStats stats = sample();
+  if (faults != nullptr) {
+    // An injected outlier: one extra sample at `factor` times the current
+    // mean widens the spread enough to trip a configured retry threshold,
+    // deterministically, on the first attempt only.
+    if (const auto factor = faults->noise_spike(task.key)) {
+      stats.add(stats.mean() * *factor);
+    }
+  }
   const RetryPolicy& retry = spec.retry;
-  while (out.attempts < retry.max_attempts && stats.count() > 1 &&
+  while (out.attempts < attempt_budget && stats.count() > 1 &&
          stats.mean() > 0.0 &&
          stats.stddev() / stats.mean() > retry.max_relative_stddev) {
     stats.merge(sample());
@@ -94,17 +126,53 @@ TaskOutcome measure_task(const CampaignSpec& spec, const MeasurementTask& task,
   return out;
 }
 
-/// Run one task end to end: acquire (or build) the application instance,
-/// measure, and record the task's wall-clock.
-TaskOutcome run_task(const CampaignSpec& spec, const MeasurementTask& task,
-                     HandlePool& pool) {
-  const Clock::time_point t0 = Clock::now();
-  TaskOutcome out;
+/// One measurement attempt: acquire (or build) the application instance and
+/// measure.  Construction faults fire here, before the pool is consulted,
+/// so an injected construction throw is independent of pooling state.
+TaskOutcome run_task_once(const CampaignSpec& spec,
+                          const MeasurementTask& task, HandlePool& pool,
+                          const FaultSimulator* faults, int attempt_budget) {
+  if (faults != nullptr && faults->construct_throws(task.key)) {
+    throw FaultInjected(FaultKind::kConstructThrow, task.key);
+  }
   if (spec.pool_handles) {
-    out = measure_task(spec, task, pool.acquire(spec, task));
-  } else {
-    ++pool.created;
-    out = measure_task(spec, task, spec.studies[task.study].factory());
+    return measure_task(spec, task, pool.acquire(spec, task), faults,
+                        attempt_budget);
+  }
+  AppHandle handle = spec.studies[task.study].factory();
+  ++pool.created;
+  return measure_task(spec, task, handle, faults, attempt_budget);
+}
+
+/// Run one task end to end with failure isolation: exceptions from the
+/// factory or the measurement consume the same attempt budget noisy samples
+/// do; once it is exhausted the failure is recorded in `sink` and the
+/// campaign moves on.  Only CampaignAborted (an injected crash) escapes.
+TaskOutcome execute_task(const CampaignSpec& spec, const MeasurementTask& task,
+                         HandlePool& pool, FaultSimulator* faults,
+                         FailureSink& sink) {
+  const Clock::time_point t0 = Clock::now();
+  if (faults != nullptr) faults->maybe_abort();
+  TaskOutcome out;
+  int attempts_spent = 0;
+  const int budget = std::max(1, spec.retry.max_attempts);
+  for (;;) {
+    try {
+      out = run_task_once(spec, task, pool, faults, budget - attempts_spent);
+      out.attempts += attempts_spent;
+      out.ok = true;
+      break;
+    } catch (const CampaignAborted&) {
+      throw;
+    } catch (const std::exception& e) {
+      ++attempts_spent;
+      if (attempts_spent >= budget) {
+        sink.record(task.key, attempts_spent, e.what());
+        out = TaskOutcome{};
+        out.attempts = attempts_spent;
+        break;
+      }
+    }
   }
   out.measure_s = seconds_since(t0);
   return out;
@@ -139,6 +207,19 @@ CampaignResult execute_plan(const CampaignSpec& spec, const CampaignPlan& plan,
   }
   workers = std::min(workers, std::max<std::size_t>(1, plan.tasks.size()));
 
+  FaultSimulator fault_sim(spec.faults);
+  FaultSimulator* faults = spec.faults.enabled() ? &fault_sim : nullptr;
+  FailureSink sink;
+  std::unique_ptr<TaskJournal> journal;
+  if (!spec.journal_path.empty()) {
+    journal = std::make_unique<TaskJournal>(spec.journal_path);
+  }
+  auto journal_done = [&journal](const TaskKey& key, const TaskOutcome& out) {
+    if (journal != nullptr && out.ok) {
+      journal->append(JournalEntry{key, out.value, out.attempts});
+    }
+  };
+
   // Keyed result store.  All keys are inserted up front so concurrent
   // workers only ever write distinct, pre-existing mapped values — the map's
   // structure is never mutated while the pool runs.
@@ -151,7 +232,9 @@ CampaignResult execute_plan(const CampaignSpec& spec, const CampaignPlan& plan,
   if (workers <= 1) {
     HandlePool handle_pool;
     for (const MeasurementTask& t : plan.tasks) {
-      outcomes[t.key] = run_task(spec, t, handle_pool);
+      const TaskOutcome out = execute_task(spec, t, handle_pool, faults, sink);
+      outcomes[t.key] = out;
+      journal_done(t.key, out);
     }
     handles_created = handle_pool.created;
     handles_reused = handle_pool.reused;
@@ -167,13 +250,17 @@ CampaignResult execute_plan(const CampaignSpec& spec, const CampaignPlan& plan,
       support::ThreadPool pool(workers);
       for (const MeasurementTask* t : cost_sorted(plan.tasks)) {
         TaskOutcome* slot = &outcomes.find(t->key)->second;
-        pool.submit([&spec, t, slot, &handle_pools, &error_mutex,
-                     &first_error] {
+        pool.submit([&spec, t, slot, &handle_pools, &error_mutex, &first_error,
+                     faults, &sink, &journal_done] {
           try {
-            *slot = run_task(
+            *slot = execute_task(
                 spec, *t,
-                handle_pools[support::ThreadPool::this_worker_index()]);
+                handle_pools[support::ThreadPool::this_worker_index()], faults,
+                sink);
+            journal_done(t->key, *slot);
           } catch (...) {
+            // execute_task isolates task failures; only an injected
+            // campaign abort (or a truly unexpected error) lands here.
             std::lock_guard<std::mutex> lock(error_mutex);
             if (!first_error) first_error = std::current_exception();
           }
@@ -190,9 +277,14 @@ CampaignResult execute_plan(const CampaignSpec& spec, const CampaignPlan& plan,
   const double measure_s = seconds_since(measure0);
 
   const Clock::time_point assemble0 = Clock::now();
-  auto value_of = [&](const TaskKey& key) -> double {
+  // nullopt == the task ran and failed; its values become explicit missing
+  // markers.  A key absent from both stores is a plan inconsistency.
+  auto value_of = [&](const TaskKey& key) -> std::optional<double> {
     const auto it = outcomes.find(key);
-    if (it != outcomes.end()) return it->second.value;
+    if (it != outcomes.end()) {
+      if (it->second.ok) return it->second.value;
+      return std::nullopt;
+    }
     const auto cached = plan.cached.find(key);
     if (cached != plan.cached.end()) return cached->second;
     throw std::logic_error("execute_plan: no result for " + to_string(key));
@@ -200,6 +292,7 @@ CampaignResult execute_plan(const CampaignSpec& spec, const CampaignPlan& plan,
 
   CampaignResult result;
   result.studies.reserve(spec.studies.size());
+  result.missing.resize(spec.studies.size());
   for (std::size_t s = 0; s < spec.studies.size(); ++s) {
     const CampaignStudy& cell = spec.studies[s];
     const StudyShape& shape = plan.shapes[s];
@@ -207,18 +300,23 @@ CampaignResult execute_plan(const CampaignSpec& spec, const CampaignPlan& plan,
       return TaskKey{cell.application, cell.config, cell.ranks, kind, index,
                      length};
     };
+    auto resolve = [&](const TaskKey& k) -> double {
+      if (const auto v = value_of(k)) return *v;
+      result.missing[s].push_back(k);
+      return std::numeric_limits<double>::quiet_NaN();
+    };
 
     coupling::StudyResult r;
-    r.actual_s = value_of(key(TaskKind::kActual, 0, 0));
+    r.actual_s = resolve(key(TaskKind::kActual, 0, 0));
     r.isolated_means.reserve(shape.loop_size);
     for (std::size_t k = 0; k < shape.loop_size; ++k) {
-      r.isolated_means.push_back(value_of(key(TaskKind::kChain, k, 1)));
+      r.isolated_means.push_back(resolve(key(TaskKind::kChain, k, 1)));
     }
     for (std::size_t i = 0; i < shape.prologue_size; ++i) {
-      r.prologue_s += value_of(key(TaskKind::kPrologue, i, 0));
+      r.prologue_s += resolve(key(TaskKind::kPrologue, i, 0));
     }
     for (std::size_t i = 0; i < shape.epilogue_size; ++i) {
-      r.epilogue_s += value_of(key(TaskKind::kEpilogue, i, 0));
+      r.epilogue_s += resolve(key(TaskKind::kEpilogue, i, 0));
     }
 
     coupling::PredictionInputs inputs;
@@ -248,7 +346,7 @@ CampaignResult execute_plan(const CampaignSpec& spec, const CampaignPlan& plan,
           if (!c.label.empty()) c.label += ", ";
           c.label += shape.kernel_names[k];
         }
-        c.chain_time = value_of(key(TaskKind::kChain, start, q));
+        c.chain_time = resolve(key(TaskKind::kChain, start, q));
         cl.chains.push_back(std::move(c));
       }
       cl.coefficients = coupling::coupling_coefficients(shape.loop_size,
@@ -261,6 +359,12 @@ CampaignResult execute_plan(const CampaignSpec& spec, const CampaignPlan& plan,
   }
   const double assemble_s = seconds_since(assemble0);
 
+  result.failures = std::move(sink.failures);
+  std::sort(result.failures.begin(), result.failures.end(),
+            [](const TaskFailure& a, const TaskFailure& b) {
+              return a.key < b.key;
+            });
+
   CampaignMetrics& m = result.metrics;
   m.studies = spec.studies.size();
   m.workers = workers;
@@ -268,7 +372,9 @@ CampaignResult execute_plan(const CampaignSpec& spec, const CampaignPlan& plan,
   m.tasks_planned = plan.tasks.size();
   m.tasks_deduplicated = plan.tasks_deduplicated;
   m.cache_hits = plan.cache_hits;
+  m.journal_hits = plan.journal_hits;
   m.tasks_executed = plan.tasks.size();
+  m.tasks_failed = result.failures.size();
   m.handles_created = handles_created;
   m.handles_reused = handles_reused;
   trace::RunningStats task_times;
@@ -291,7 +397,12 @@ CampaignResult run_campaign(const CampaignSpec& spec, std::size_t workers,
                             coupling::CouplingDatabase* db) {
   const Clock::time_point wall0 = Clock::now();
   const Clock::time_point plan0 = Clock::now();
-  const CampaignPlan plan = plan_campaign(spec, db);
+  CampaignPlan plan = plan_campaign(spec, db);
+  if (!spec.journal_path.empty()) {
+    // Replay whatever a previous (possibly killed) run already measured.
+    std::ifstream in(spec.journal_path);
+    if (in) (void)apply_journal(plan, load_journal(in));
+  }
   const double plan_s = seconds_since(plan0);
 
   CampaignResult result = execute_plan(spec, plan, workers);
@@ -304,7 +415,8 @@ CampaignResult run_campaign(const CampaignSpec& spec, std::size_t workers,
       for (const coupling::ChainLengthResult& cl : result.studies[s].by_length) {
         for (const coupling::ChainCoupling& c : cl.chains) {
           // record() rejects degenerate values; skip them rather than lose
-          // the rest of the campaign's measurements.
+          // the rest of the campaign's measurements.  NaN missing markers
+          // from failed tasks are skipped the same way.
           if (!(std::isfinite(c.chain_time) && c.chain_time > 0.0 &&
                 std::isfinite(c.isolated_sum) && c.isolated_sum > 0.0)) {
             continue;

@@ -1,6 +1,8 @@
 #pragma once
 
 #include <cstddef>
+#include <string>
+#include <vector>
 
 #include "campaign/campaign.hpp"
 #include "campaign/planner.hpp"
@@ -9,11 +11,29 @@
 
 namespace kcoup::campaign {
 
+/// One task that exhausted its retry budget.  The campaign keeps going: the
+/// failure is recorded here instead of aborting the sweep, and every value
+/// the task would have produced becomes an explicit missing marker (NaN) in
+/// the affected studies.
+struct TaskFailure {
+  TaskKey key;
+  int attempts = 0;   ///< total attempts spent (exceptions + noise retries)
+  std::string what;   ///< the final attempt's exception message
+};
+
 /// Everything a campaign produces: one StudyResult per spec study (same
-/// order) plus the planner/executor metrics.
+/// order) plus the planner/executor metrics.  When tasks failed, the
+/// affected studies are *partial*: each value derived from a failed task is
+/// quiet-NaN, the task keys behind the holes are listed per study in
+/// `missing`, and the failures themselves (key order) in `failures`.
 struct CampaignResult {
   std::vector<coupling::StudyResult> studies;
+  std::vector<TaskFailure> failures;       ///< sorted by TaskKey
+  std::vector<std::vector<TaskKey>> missing;  ///< per study, unresolved keys
   CampaignMetrics metrics;
+
+  /// True iff every task succeeded and every study is fully populated.
+  [[nodiscard]] bool complete() const { return failures.empty(); }
 };
 
 /// Execute a plan with `workers` threads (0 = hardware concurrency, 1 =
@@ -26,13 +46,23 @@ struct CampaignResult {
 /// assembly is deterministic — the same StudyResults regardless of worker
 /// count, pooling or submission order, and bit-identical to
 /// coupling::run_study() on each cell.
+///
+/// Failure isolation: a task whose acquisition or measurement throws is
+/// retried up to CampaignSpec::retry.max_attempts total attempts, then
+/// recorded as a TaskFailure while the rest of the campaign completes.
+/// Only CampaignAborted (injected crash) escapes.  When
+/// CampaignSpec::journal_path is set, each completed task is appended to
+/// the JSONL journal (flushed per entry) as it finishes.
 [[nodiscard]] CampaignResult execute_plan(const CampaignSpec& spec,
                                           const CampaignPlan& plan,
                                           std::size_t workers = 0);
 
 /// Plan + execute.  When `db` is given, chains it already holds are served
 /// from it (cache hits) and every chain measured or assembled by the
-/// campaign is recorded back, so later campaigns keep shrinking.
+/// campaign is recorded back, so later campaigns keep shrinking.  When
+/// `spec.journal_path` names an existing journal, its completed keys are
+/// replayed into the plan before execution (journal_hits), so a killed
+/// campaign resumes exactly where it stopped.
 [[nodiscard]] CampaignResult run_campaign(
     const CampaignSpec& spec, std::size_t workers = 0,
     coupling::CouplingDatabase* db = nullptr);

@@ -1,0 +1,108 @@
+#include "campaign/faultsim.hpp"
+
+#include <algorithm>
+
+#include "campaign/planner.hpp"
+
+namespace kcoup::campaign {
+
+namespace {
+
+// Salts keep the three per-kind selections statistically independent: a key
+// faulted for construction is no more or less likely to be noise-spiked.
+constexpr std::uint64_t kConstructSalt = 0x636f6e7374727563ULL;  // "construc"
+constexpr std::uint64_t kMeasureSalt = 0x6d65617375726521ULL;    // "measure!"
+constexpr std::uint64_t kNoiseSalt = 0x6e6f697365212121ULL;      // "noise!!!"
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t fnv1a(std::uint64_t h, const void* data, std::size_t size) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < size; ++i) {
+    h ^= bytes[i];
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+std::uint64_t fnv1a(std::uint64_t h, const std::string& s) {
+  h = fnv1a(h, s.data(), s.size());
+  const unsigned char sep = 0xff;  // unambiguous field separator
+  return fnv1a(h, &sep, 1);
+}
+
+/// Stable 64-bit hash of every TaskKey field.  Must not depend on pointer
+/// values or iteration order — it is the sole source of seeded selection.
+std::uint64_t hash_key(const TaskKey& key) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  h = fnv1a(h, key.application);
+  h = fnv1a(h, key.config);
+  const std::uint64_t fields[3] = {
+      static_cast<std::uint64_t>(key.ranks),
+      static_cast<std::uint64_t>(key.kind),
+      key.index ^ (key.length << 32)};
+  h = fnv1a(h, fields, sizeof(fields));
+  return h;
+}
+
+}  // namespace
+
+bool FaultSimulator::rolls_under(const TaskKey& key, std::uint64_t salt,
+                                 double rate) const {
+  if (rate <= 0.0) return false;
+  if (rate >= 1.0) return true;
+  const std::uint64_t h =
+      splitmix64(hash_key(key) ^ splitmix64(plan_.seed ^ salt));
+  // Top 53 bits -> uniform double in [0, 1).
+  const double u = static_cast<double>(h >> 11) * 0x1.0p-53;
+  return u < rate;
+}
+
+bool FaultSimulator::has_injection(const TaskKey& key, FaultKind kind) const {
+  return std::any_of(plan_.injections.begin(), plan_.injections.end(),
+                     [&](const FaultInjection& f) {
+                       return f.kind == kind && f.key == key;
+                     });
+}
+
+bool FaultSimulator::construct_throws(const TaskKey& key) const {
+  return has_injection(key, FaultKind::kConstructThrow) ||
+         rolls_under(key, kConstructSalt, plan_.construct_throw_rate);
+}
+
+bool FaultSimulator::measure_throws(const TaskKey& key) const {
+  return has_injection(key, FaultKind::kMeasureThrow) ||
+         rolls_under(key, kMeasureSalt, plan_.measure_throw_rate);
+}
+
+std::optional<double> FaultSimulator::noise_spike(const TaskKey& key) const {
+  if (has_injection(key, FaultKind::kNoiseSpike) ||
+      rolls_under(key, kNoiseSalt, plan_.noise_spike_rate)) {
+    return plan_.noise_factor;
+  }
+  return std::nullopt;
+}
+
+void FaultSimulator::maybe_abort() {
+  if (plan_.abort_after == 0) return;
+  if (started_.fetch_add(1, std::memory_order_relaxed) >= plan_.abort_after) {
+    throw CampaignAborted(plan_.abort_after);
+  }
+}
+
+std::vector<TaskKey> FaultSimulator::faulted_keys(
+    const std::vector<MeasurementTask>& tasks) const {
+  std::vector<TaskKey> keys;
+  for (const MeasurementTask& t : tasks) {
+    if (will_fail(t.key)) keys.push_back(t.key);
+  }
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+}  // namespace kcoup::campaign

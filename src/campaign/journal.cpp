@@ -1,0 +1,132 @@
+#include "campaign/journal.hpp"
+
+#include <istream>
+#include <stdexcept>
+
+#include "support/num_format.hpp"
+
+namespace kcoup::campaign {
+
+namespace {
+
+std::string escape_json(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+/// Locates `"name":` and returns the offset just past the colon, or npos.
+std::size_t field_offset(const std::string& line, const char* name) {
+  const std::string needle = std::string("\"") + name + "\":";
+  const std::size_t at = line.find(needle);
+  if (at == std::string::npos) return std::string::npos;
+  return at + needle.size();
+}
+
+std::optional<std::string> string_field(const std::string& line,
+                                        const char* name) {
+  std::size_t at = field_offset(line, name);
+  if (at == std::string::npos || at >= line.size() || line[at] != '"') {
+    return std::nullopt;
+  }
+  std::string out;
+  for (++at; at < line.size(); ++at) {
+    if (line[at] == '\\') {
+      if (++at >= line.size()) return std::nullopt;
+      out += line[at];
+    } else if (line[at] == '"') {
+      return out;
+    } else {
+      out += line[at];
+    }
+  }
+  return std::nullopt;  // unterminated string: truncated line
+}
+
+std::optional<double> number_field(const std::string& line, const char* name) {
+  const std::size_t at = field_offset(line, name);
+  if (at == std::string::npos) return std::nullopt;
+  const std::size_t end = line.find_first_of(",}", at);
+  if (end == std::string::npos) return std::nullopt;  // truncated line
+  return support::parse_double(line.substr(at, end - at));
+}
+
+}  // namespace
+
+std::string journal_line(const JournalEntry& entry) {
+  std::string out = "{\"application\":\"";
+  out += escape_json(entry.key.application);
+  out += "\",\"config\":\"";
+  out += escape_json(entry.key.config);
+  out += "\",\"ranks\":" + std::to_string(entry.key.ranks);
+  out += ",\"kind\":\"";
+  out += to_string(entry.key.kind);
+  out += "\",\"index\":" + std::to_string(entry.key.index);
+  out += ",\"length\":" + std::to_string(entry.key.length);
+  out += ",\"value\":" + support::format_double(entry.value);
+  out += ",\"attempts\":" + std::to_string(entry.attempts);
+  out += "}";
+  return out;
+}
+
+std::optional<JournalEntry> parse_journal_line(const std::string& line) {
+  if (line.empty() || line.front() != '{' || line.back() != '}') {
+    return std::nullopt;
+  }
+  const auto application = string_field(line, "application");
+  const auto config = string_field(line, "config");
+  const auto kind_name = string_field(line, "kind");
+  const auto ranks = number_field(line, "ranks");
+  const auto index = number_field(line, "index");
+  const auto length = number_field(line, "length");
+  const auto value = number_field(line, "value");
+  const auto attempts = number_field(line, "attempts");
+  if (!application || !config || !kind_name || !ranks || !index || !length ||
+      !value || !attempts) {
+    return std::nullopt;
+  }
+  const auto kind = parse_task_kind(*kind_name);
+  if (!kind) return std::nullopt;
+  JournalEntry entry;
+  entry.key.application = *application;
+  entry.key.config = *config;
+  entry.key.ranks = static_cast<int>(*ranks);
+  entry.key.kind = *kind;
+  entry.key.index = static_cast<std::size_t>(*index);
+  entry.key.length = static_cast<std::size_t>(*length);
+  entry.value = *value;
+  entry.attempts = static_cast<int>(*attempts);
+  return entry;
+}
+
+std::map<TaskKey, double> load_journal(std::istream& in) {
+  std::map<TaskKey, double> completed;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    if (const auto entry = parse_journal_line(line)) {
+      completed[entry->key] = entry->value;
+    }
+  }
+  return completed;
+}
+
+TaskJournal::TaskJournal(const std::string& path)
+    : out_(path, std::ios::app) {
+  if (!out_) {
+    throw std::runtime_error("TaskJournal: cannot open " + path);
+  }
+}
+
+void TaskJournal::append(const JournalEntry& entry) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  out_ << journal_line(entry) << '\n';
+  out_.flush();  // write-then-flush: a crash loses at most in-flight tasks
+}
+
+}  // namespace kcoup::campaign

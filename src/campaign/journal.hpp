@@ -1,0 +1,53 @@
+#pragma once
+
+#include <fstream>
+#include <iosfwd>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "campaign/task_key.hpp"
+
+namespace kcoup::campaign {
+
+/// One completed measurement as persisted to the campaign journal.
+struct JournalEntry {
+  TaskKey key;
+  double value = 0.0;
+  int attempts = 1;
+};
+
+/// One self-contained JSON object (no trailing newline).  Doubles are
+/// written with 17 significant digits in the C locale so a resumed campaign
+/// reads back the bit-identical value.
+[[nodiscard]] std::string journal_line(const JournalEntry& entry);
+
+/// Parses one journal line; nullopt on malformed input (e.g. a line
+/// truncated by a crash mid-write).
+[[nodiscard]] std::optional<JournalEntry> parse_journal_line(
+    const std::string& line);
+
+/// Reads a whole journal stream into completed (key -> value) pairs.
+/// Malformed lines are skipped, not fatal: a killed campaign can only
+/// corrupt the tail of the file, and losing that one entry just means one
+/// task is re-measured on resume.  Duplicate keys keep the last value.
+[[nodiscard]] std::map<TaskKey, double> load_journal(std::istream& in);
+
+/// Append-only, crash-safe task journal: each completed task is written as
+/// one JSONL line and flushed before the executor moves on, so a killed
+/// campaign loses at most the in-flight tasks.  Thread-safe.
+class TaskJournal {
+ public:
+  /// Opens `path` for append (creating it if missing); throws
+  /// std::runtime_error when the file cannot be opened.
+  explicit TaskJournal(const std::string& path);
+
+  void append(const JournalEntry& entry);
+
+ private:
+  std::mutex mutex_;
+  std::ofstream out_;
+};
+
+}  // namespace kcoup::campaign

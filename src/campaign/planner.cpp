@@ -7,16 +7,6 @@ namespace kcoup::campaign {
 
 namespace {
 
-const char* kind_name(TaskKind k) {
-  switch (k) {
-    case TaskKind::kChain: return "chain";
-    case TaskKind::kActual: return "actual";
-    case TaskKind::kPrologue: return "prologue";
-    case TaskKind::kEpilogue: return "epilogue";
-  }
-  return "?";
-}
-
 TaskKey cell_key(const CampaignStudy& s, TaskKind kind, std::size_t index,
                  std::size_t length) {
   return TaskKey{s.application, s.config, s.ranks, kind, index, length};
@@ -47,20 +37,6 @@ double task_cost(const TaskKey& key, const StudyShape& shape,
 }
 
 }  // namespace
-
-std::string to_string(const TaskKey& key) {
-  std::string out = kind_name(key.kind);
-  out += "(" + key.application + "," + key.config +
-         ",P=" + std::to_string(key.ranks);
-  if (key.kind == TaskKind::kChain) {
-    out += ",start=" + std::to_string(key.index) +
-           ",len=" + std::to_string(key.length);
-  } else if (key.kind != TaskKind::kActual) {
-    out += ",i=" + std::to_string(key.index);
-  }
-  out += ")";
-  return out;
-}
 
 CampaignPlan plan_campaign(const CampaignSpec& spec,
                            const coupling::CouplingDatabase* db) {
@@ -165,6 +141,28 @@ CampaignPlan plan_campaign(const CampaignSpec& spec,
   plan.tasks_deduplicated =
       plan.tasks_requested - plan.tasks.size() - plan.cache_hits;
   return plan;
+}
+
+std::size_t apply_journal(CampaignPlan& plan,
+                          const std::map<TaskKey, double>& completed) {
+  if (completed.empty()) return 0;
+  std::vector<MeasurementTask> remaining;
+  remaining.reserve(plan.tasks.size());
+  std::size_t hits = 0;
+  for (MeasurementTask& t : plan.tasks) {
+    const auto it = completed.find(t.key);
+    if (it != completed.end()) {
+      // insert_or_assign: a journaled value wins over a database cache hit —
+      // it is this campaign's own prior measurement of exactly this key.
+      plan.cached.insert_or_assign(t.key, it->second);
+      ++hits;
+      continue;
+    }
+    remaining.push_back(std::move(t));
+  }
+  plan.tasks = std::move(remaining);
+  plan.journal_hits += hits;
+  return hits;
 }
 
 }  // namespace kcoup::campaign

@@ -1,39 +1,15 @@
 #pragma once
 
-#include <compare>
 #include <cstddef>
 #include <map>
 #include <string>
 #include <vector>
 
 #include "campaign/campaign.hpp"
+#include "campaign/task_key.hpp"
 #include "coupling/database.hpp"
 
 namespace kcoup::campaign {
-
-/// The four atomic measurement kinds a study decomposes into.  An isolated
-/// kernel measurement is a chain of length 1 (exactly how the serial
-/// MeasurementHarness computes it), so it deduplicates naturally against
-/// length-1 chain requests.
-enum class TaskKind { kChain, kActual, kPrologue, kEpilogue };
-
-/// Identity of one atomic measurement, shared across every study that needs
-/// it — the campaign-wide analogue of coupling::CouplingKey.  Tasks are
-/// keyed by the (application, config, ranks) label triple, not by study
-/// index, so duplicate cells in a spec collapse to one measurement.
-struct TaskKey {
-  std::string application;
-  std::string config;
-  int ranks = 1;
-  TaskKind kind = TaskKind::kChain;
-  std::size_t index = 0;   ///< chain start / prologue / epilogue position
-  std::size_t length = 0;  ///< chain length; 1 == isolated kernel
-
-  [[nodiscard]] auto operator<=>(const TaskKey&) const = default;
-};
-
-/// Human-readable "chain(BT,W,P=4,start=2,len=3)" form for logs and errors.
-[[nodiscard]] std::string to_string(const TaskKey& key);
 
 /// Structure of one study's application, captured once at planning time by
 /// instantiating its factory: everything assembly needs without touching
@@ -64,11 +40,14 @@ struct MeasurementTask {
 /// back into per-study results through the key space.
 struct CampaignPlan {
   std::vector<MeasurementTask> tasks;
-  std::map<TaskKey, double> cached;  ///< chain_time served by the database
+  /// Values served without execution: chain_time from the database, plus any
+  /// task value replayed from a resume journal.
+  std::map<TaskKey, double> cached;
   std::vector<StudyShape> shapes;    ///< parallel to spec.studies
   std::size_t tasks_requested = 0;
   std::size_t tasks_deduplicated = 0;
   std::size_t cache_hits = 0;
+  std::size_t journal_hits = 0;      ///< tasks replayed by apply_journal()
 };
 
 /// Expand a spec into the minimal set of atomic measurements:
@@ -85,5 +64,13 @@ struct CampaignPlan {
 /// (mirroring measure_chains) or an empty loop.
 [[nodiscard]] CampaignPlan plan_campaign(
     const CampaignSpec& spec, const coupling::CouplingDatabase* db = nullptr);
+
+/// Replay journaled results into the plan: every planned task whose key
+/// appears in `completed` is moved out of `plan.tasks` and into
+/// `plan.cached` with its journaled value, so the executor never re-measures
+/// it.  Returns the number of tasks replayed (also accumulated into
+/// `plan.journal_hits`).
+std::size_t apply_journal(CampaignPlan& plan,
+                          const std::map<TaskKey, double>& completed);
 
 }  // namespace kcoup::campaign

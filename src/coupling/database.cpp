@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
+#include <fstream>
 #include <istream>
 #include <ostream>
 #include <sstream>
@@ -123,6 +125,30 @@ void CouplingDatabase::save_csv(std::ostream& out) const {
     out << r.key.application << ',' << r.key.config << ',' << r.key.ranks
         << ',' << r.key.chain_length << ',' << r.key.chain_start << ','
         << r.chain_time << ',' << r.isolated_sum << '\n';
+  }
+}
+
+void CouplingDatabase::save_csv_file(const std::string& path) const {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) {
+      throw std::runtime_error("CouplingDatabase::save_csv_file: cannot open " +
+                               tmp);
+    }
+    save_csv(out);
+    out.flush();
+    if (!out) {
+      throw std::runtime_error("CouplingDatabase::save_csv_file: write to " +
+                               tmp + " failed");
+    }
+  }
+  // On POSIX, rename() atomically replaces the target: readers see either
+  // the old complete database or the new one, never a partial file.
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw std::runtime_error("CouplingDatabase::save_csv_file: rename to " +
+                             path + " failed");
   }
 }
 

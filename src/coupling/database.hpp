@@ -90,6 +90,10 @@ class CouplingDatabase {
 
   /// CSV round-trip (header + one record per line).
   void save_csv(std::ostream& out) const;
+  /// Atomic save to a file: writes `path + ".tmp"` then renames it over
+  /// `path`, so a crash mid-write never leaves a truncated database behind.
+  /// Throws std::runtime_error when the file cannot be written or renamed.
+  void save_csv_file(const std::string& path) const;
   /// Appends records from CSV; throws std::runtime_error on malformed input.
   void load_csv(std::istream& in);
 

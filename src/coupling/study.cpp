@@ -1,5 +1,6 @@
 #include "coupling/study.hpp"
 
+#include <stdexcept>
 #include <utility>
 
 #include "campaign/executor.hpp"
@@ -28,6 +29,13 @@ StudyResult run_study(const LoopApplication& app, const StudyOptions& options) {
   spec.studies.push_back(std::move(cell));
 
   campaign::CampaignResult result = campaign::run_campaign(spec, /*workers=*/1);
+  if (!result.complete()) {
+    // The campaign layer isolates failures into partial results; a direct
+    // study has no use for holes, so restore the throwing contract.
+    throw std::runtime_error("run_study: measurement failed at " +
+                             campaign::to_string(result.failures.front().key) +
+                             ": " + result.failures.front().what);
+  }
   return std::move(result.studies.front());
 }
 

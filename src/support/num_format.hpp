@@ -1,0 +1,38 @@
+#pragma once
+
+#include <locale>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace kcoup::support {
+
+/// Locale-independent double formatting: always the "C" locale's '.' decimal
+/// point, never digit grouping.  The default precision (max_digits10 = 17
+/// significant digits) round-trips every finite double exactly, which the
+/// campaign journal relies on for bit-identical resume.
+[[nodiscard]] inline std::string format_double(double v, int precision = 17) {
+  std::ostringstream out;
+  out.imbue(std::locale::classic());
+  out.precision(precision);
+  out << v;
+  return out.str();
+}
+
+/// Locale-independent strict double parse: the whole string must be
+/// consumed.  Returns nullopt on malformed input instead of throwing so
+/// callers can attach their own context.
+[[nodiscard]] inline std::optional<double> parse_double(std::string_view s) {
+  if (s.empty()) return std::nullopt;
+  std::istringstream in{std::string(s)};
+  in.imbue(std::locale::classic());
+  double v = 0.0;
+  in >> v;
+  if (in.fail()) return std::nullopt;
+  in >> std::ws;
+  if (!in.eof()) return std::nullopt;
+  return v;
+}
+
+}  // namespace kcoup::support

@@ -7,7 +7,9 @@
 #include <algorithm>
 #include <atomic>
 #include <cmath>
+#include <locale>
 #include <memory>
+#include <random>
 #include <sstream>
 #include <vector>
 
@@ -328,12 +330,15 @@ struct CountedOwner {
   }
 };
 
-TEST(CampaignErrorTest, ThrowingFactoryRethrowsFirstErrorAndLeaksNoHandles) {
+TEST(CampaignErrorTest, ThrowingFactoryIsolatesEveryTaskAndLeaksNoHandles) {
   // The factory succeeds while the planner captures study shapes, then
-  // throws for every executor acquisition.
+  // throws for every executor acquisition.  The campaign must complete
+  // anyway: every task exhausts the retry budget and is recorded as a
+  // failure, every derived value is NaN, and nothing leaks.
   auto calls = std::make_shared<std::atomic<int>>(0);
   CampaignSpec spec;
   spec.chain_lengths = {2};
+  spec.retry.max_attempts = 2;
   CampaignStudy cell;
   cell.application = "BOOM";
   cell.config = "C";
@@ -348,15 +353,28 @@ TEST(CampaignErrorTest, ThrowingFactoryRethrowsFirstErrorAndLeaksNoHandles) {
 
   for (std::size_t workers : {1u, 4u}) {
     calls->store(0);
-    EXPECT_THROW((void)run_campaign(spec, workers), std::runtime_error);
+    const CampaignResult result = run_campaign(spec, workers);
     EXPECT_EQ(CountedOwner::live.load(), 0)
         << workers << " workers leaked handles";
+    EXPECT_FALSE(result.complete());
+    EXPECT_EQ(result.failures.size(), result.metrics.tasks_executed);
+    EXPECT_EQ(result.metrics.tasks_failed, result.failures.size());
+    for (const TaskFailure& f : result.failures) {
+      EXPECT_EQ(f.attempts, 2) << to_string(f.key);
+      EXPECT_EQ(f.what, "factory exploded");
+    }
+    EXPECT_TRUE(std::isnan(result.studies[0].actual_s));
+    for (double m : result.studies[0].isolated_means) {
+      EXPECT_TRUE(std::isnan(m));
+    }
+    EXPECT_EQ(result.missing[0].size(), result.metrics.tasks_executed);
   }
 }
 
-TEST(CampaignErrorTest, MidCampaignFactoryFailureDrainsPool) {
+TEST(CampaignErrorTest, MidCampaignFactoryFailureKeepsGoodCellsIntact) {
   // Several cells; one cell's factory throws on every executor call.  The
-  // good cells' handles must still be released and the error must surface.
+  // good cells must finish with their exact fault-free values, the bad
+  // cell's failures must be isolated to it, and every handle released.
   auto calls = std::make_shared<std::atomic<int>>(0);
   CampaignSpec spec;
   spec.chain_lengths = {2};
@@ -380,8 +398,43 @@ TEST(CampaignErrorTest, MidCampaignFactoryFailureDrainsPool) {
   };
   spec.studies.push_back(std::move(bad));
 
-  EXPECT_THROW((void)run_campaign(spec, 4), std::runtime_error);
+  // Fault-free reference for the good cells only.
+  CampaignSpec good_only = spec;
+  good_only.studies.pop_back();
+  const CampaignResult reference = run_campaign(good_only, 1);
+
+  const CampaignResult result = run_campaign(spec, 4);
   EXPECT_EQ(CountedOwner::live.load(), 0);
+  EXPECT_FALSE(result.complete());
+  for (const TaskFailure& f : result.failures) {
+    EXPECT_EQ(f.key.application, "BAD") << to_string(f.key);
+  }
+  for (std::size_t s = 0; s < 3; ++s) {
+    SCOPED_TRACE("study=" + std::to_string(s));
+    expect_identical(result.studies[s], reference.studies[s]);
+    EXPECT_TRUE(result.missing[s].empty());
+  }
+  EXPECT_FALSE(result.missing[3].empty());
+  EXPECT_TRUE(std::isnan(result.studies[3].actual_s));
+}
+
+TEST(CampaignErrorTest, RunStudyStillThrowsOnMeasurementFailure) {
+  // run_study (the serial, single-cell path) has no use for partial
+  // results: the campaign layer's isolation must not silently swallow its
+  // errors.
+  struct ThrowingKernelOwner {
+    std::unique_ptr<coupling::CallableKernel> kernel;
+    coupling::LoopApplication app;
+    ThrowingKernelOwner() {
+      app.name = "throwing";
+      app.iterations = 1;
+      kernel = std::make_unique<coupling::CallableKernel>(
+          "boom", []() -> double { throw std::runtime_error("kernel died"); });
+      app.loop.push_back(kernel.get());
+    }
+  };
+  const ThrowingKernelOwner owner;
+  EXPECT_THROW((void)coupling::run_study(owner.app, {}), std::runtime_error);
 }
 
 // --- Cost annotation ---------------------------------------------------------
@@ -565,6 +618,101 @@ TEST(CampaignTextSpecTest, DefaultsAndMinimalSpec) {
   EXPECT_EQ(spec.machine, "ibm-sp");
 }
 
+TEST(CampaignTextSpecTest, RejectsNonsenseValuesNamingTheOffendingKey) {
+  const auto expect_rejects = [](const std::string& line,
+                                 const std::string& key) {
+    std::istringstream in("apps=bt\nclasses=S\nprocs=4\n" + line + "\n");
+    try {
+      (void)parse_campaign_text(in);
+      FAIL() << "accepted '" << line << "'";
+    } catch (const std::runtime_error& e) {
+      EXPECT_NE(std::string(e.what()).find("'" + key + "'"),
+                std::string::npos)
+          << "error for '" << line << "' does not name '" << key
+          << "': " << e.what();
+    }
+  };
+  expect_rejects("repetitions = 0", "repetitions");
+  expect_rejects("repetitions = -3", "repetitions");
+  expect_rejects("warmup = -1", "warmup");
+  expect_rejects("retry_max = 0", "retry_max");
+  expect_rejects("retry_max = -2", "retry_max");
+  expect_rejects("retry_rsd = -0.5", "retry_rsd");
+  expect_rejects("epilogue_repetitions = 0", "epilogue_repetitions");
+  expect_rejects("workers = -1", "workers");
+  expect_rejects("chains = 2,0", "chains");
+
+  // procs entries must be positive too (a 0-rank cell is meaningless).
+  std::istringstream in("apps=bt\nclasses=S\nprocs=4,0\n");
+  try {
+    (void)parse_campaign_text(in);
+    FAIL() << "accepted procs=4,0";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("'procs'"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(CampaignTextSpecTest, ToTextRoundTripsEveryField) {
+  // Property test: serialize an arbitrary spec and parse it back; every
+  // field must survive exactly, including awkward doubles.
+  std::mt19937 rng(20260807u);
+  const std::vector<std::string> app_pool{"bt", "sp", "lu"};
+  const std::vector<std::string> class_pool{"S", "W", "A", "B"};
+  const std::vector<std::string> machine_pool{"ibm-sp", "generic-smp"};
+  auto pick_subset = [&rng](const std::vector<std::string>& pool) {
+    std::vector<std::string> out;
+    for (const std::string& s : pool) {
+      if (rng() % 2 == 0) out.push_back(s);
+    }
+    if (out.empty()) out.push_back(pool.front());
+    return out;
+  };
+
+  for (int trial = 0; trial < 200; ++trial) {
+    SCOPED_TRACE("trial=" + std::to_string(trial));
+    CampaignTextSpec spec;
+    spec.applications = pick_subset(app_pool);
+    spec.configs = pick_subset(class_pool);
+    spec.ranks.clear();
+    for (int i = 0; i < 1 + static_cast<int>(rng() % 4); ++i) {
+      spec.ranks.push_back(1 + static_cast<int>(rng() % 64));
+    }
+    spec.chain_lengths.clear();
+    for (int i = 0; i < 1 + static_cast<int>(rng() % 3); ++i) {
+      spec.chain_lengths.push_back(1 + rng() % 6);
+    }
+    spec.measurement.repetitions = 1 + static_cast<int>(rng() % 100);
+    spec.measurement.warmup = static_cast<int>(rng() % 10);
+    spec.measurement.epilogue_repetitions = 1 + static_cast<int>(rng() % 5);
+    spec.workers = rng() % 16;
+    spec.pool_handles = rng() % 2 == 0;
+    spec.machine = machine_pool[rng() % machine_pool.size()];
+    // Awkward doubles: tiny, huge, and full-precision irrational-ish.
+    const double rsd_pool[] = {0.0, 1e-300, 0.1, 1.0 / 3.0, 2.5e17,
+                               0.07500000000000001};
+    spec.retry.max_relative_stddev = rsd_pool[rng() % 6];
+    spec.retry.max_attempts = 1 + static_cast<int>(rng() % 9);
+
+    std::istringstream in(to_text(spec));
+    const CampaignTextSpec parsed = parse_campaign_text(in);
+    EXPECT_EQ(parsed.applications, spec.applications);
+    EXPECT_EQ(parsed.configs, spec.configs);
+    EXPECT_EQ(parsed.ranks, spec.ranks);
+    EXPECT_EQ(parsed.chain_lengths, spec.chain_lengths);
+    EXPECT_EQ(parsed.measurement.repetitions, spec.measurement.repetitions);
+    EXPECT_EQ(parsed.measurement.warmup, spec.measurement.warmup);
+    EXPECT_EQ(parsed.measurement.epilogue_repetitions,
+              spec.measurement.epilogue_repetitions);
+    EXPECT_EQ(parsed.workers, spec.workers);
+    EXPECT_EQ(parsed.pool_handles, spec.pool_handles);
+    EXPECT_EQ(parsed.machine, spec.machine);
+    EXPECT_EQ(parsed.retry.max_relative_stddev,
+              spec.retry.max_relative_stddev);
+    EXPECT_EQ(parsed.retry.max_attempts, spec.retry.max_attempts);
+  }
+}
+
 TEST(CampaignTextSpecTest, RejectsMalformedInput) {
   {
     std::istringstream in("apps=bt\nclasses=S\n");  // missing procs
@@ -620,6 +768,84 @@ TEST(CampaignMetricsTest, ExportsTableCsvAndJsonl) {
   EXPECT_NE(jsonl.find("\"handles_reused\":"), std::string::npos);
   EXPECT_NE(jsonl.find("\"task_max_s\":"), std::string::npos);
   EXPECT_EQ(std::count(jsonl.begin(), jsonl.end(), '\n'), 1);
+}
+
+/// Metrics with binary-exact doubles so the expected text is unambiguous.
+CampaignMetrics golden_metrics() {
+  CampaignMetrics m;
+  m.studies = 4;
+  m.workers = 8;
+  m.tasks_requested = 100;
+  m.tasks_planned = 42;
+  m.tasks_deduplicated = 50;
+  m.cache_hits = 5;
+  m.journal_hits = 3;
+  m.tasks_executed = 42;
+  m.tasks_retried = 2;
+  m.tasks_failed = 1;
+  m.handles_created = 9;
+  m.handles_reused = 33;
+  m.plan_s = 0.5;
+  m.measure_s = 1.25;
+  m.assemble_s = 0.125;
+  m.wall_s = 2.0;
+  m.task_min_s = 0.03125;
+  m.task_max_s = 0.25;
+  m.task_mean_s = 0.0625;
+  return m;
+}
+
+TEST(CampaignMetricsTest, CsvGoldenOutput) {
+  const std::string expected =
+      "studies,workers,tasks_requested,tasks_planned,tasks_deduplicated,"
+      "cache_hits,journal_hits,tasks_executed,tasks_retried,tasks_failed,"
+      "handles_created,handles_reused,plan_s,measure_s,assemble_s,wall_s,"
+      "task_min_s,task_max_s,task_mean_s\n"
+      "4,8,100,42,50,5,3,42,2,1,9,33,0.5,1.25,0.125,2,0.03125,0.25,0.0625\n";
+  EXPECT_EQ(golden_metrics().to_csv(), expected);
+}
+
+TEST(CampaignMetricsTest, JsonlGoldenOutput) {
+  const std::string expected =
+      "{\"studies\":4,\"workers\":8,\"tasks_requested\":100,"
+      "\"tasks_planned\":42,\"tasks_deduplicated\":50,\"cache_hits\":5,"
+      "\"journal_hits\":3,\"tasks_executed\":42,\"tasks_retried\":2,"
+      "\"tasks_failed\":1,\"handles_created\":9,\"handles_reused\":33,"
+      "\"plan_s\":0.5,\"measure_s\":1.25,\"assemble_s\":0.125,\"wall_s\":2,"
+      "\"task_min_s\":0.03125,\"task_max_s\":0.25,\"task_mean_s\":0.0625}\n";
+  EXPECT_EQ(golden_metrics().to_jsonl(), expected);
+}
+
+TEST(CampaignMetricsTest, ExportsIgnoreTheGlobalLocale) {
+  // A locale whose decimal point is ',' would corrupt both the CSV (extra
+  // separators) and the JSON (invalid numbers) if the exports used it.
+  struct CommaPoint : std::numpunct<char> {
+    char do_decimal_point() const override { return ','; }
+    char do_thousands_sep() const override { return '.'; }
+    std::string do_grouping() const override { return "\3"; }
+  };
+  const std::locale before = std::locale::global(
+      std::locale(std::locale::classic(), new CommaPoint));
+  const std::string csv = golden_metrics().to_csv();
+  const std::string jsonl = golden_metrics().to_jsonl();
+  std::locale::global(before);
+
+  EXPECT_NE(csv.find("0.03125"), std::string::npos) << csv;
+  EXPECT_EQ(csv.find("0,03125"), std::string::npos) << csv;
+  EXPECT_NE(jsonl.find("\"task_min_s\":0.03125"), std::string::npos) << jsonl;
+  // Header + one row, each with exactly 19 fields.
+  const auto count_fields = [](const std::string& line) {
+    return 1 + std::count(line.begin(), line.end(), ',');
+  };
+  const std::size_t nl = csv.find('\n');
+  EXPECT_EQ(count_fields(csv.substr(0, nl)), 19);
+  EXPECT_EQ(count_fields(csv.substr(nl + 1, csv.size() - nl - 2)), 19);
+}
+
+TEST(CampaignMetricsTest, TableIncludesFailureAndJournalRows) {
+  const std::string table = golden_metrics().to_table().to_string();
+  EXPECT_NE(table.find("tasks failed"), std::string::npos);
+  EXPECT_NE(table.find("journal hits"), std::string::npos);
 }
 
 }  // namespace

@@ -449,6 +449,34 @@ int cmd_campaign(const Args& args) {
   const auto db_path = args.maybe("db");
   const auto metrics_csv = args.maybe("metrics-csv");
   const auto metrics_jsonl = args.maybe("metrics-jsonl");
+  const auto journal_path = args.maybe("journal");
+  campaign::FaultPlan faults;
+  if (const auto v = args.maybe("fault-seed")) {
+    try {
+      std::size_t pos = 0;
+      faults.seed = std::stoull(*v, &pos);
+      if (pos != v->size()) throw std::invalid_argument(*v);
+    } catch (const std::exception&) {
+      throw std::runtime_error("bad integer for --fault-seed: '" + *v + "'");
+    }
+  }
+  const auto rate_arg = [&args](const std::string& flag, double* out) {
+    if (const auto v = args.maybe(flag)) {
+      const double r = parse_double_arg(flag, *v);
+      if (!(r >= 0.0 && r <= 1.0)) {
+        throw std::runtime_error("--" + flag + " must be in [0, 1], got " + *v);
+      }
+      *out = r;
+    }
+  };
+  rate_arg("fault-construct-rate", &faults.construct_throw_rate);
+  rate_arg("fault-measure-rate", &faults.measure_throw_rate);
+  rate_arg("fault-noise-rate", &faults.noise_spike_rate);
+  if (const auto v = args.maybe("fault-abort-after")) {
+    faults.abort_after = static_cast<std::size_t>(
+        require_min("fault-abort-after", parse_int_arg("fault-abort-after", *v),
+                    1));
+  }
   args.check_all_used();
 
   const machine::MachineConfig cfg = parse_machine(text.machine);
@@ -457,6 +485,8 @@ int cmd_campaign(const Args& args) {
   spec.measurement = text.measurement;
   spec.retry = text.retry;
   spec.pool_handles = text.pool_handles;
+  spec.faults = faults;
+  if (journal_path) spec.journal_path = *journal_path;
   for (const std::string& app_name : text.applications) {
     const npb::Benchmark bench = parse_benchmark(app_name);
     for (const std::string& cls_name : text.configs) {
@@ -497,9 +527,7 @@ int cmd_campaign(const Args& args) {
       campaign::run_campaign(spec, workers, db_path ? &db : nullptr);
 
   if (db_path) {
-    std::ofstream out(*db_path);
-    if (!out) throw std::runtime_error("cannot write " + *db_path);
-    db.save_csv(out);
+    db.save_csv_file(*db_path);
     if (!quiet) {
       std::printf("coupling database: %zu records -> %s\n", db.size(),
                   db_path->c_str());
@@ -544,6 +572,22 @@ int cmd_campaign(const Args& args) {
     out << result.metrics.to_jsonl();
     std::printf("appended %s\n", metrics_jsonl->c_str());
   }
+
+  if (!result.complete()) {
+    report::Table t("Task failures (" +
+                    std::to_string(result.failures.size()) + ")");
+    t.set_header({"task", "attempts", "error"});
+    for (const campaign::TaskFailure& f : result.failures) {
+      t.add_row({campaign::to_string(f.key), std::to_string(f.attempts),
+                 f.what});
+    }
+    std::fprintf(stderr, "%s\n", t.to_string().c_str());
+    std::fprintf(stderr,
+                 "campaign incomplete: %zu of %zu tasks failed; affected "
+                 "values are reported as nan\n",
+                 result.failures.size(), result.metrics.tasks_executed);
+    return 3;
+  }
   return 0;
 }
 
@@ -587,8 +631,14 @@ void usage() {
       "                    [--epilogue-reps R] [--no-pool]\n"
       "                    [--retry-rsd F] [--retry-max N] [--db store.csv]\n"
       "                    [--metrics-csv path] [--metrics-jsonl path]\n"
+      "                    [--journal path.jsonl]\n"
+      "                    [--fault-seed N] [--fault-construct-rate F]\n"
+      "                    [--fault-measure-rate F] [--fault-noise-rate F]\n"
+      "                    [--fault-abort-after N]\n"
       "                    [--machine ibm-sp|generic-smp]\n"
-      "  kcoup machines\n");
+      "  kcoup machines\n\n"
+      "campaign exit codes: 0 complete, 1 error, 3 completed with task\n"
+      "failures (partial results; failed values reported as nan).\n");
 }
 
 }  // namespace
