@@ -1,0 +1,220 @@
+// Extension bench: prediction-service throughput — snapshot + memo cache
+// vs naive recompute-per-request.
+//
+// The serve subsystem exists so a campaign-produced coupling database can
+// answer prediction queries at interactive rates: the snapshot precomputes
+// the alpha coefficients once per database load, and the query engine
+// memoizes the per-(application, config, ranks) cell inputs (the isolated
+// loop means, prologue/epilogue, actual and summation baselines), so the
+// steady-state cost of a query is one cache lookup plus the composition
+// algebra T = Tinit + I * sum_k alpha_k E_k + Tfinal.  The naive
+// alternative — what a caller without the service would do — re-measures
+// the cell for every request.  This bench quantifies the gap and records
+// the served throughput and tail latency at 1/4/8 workers in a
+// machine-readable `BENCH_serve.json` baseline, while asserting that every
+// served value stays bit-identical to the in-process study.
+//
+// The workload is the modeled BT class-S loop at P=4 (chains of length 2
+// and 3, exactly what `kcoup campaign` would persist): small enough that
+// the bench runs in seconds, real enough that the memoized cell carries
+// the full five-kernel loop.
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "coupling/database.hpp"
+#include "coupling/study.hpp"
+#include "machine/config.hpp"
+#include "npb/bt/bt_model.hpp"
+#include "report/table.hpp"
+#include "serve/client.hpp"
+#include "serve/query_engine.hpp"
+#include "serve/server.hpp"
+#include "serve/snapshot.hpp"
+#include "serve/workload.hpp"
+
+using namespace kcoup;
+
+namespace {
+
+constexpr int kNaiveRequests = 24;
+constexpr std::size_t kClientThreads = 4;
+constexpr std::size_t kRequestsPerClient = 100;
+
+struct ServedRun {
+  std::size_t workers = 0;
+  double rps = 0.0;
+  double p99_s = 0.0;
+  std::size_t mismatches = 0;
+};
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+/// Drive a running server with kClientThreads concurrent connections, each
+/// issuing kRequestsPerClient predict requests, checking every response
+/// bit-for-bit against the study reference.
+ServedRun drive(serve::Server& server, const serve::QueryKey& query,
+                double want_coupling_s, double want_actual_s) {
+  std::vector<std::thread> threads;
+  std::atomic<std::size_t> mismatches{0};
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::size_t t = 0; t < kClientThreads; ++t) {
+    threads.emplace_back([&] {
+      serve::Client client;
+      client.connect("127.0.0.1", server.port());
+      for (std::size_t i = 0; i < kRequestsPerClient; ++i) {
+        const auto p = client.predict(query);
+        if (!p.has_value() || !p->ok || p->coupling_s != want_coupling_s ||
+            p->actual_s != want_actual_s) {
+          mismatches.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const double wall = seconds_since(t0);
+
+  ServedRun run;
+  run.rps = wall > 0.0
+                ? static_cast<double>(kClientThreads * kRequestsPerClient) /
+                      wall
+                : 0.0;
+  run.p99_s = server.metrics().latency_p99_s;
+  run.mismatches = mismatches.load();
+  return run;
+}
+
+std::string fmt(const char* f, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, f, v);
+  return buf;
+}
+
+}  // namespace
+
+int main() {
+  const machine::MachineConfig cfg = machine::ibm_sp_p2sc();
+
+  // Reference study: the bit-identity anchor and the database content.
+  const auto modeled = npb::bt::make_modeled_bt(npb::ProblemClass::kS, 4, cfg);
+  coupling::StudyOptions options;
+  options.chain_lengths = {2, 3};
+  const coupling::StudyResult study =
+      coupling::run_study(modeled->app(), options);
+
+  const std::filesystem::path db_path =
+      std::filesystem::temp_directory_path() / "kcoup_bench_serve_db.csv";
+  {
+    coupling::CouplingDatabase db;
+    for (const auto& cl : study.by_length) {
+      db.record("BT", "S", 4, cl.chains);
+    }
+    db.save_csv_file(db_path.string());
+  }
+
+  serve::NpbWorkload workload(cfg);
+  const serve::QueryKey query{"BT", "S", 4, 2};
+  const double want_coupling_s = study.by_length[0].prediction_s;
+  const double want_actual_s = study.actual_s;
+
+  // Naive baseline: no memo cache — every request re-measures the cell's
+  // isolated loops, prologue/epilogue and full-application run.
+  double naive_rps = 0.0;
+  {
+    serve::SnapshotSource source(db_path.string(), serve::CellFn{},
+                                 serve::SnapshotOptions{false});
+    source.load();
+    serve::EngineOptions uncached;
+    uncached.cache_capacity = 0;
+    serve::QueryEngine engine(&workload, uncached);
+    const auto snapshot = source.current();
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < kNaiveRequests; ++i) {
+      const serve::Prediction p = engine.predict(*snapshot, query);
+      if (!p.ok || p.coupling_s != want_coupling_s) {
+        std::fprintf(stderr, "naive baseline mismatch\n");
+        return 1;
+      }
+    }
+    const double wall = seconds_since(t0);
+    naive_rps = wall > 0.0 ? kNaiveRequests / wall : 0.0;
+  }
+
+  // Served runs: fresh engine + snapshot per worker count so each run pays
+  // its own single cold cell measurement (amortized over 400 requests),
+  // exactly like a freshly started `kcoup serve`.
+  std::vector<ServedRun> runs;
+  for (std::size_t workers : {1u, 4u, 8u}) {
+    serve::SnapshotSource source(db_path.string(), serve::CellFn{},
+                                 serve::SnapshotOptions{false});
+    source.load();
+    serve::QueryEngine engine(&workload);
+    serve::ServerConfig config;
+    config.workers = workers;
+    config.max_inflight = 2 * kClientThreads;
+    serve::Server server(&source, &engine, config);
+    server.start();
+    ServedRun run = drive(server, query, want_coupling_s, want_actual_s);
+    run.workers = workers;
+    server.stop();
+    runs.push_back(run);
+  }
+  std::filesystem::remove(db_path);
+
+  report::Table t(
+      "Prediction service throughput: memoized serving vs "
+      "recompute-per-request (BT class S, P=4, loopback TCP)");
+  t.set_header({"run", "requests/s", "p99 latency", "bit-identical"});
+  t.add_row({"naive recompute (in-process, no cache)",
+             fmt("%.1f", naive_rps), "-", "yes"});
+  std::size_t total_mismatches = 0;
+  for (const ServedRun& run : runs) {
+    total_mismatches += run.mismatches;
+    t.add_row({"served, " + std::to_string(run.workers) + " worker" +
+                   (run.workers == 1 ? "" : "s"),
+               fmt("%.1f", run.rps), fmt("%.6f s", run.p99_s),
+               run.mismatches == 0 ? "yes" : "NO"});
+  }
+  std::printf("%s\n", t.to_string().c_str());
+
+  double best_rps = 0.0;
+  for (const ServedRun& run : runs) best_rps = std::max(best_rps, run.rps);
+  const double speedup = naive_rps > 0.0 ? best_rps / naive_rps : 0.0;
+  const bool ok = total_mismatches == 0 && speedup >= 10.0;
+  const unsigned hw = std::thread::hardware_concurrency();
+  std::printf(
+      "served vs naive speedup (best served rps / naive rps): %.1fx "
+      "(floor 10x)\n"
+      "served responses: %s\n",
+      speedup, total_mismatches == 0 ? "BIT-IDENTICAL" : "MISMATCH");
+
+  // The perf-trajectory baseline: one self-contained JSON object.
+  {
+    std::ofstream out("BENCH_serve.json");
+    char buf[1024];
+    std::snprintf(
+        buf, sizeof buf,
+        "{\"bench\":\"serve_throughput\",\"hw_concurrency\":%u,"
+        "\"clients\":%zu,\"requests_per_client\":%zu,"
+        "\"naive_rps\":%.1f,"
+        "\"served_rps_w1\":%.1f,\"served_p99_s_w1\":%.6f,"
+        "\"served_rps_w4\":%.1f,\"served_p99_s_w4\":%.6f,"
+        "\"served_rps_w8\":%.1f,\"served_p99_s_w8\":%.6f,"
+        "\"speedup_vs_naive\":%.1f,\"bit_identical\":%s}\n",
+        hw, kClientThreads, kRequestsPerClient, naive_rps, runs[0].rps,
+        runs[0].p99_s, runs[1].rps, runs[1].p99_s, runs[2].rps, runs[2].p99_s,
+        speedup, total_mismatches == 0 ? "true" : "false");
+    out << buf;
+    std::printf("wrote BENCH_serve.json\n");
+  }
+  return ok ? 0 : 1;
+}

@@ -85,6 +85,15 @@ double coupling_prediction(const PredictionInputs& in,
                            std::span<const ChainCoupling> chains) {
   const std::vector<double> alpha =
       coupling_coefficients(in.isolated_means.size(), chains);
+  return alpha_prediction(in, alpha);
+}
+
+double alpha_prediction(const PredictionInputs& in,
+                        std::span<const double> alpha) {
+  if (alpha.size() != in.isolated_means.size()) {
+    throw std::invalid_argument(
+        "alpha_prediction: one coefficient per loop kernel required");
+  }
   double loop = 0.0;
   for (std::size_t k = 0; k < in.isolated_means.size(); ++k) {
     loop += alpha[k] * in.isolated_means[k];

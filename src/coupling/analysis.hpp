@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstddef>
+#include <limits>
 #include <span>
 #include <string>
 #include <vector>
@@ -20,7 +21,13 @@ struct ChainCoupling {
   double isolated_sum = 0.0;         ///< sum of the members' isolated P_k
 
   /// The coupling value C_S.  < 1 constructive, > 1 destructive, == 1 none.
-  [[nodiscard]] double coupling() const { return chain_time / isolated_sum; }
+  /// A chain whose members have no isolated time has no defined coupling;
+  /// report NaN instead of dividing by zero (mirrors
+  /// CouplingRecord::coupling()).
+  [[nodiscard]] double coupling() const {
+    if (isolated_sum == 0.0) return std::numeric_limits<double>::quiet_NaN();
+    return chain_time / isolated_sum;
+  }
 
   [[nodiscard]] bool contains(std::size_t kernel_index) const;
 };
@@ -69,5 +76,13 @@ struct PredictionInputs {
 /// Tfinal, with alpha from coupling_coefficients().
 [[nodiscard]] double coupling_prediction(const PredictionInputs& in,
                                          std::span<const ChainCoupling> chains);
+
+/// Coupling predictor from precomputed coefficients.  coupling_prediction()
+/// is alpha_prediction() over coupling_coefficients() with the same
+/// summation order, so evaluating cached coefficients (the prediction
+/// service's snapshot stores them) is bit-identical to recomputing them
+/// from the chains.  `alpha` must have one entry per loop kernel.
+[[nodiscard]] double alpha_prediction(const PredictionInputs& in,
+                                      std::span<const double> alpha);
 
 }  // namespace kcoup::coupling

@@ -9,6 +9,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "support/num_format.hpp"
+
 namespace kcoup::coupling {
 
 void CouplingDatabase::record(const std::string& application,
@@ -122,9 +124,13 @@ void CouplingDatabase::save_csv(std::ostream& out) const {
   out << "application,config,ranks,chain_length,chain_start,chain_time,"
          "isolated_sum\n";
   for (const CouplingRecord& r : records_) {
+    // 17 significant digits: a save/load round trip reproduces every
+    // double bit-for-bit, so predictions served from a persisted store
+    // match the in-process study exactly.
     out << r.key.application << ',' << r.key.config << ',' << r.key.ranks
         << ',' << r.key.chain_length << ',' << r.key.chain_start << ','
-        << r.chain_time << ',' << r.isolated_sum << '\n';
+        << support::format_double(r.chain_time) << ','
+        << support::format_double(r.isolated_sum) << '\n';
   }
 }
 
@@ -149,6 +155,19 @@ void CouplingDatabase::save_csv_file(const std::string& path) const {
     std::remove(tmp.c_str());
     throw std::runtime_error("CouplingDatabase::save_csv_file: rename to " +
                              path + " failed");
+  }
+}
+
+void CouplingDatabase::load_csv_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("CouplingDatabase::load_csv_file: cannot open " +
+                             path);
+  }
+  try {
+    load_csv(in);
+  } catch (const std::exception& e) {
+    throw std::runtime_error(path + ": " + e.what());
   }
 }
 

@@ -96,6 +96,11 @@ class CouplingDatabase {
   void save_csv_file(const std::string& path) const;
   /// Appends records from CSV; throws std::runtime_error on malformed input.
   void load_csv(std::istream& in);
+  /// Appends records from a CSV file.  Errors (missing file, malformed
+  /// line, bad number) name the offending path — and, for content errors,
+  /// the line number from load_csv — so an operator with many stores knows
+  /// which file to fix.
+  void load_csv_file(const std::string& path);
 
   [[nodiscard]] const std::vector<CouplingRecord>& records() const {
     return records_;

@@ -1,0 +1,152 @@
+#include "serve/client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+#include "serve/protocol.hpp"
+
+namespace kcoup::serve {
+
+namespace {
+
+bool send_all(int fd, const std::string& data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+Client::~Client() { close(); }
+
+Client::Client(Client&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Client::connect(const std::string& host, int port) {
+  close();
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    throw std::runtime_error("client: cannot create socket: " +
+                             std::string(std::strerror(errno)));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    throw std::runtime_error("client: invalid host '" + host + "'");
+  }
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const std::string why = std::strerror(errno);
+    ::close(fd);
+    throw std::runtime_error("client: cannot connect to " + host + ":" +
+                             std::to_string(port) + ": " + why);
+  }
+  fd_ = fd;
+}
+
+void Client::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+std::optional<std::string> Client::read_frame() {
+  std::size_t length = 0;
+  std::size_t digits = 0;
+  for (;;) {
+    char c = 0;
+    const ssize_t r = ::recv(fd_, &c, 1, 0);
+    if (r <= 0) {
+      if (r < 0 && errno == EINTR) continue;
+      return std::nullopt;
+    }
+    if (c == '\n') {
+      if (digits == 0) return std::nullopt;
+      break;
+    }
+    if (c < '0' || c > '9' || digits >= 20) return std::nullopt;
+    length = length * 10 + static_cast<std::size_t>(c - '0');
+    ++digits;
+  }
+  std::string payload(length, '\0');
+  std::size_t got = 0;
+  while (got < length) {
+    const ssize_t r = ::recv(fd_, payload.data() + got, length - got, 0);
+    if (r <= 0) {
+      if (r < 0 && errno == EINTR) continue;
+      return std::nullopt;
+    }
+    got += static_cast<std::size_t>(r);
+  }
+  return payload;
+}
+
+std::optional<std::string> Client::roundtrip(const std::string& payload) {
+  return roundtrip_raw(std::to_string(payload.size()) + "\n" + payload);
+}
+
+std::optional<std::string> Client::roundtrip_raw(const std::string& bytes) {
+  if (fd_ < 0) return std::nullopt;
+  if (!send_all(fd_, bytes)) return std::nullopt;
+  return read_frame();
+}
+
+bool Client::ping() {
+  const auto response = roundtrip(ping_request());
+  return response.has_value() &&
+         response->find("\"ok\":true") != std::string::npos;
+}
+
+std::optional<Prediction> Client::predict(const QueryKey& query) {
+  const auto response = roundtrip(predict_request(query));
+  if (!response.has_value()) return std::nullopt;
+  return parse_prediction(*response);
+}
+
+std::optional<std::vector<Prediction>> Client::predict_batch(
+    const std::vector<QueryKey>& queries) {
+  const auto response = roundtrip(batch_request(queries));
+  if (!response.has_value()) return std::nullopt;
+  const auto elements = split_json_array(*response, "results");
+  if (!elements.has_value()) return std::nullopt;
+  std::vector<Prediction> out;
+  out.reserve(elements->size());
+  for (const std::string& element : *elements) {
+    auto p = parse_prediction(element);
+    if (!p.has_value()) return std::nullopt;
+    out.push_back(std::move(*p));
+  }
+  return out;
+}
+
+std::optional<std::string> Client::stats() {
+  return roundtrip(stats_request());
+}
+
+}  // namespace kcoup::serve

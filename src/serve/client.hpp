@@ -1,0 +1,52 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "serve/query_engine.hpp"
+
+namespace kcoup::serve {
+
+/// Minimal blocking client for the serve protocol (one frame out, one frame
+/// in).  Used by `kcoup query`, the server tests, and the throughput bench.
+/// Not thread-safe; open one Client per thread.
+class Client {
+ public:
+  Client() = default;
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&& other) noexcept;
+
+  /// Connect to host:port; throws std::runtime_error on failure.
+  void connect(const std::string& host, int port);
+  void close();
+  [[nodiscard]] bool connected() const { return fd_ >= 0; }
+
+  /// Send one framed payload and read one framed response.  Nullopt when
+  /// the connection drops (e.g. the server closed it after an error frame).
+  [[nodiscard]] std::optional<std::string> roundtrip(
+      const std::string& payload);
+
+  /// Send raw bytes with no framing — for malformed/oversized-frame tests.
+  /// Returns the response payload if the server sends one.
+  [[nodiscard]] std::optional<std::string> roundtrip_raw(
+      const std::string& bytes);
+
+  [[nodiscard]] bool ping();
+  [[nodiscard]] std::optional<Prediction> predict(const QueryKey& query);
+  [[nodiscard]] std::optional<std::vector<Prediction>> predict_batch(
+      const std::vector<QueryKey>& queries);
+  /// The server's metrics JSONL record, verbatim.
+  [[nodiscard]] std::optional<std::string> stats();
+
+ private:
+  [[nodiscard]] std::optional<std::string> read_frame();
+
+  int fd_ = -1;
+};
+
+}  // namespace kcoup::serve

@@ -1,0 +1,272 @@
+#include "serve/protocol.hpp"
+
+#include <cmath>
+
+#include "support/num_format.hpp"
+
+namespace kcoup::serve {
+
+namespace {
+
+/// Locates `"name":` and returns the offset just past the colon, or npos.
+std::size_t field_offset(const std::string& json, const char* name) {
+  const std::string needle = std::string("\"") + name + "\":";
+  const std::size_t at = json.find(needle);
+  if (at == std::string::npos) return std::string::npos;
+  return at + needle.size();
+}
+
+void append_number(std::string& out, const char* name, double v) {
+  if (!std::isfinite(v)) return;  // absent => NaN on the reader's side
+  out += ",\"";
+  out += name;
+  out += "\":";
+  out += support::format_double(v);
+}
+
+void append_string(std::string& out, const char* name, const std::string& v) {
+  out += ",\"";
+  out += name;
+  out += "\":\"";
+  out += json_escape(v);
+  out += '"';
+}
+
+std::string query_json(const QueryKey& q) {
+  std::string out = "{\"app\":\"" + json_escape(q.application) +
+                    "\",\"config\":\"" + json_escape(q.config) +
+                    "\",\"ranks\":" + std::to_string(q.ranks) +
+                    ",\"chain\":" + std::to_string(q.chain_length) + "}";
+  return out;
+}
+
+std::optional<QueryKey> parse_query(const std::string& json) {
+  const auto app = json_string_field(json, "app");
+  const auto config = json_string_field(json, "config");
+  const auto ranks = json_number_field(json, "ranks");
+  const auto chain = json_number_field(json, "chain");
+  if (!app || !config || !ranks || !chain) return std::nullopt;
+  if (*ranks < 1 || *chain < 1) return std::nullopt;
+  QueryKey q;
+  q.application = *app;
+  q.config = *config;
+  q.ranks = static_cast<int>(*ranks);
+  q.chain_length = static_cast<std::size_t>(*chain);
+  return q;
+}
+
+}  // namespace
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+std::optional<std::string> json_string_field(const std::string& json,
+                                             const char* name) {
+  std::size_t at = field_offset(json, name);
+  if (at == std::string::npos || at >= json.size() || json[at] != '"') {
+    return std::nullopt;
+  }
+  std::string out;
+  for (++at; at < json.size(); ++at) {
+    if (json[at] == '\\') {
+      if (++at >= json.size()) return std::nullopt;
+      out += json[at];
+    } else if (json[at] == '"') {
+      return out;
+    } else {
+      out += json[at];
+    }
+  }
+  return std::nullopt;  // unterminated string
+}
+
+std::optional<double> json_number_field(const std::string& json,
+                                        const char* name) {
+  const std::size_t at = field_offset(json, name);
+  if (at == std::string::npos) return std::nullopt;
+  const std::size_t end = json.find_first_of(",}]", at);
+  if (end == std::string::npos) return std::nullopt;
+  return support::parse_double(json.substr(at, end - at));
+}
+
+std::optional<std::vector<std::string>> split_json_array(
+    const std::string& json, const char* field) {
+  std::size_t at = field_offset(json, field);
+  if (at == std::string::npos) return std::nullopt;
+  while (at < json.size() && (json[at] == ' ' || json[at] == '\t')) ++at;
+  if (at >= json.size() || json[at] != '[') return std::nullopt;
+
+  std::vector<std::string> elements;
+  int depth = 0;
+  bool in_string = false;
+  std::size_t element_start = 0;
+  for (std::size_t i = at; i < json.size(); ++i) {
+    const char c = json[i];
+    if (in_string) {
+      if (c == '\\') {
+        ++i;
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    switch (c) {
+      case '"': in_string = true; break;
+      case '[':
+      case '{':
+        if (depth == 1 && c == '{') element_start = i;
+        ++depth;
+        break;
+      case '}':
+        --depth;
+        if (depth == 1) {
+          elements.push_back(json.substr(element_start,
+                                         i - element_start + 1));
+        }
+        break;
+      case ']':
+        --depth;
+        if (depth == 0) return elements;
+        break;
+      default: break;
+    }
+  }
+  return std::nullopt;  // unterminated array
+}
+
+std::optional<Request> parse_request(const std::string& json) {
+  if (json.empty() || json.front() != '{' || json.back() != '}') {
+    return std::nullopt;
+  }
+  const auto op = json_string_field(json, "op");
+  if (!op.has_value()) return std::nullopt;
+  Request req;
+  if (*op == "ping") {
+    req.op = RequestOp::kPing;
+    return req;
+  }
+  if (*op == "stats") {
+    req.op = RequestOp::kStats;
+    return req;
+  }
+  if (*op == "predict") {
+    req.op = RequestOp::kPredict;
+    const auto q = parse_query(json);
+    if (!q.has_value()) return std::nullopt;
+    req.queries.push_back(*q);
+    return req;
+  }
+  if (*op == "batch") {
+    req.op = RequestOp::kBatch;
+    const auto elements = split_json_array(json, "queries");
+    if (!elements.has_value() || elements->empty()) return std::nullopt;
+    for (const std::string& element : *elements) {
+      const auto q = parse_query(element);
+      if (!q.has_value()) return std::nullopt;
+      req.queries.push_back(*q);
+    }
+    return req;
+  }
+  return std::nullopt;
+}
+
+std::string ping_request() { return "{\"op\":\"ping\"}"; }
+std::string stats_request() { return "{\"op\":\"stats\"}"; }
+
+std::string predict_request(const QueryKey& query) {
+  std::string out = "{\"op\":\"predict\",\"app\":\"" +
+                    json_escape(query.application) + "\",\"config\":\"" +
+                    json_escape(query.config) +
+                    "\",\"ranks\":" + std::to_string(query.ranks) +
+                    ",\"chain\":" + std::to_string(query.chain_length) + "}";
+  return out;
+}
+
+std::string batch_request(const std::vector<QueryKey>& queries) {
+  std::string out = "{\"op\":\"batch\",\"queries\":[";
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    if (i != 0) out += ',';
+    out += query_json(queries[i]);
+  }
+  out += "]}";
+  return out;
+}
+
+std::string prediction_json(const Prediction& p) {
+  std::string out = p.ok ? "{\"ok\":true" : "{\"ok\":false";
+  if (!p.ok) append_string(out, "error", p.error);
+  append_string(out, "app", p.key.application);
+  append_string(out, "config", p.key.config);
+  out += ",\"ranks\":" + std::to_string(p.key.ranks);
+  out += ",\"chain\":" + std::to_string(p.key.chain_length);
+  append_number(out, "coupling_s", p.coupling_s);
+  append_number(out, "summation_s", p.summation_s);
+  append_number(out, "actual_s", p.actual_s);
+  append_number(out, "coupling_err", p.coupling_error);
+  append_number(out, "summation_err", p.summation_error);
+  if (!p.alpha_source.empty()) append_string(out, "alpha", p.alpha_source);
+  if (!p.inputs_source.empty()) append_string(out, "inputs", p.inputs_source);
+  append_string(out, "cache", p.cache_hit ? "hit" : "miss");
+  out += ",\"snapshot\":" + std::to_string(p.snapshot_version);
+  out += '}';
+  return out;
+}
+
+std::string batch_json(const std::vector<Prediction>& results) {
+  std::string out = "{\"ok\":true,\"results\":[";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    if (i != 0) out += ',';
+    out += prediction_json(results[i]);
+  }
+  out += "]}";
+  return out;
+}
+
+std::string error_json(const std::string& error, int code) {
+  return "{\"ok\":false,\"error\":\"" + json_escape(error) +
+         "\",\"code\":" + std::to_string(code) + "}";
+}
+
+std::optional<Prediction> parse_prediction(const std::string& json) {
+  if (json.empty() || json.front() != '{') return std::nullopt;
+  Prediction p;
+  p.ok = json.find("\"ok\":true") != std::string::npos;
+  if (const auto v = json_string_field(json, "error")) p.error = *v;
+  if (const auto v = json_string_field(json, "app")) p.key.application = *v;
+  if (const auto v = json_string_field(json, "config")) p.key.config = *v;
+  if (const auto v = json_number_field(json, "ranks")) {
+    p.key.ranks = static_cast<int>(*v);
+  }
+  if (const auto v = json_number_field(json, "chain")) {
+    p.key.chain_length = static_cast<std::size_t>(*v);
+  }
+  if (const auto v = json_number_field(json, "coupling_s")) p.coupling_s = *v;
+  if (const auto v = json_number_field(json, "summation_s")) {
+    p.summation_s = *v;
+  }
+  if (const auto v = json_number_field(json, "actual_s")) p.actual_s = *v;
+  if (const auto v = json_number_field(json, "coupling_err")) {
+    p.coupling_error = *v;
+  }
+  if (const auto v = json_number_field(json, "summation_err")) {
+    p.summation_error = *v;
+  }
+  if (const auto v = json_string_field(json, "alpha")) p.alpha_source = *v;
+  if (const auto v = json_string_field(json, "inputs")) p.inputs_source = *v;
+  if (const auto v = json_string_field(json, "cache")) {
+    p.cache_hit = (*v == "hit");
+  }
+  if (const auto v = json_number_field(json, "snapshot")) {
+    p.snapshot_version = static_cast<std::uint64_t>(*v);
+  }
+  return p;
+}
+
+}  // namespace kcoup::serve

@@ -1,0 +1,68 @@
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "serve/query_engine.hpp"
+
+namespace kcoup::serve {
+
+/// Wire format: length-prefixed JSON lines over TCP.  One frame is the
+/// payload's byte count in ASCII decimal, a '\n', then exactly that many
+/// payload bytes (one JSON object, no trailing newline required):
+///
+///   13\n{"op":"ping"}
+///
+/// Both directions use the same framing.  Doubles are serialized with 17
+/// significant digits (support::format_double), so a prediction survives
+/// the round trip bit-identically; non-finite values are omitted and read
+/// back as NaN.
+
+// --- Requests ---------------------------------------------------------------
+
+enum class RequestOp { kPing, kStats, kPredict, kBatch };
+
+struct Request {
+  RequestOp op = RequestOp::kPing;
+  std::vector<QueryKey> queries;  ///< one for kPredict, many for kBatch
+};
+
+/// Parse a request payload; nullopt on anything malformed.
+[[nodiscard]] std::optional<Request> parse_request(const std::string& json);
+
+/// Serialize requests (used by the client).
+[[nodiscard]] std::string ping_request();
+[[nodiscard]] std::string stats_request();
+[[nodiscard]] std::string predict_request(const QueryKey& query);
+[[nodiscard]] std::string batch_request(const std::vector<QueryKey>& queries);
+
+// --- Responses --------------------------------------------------------------
+
+/// {"ok":true,...} for one prediction (error predictions serialize with
+/// "ok":false and "error").
+[[nodiscard]] std::string prediction_json(const Prediction& p);
+/// {"ok":true,"results":[...]} for a batch.
+[[nodiscard]] std::string batch_json(const std::vector<Prediction>& results);
+/// {"ok":false,"error":...,"code":N} server-level refusal (overload,
+/// malformed frame, bad request).
+[[nodiscard]] std::string error_json(const std::string& error, int code);
+
+/// Parse one prediction object (the client's inverse of prediction_json).
+[[nodiscard]] std::optional<Prediction> parse_prediction(
+    const std::string& json);
+/// Split the top-level JSON array value of `field` into its element
+/// strings; nullopt when the field is missing or the array is malformed.
+[[nodiscard]] std::optional<std::vector<std::string>> split_json_array(
+    const std::string& json, const char* field);
+
+// --- JSON field helpers (shared with tests) ---------------------------------
+
+[[nodiscard]] std::optional<std::string> json_string_field(
+    const std::string& json, const char* name);
+[[nodiscard]] std::optional<double> json_number_field(const std::string& json,
+                                                      const char* name);
+[[nodiscard]] std::string json_escape(const std::string& s);
+
+}  // namespace kcoup::serve

@@ -1,0 +1,127 @@
+#include "serve/query_engine.hpp"
+
+#include <cmath>
+#include <utility>
+
+#include "coupling/analysis.hpp"
+#include "trace/stats.hpp"
+
+namespace kcoup::serve {
+
+QueryEngine::QueryEngine(const Workload* workload, EngineOptions options)
+    : workload_(workload),
+      cells_(options.cache_capacity, options.cache_shards) {}
+
+std::optional<CellInputs> QueryEngine::cell(const std::string& application,
+                                            const std::string& config,
+                                            int ranks, bool* was_hit) {
+  if (was_hit != nullptr) *was_hit = false;
+  const CellKey key{application, config, ranks};
+  if (auto cached = cells_.get(key)) {
+    if (was_hit != nullptr) *was_hit = true;
+    return cached;
+  }
+  if (!workload_->valid_cell(application, config, ranks)) return std::nullopt;
+  CellInputs measured = workload_->measure_cell(application, config, ranks);
+  cells_.put(key, measured);
+  return measured;
+}
+
+Prediction QueryEngine::predict(const PredictorSnapshot& snapshot,
+                                const QueryKey& query) {
+  Prediction p;
+  p.key = query;
+  p.snapshot_version = snapshot.version();
+
+  const auto canonical =
+      workload_->canonical(query.application, query.config);
+  if (!canonical.has_value()) {
+    p.error = "unknown application/config '" + query.application + "/" +
+              query.config + "'";
+    return p;
+  }
+  p.key.application = canonical->first;
+  p.key.config = canonical->second;
+  if (query.ranks < 1) {
+    p.error = "ranks must be >= 1";
+    return p;
+  }
+  if (query.chain_length < 1) {
+    p.error = "chain length must be >= 1";
+    return p;
+  }
+
+  // 1. Cell inputs: memoized measurement, or scaling-model extrapolation
+  //    for configurations that cannot run.
+  coupling::PredictionInputs inputs;
+  std::size_t loop_size = 0;
+  const auto measured =
+      cell(p.key.application, p.key.config, p.key.ranks, &p.cache_hit);
+  if (measured.has_value()) {
+    inputs = measured->inputs;
+    loop_size = measured->loop_size;
+    p.actual_s = measured->actual_s;
+    p.summation_s = measured->summation_s;
+    p.inputs_source = "measured";
+  } else {
+    const auto* models = snapshot.models_for(p.key.application);
+    const auto shape = workload_->shape(p.key.application, p.key.config);
+    if (models == nullptr || !shape.has_value()) {
+      p.error = "cell " + p.key.application + "/" + p.key.config + "/P=" +
+                std::to_string(p.key.ranks) +
+                " cannot be measured and no scaling models are fitted";
+      return p;
+    }
+    loop_size = models->size();
+    inputs.iterations = shape->iterations;
+    inputs.isolated_means.reserve(loop_size);
+    for (const coupling::KernelScalingModel& m : *models) {
+      inputs.isolated_means.push_back(
+          m.evaluate(shape->grid_extent, static_cast<double>(p.key.ranks)));
+    }
+    p.summation_s = coupling::summation_prediction(inputs);
+    p.inputs_source = "model";
+  }
+  if (query.chain_length > loop_size) {
+    p.error = "chain length " + std::to_string(query.chain_length) +
+              " exceeds loop size " + std::to_string(loop_size);
+    return p;
+  }
+
+  // 2. Coupling coefficients: precomputed exact group, else nearest-ranks
+  //    donor chains assembled from the database.
+  const AlphaGroup* group = snapshot.find_alpha(
+      p.key.application, p.key.config, p.key.ranks, query.chain_length);
+  if (group != nullptr && group->loop_size == loop_size) {
+    p.coupling_s = coupling::alpha_prediction(inputs, group->alpha);
+    p.alpha_source = "exact";
+  } else {
+    const auto donor = snapshot.database().reuse_chains_for(
+        p.key.application, p.key.config, p.key.ranks, query.chain_length,
+        loop_size);
+    if (donor.empty()) {
+      p.error = "no coupling data for " + p.key.application + "/" +
+                p.key.config + " q=" + std::to_string(query.chain_length);
+      return p;
+    }
+    p.coupling_s = coupling::coupling_prediction(inputs, donor);
+    p.alpha_source = "nearest";
+  }
+
+  if (std::isfinite(p.actual_s) && p.actual_s > 0.0) {
+    p.coupling_error = trace::relative_error(p.coupling_s, p.actual_s);
+    p.summation_error = trace::relative_error(p.summation_s, p.actual_s);
+  }
+  p.ok = true;
+  return p;
+}
+
+std::vector<Prediction> QueryEngine::predict_batch(
+    const PredictorSnapshot& snapshot, std::span<const QueryKey> queries) {
+  std::vector<Prediction> out;
+  out.reserve(queries.size());
+  for (const QueryKey& q : queries) out.push_back(predict(snapshot, q));
+  return out;
+}
+
+}  // namespace kcoup::serve

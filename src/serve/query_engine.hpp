@@ -1,0 +1,104 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "serve/sharded_lru.hpp"
+#include "serve/snapshot.hpp"
+#include "serve/workload.hpp"
+
+namespace kcoup::serve {
+
+/// One prediction request: which application/configuration/processor count,
+/// and which chain length's coupling coefficients to compose with.
+struct QueryKey {
+  std::string application;
+  std::string config;
+  int ranks = 1;
+  std::size_t chain_length = 2;
+
+  [[nodiscard]] bool operator==(const QueryKey&) const = default;
+};
+
+/// One answered (or refused) prediction.
+struct Prediction {
+  bool ok = false;
+  std::string error;       ///< set when !ok
+  QueryKey key;            ///< canonical spelling
+  double coupling_s = std::numeric_limits<double>::quiet_NaN();
+  double summation_s = std::numeric_limits<double>::quiet_NaN();
+  double actual_s = std::numeric_limits<double>::quiet_NaN();
+  double coupling_error = std::numeric_limits<double>::quiet_NaN();
+  double summation_error = std::numeric_limits<double>::quiet_NaN();
+  std::string alpha_source;   ///< "exact" | "nearest" | ""
+  std::string inputs_source;  ///< "measured" | "model" | ""
+  bool cache_hit = false;     ///< cell inputs served from the memo cache
+  std::uint64_t snapshot_version = 0;
+};
+
+struct EngineOptions {
+  /// Cell-memo capacity ((application, config, ranks) entries); 0 disables
+  /// memoization — every query re-measures, bit-identically.
+  std::size_t cache_capacity = 1024;
+  std::size_t cache_shards = 8;
+};
+
+/// The read side of the prediction service.  Stateless with respect to any
+/// particular snapshot (callers pass the snapshot they loaded for the
+/// request), so a hot snapshot swap needs no engine coordination: cell
+/// inputs depend only on the workload, never on the database.
+///
+/// Hot path per query: one sharded-LRU lookup for the cell inputs (isolated
+/// means et al.), one precomputed-alpha lookup in the snapshot, then the
+/// composition algebra T = Tinit + I * sum_k alpha_k E_k + Tfinal.  A cell
+/// miss measures the N cheap isolated loops once (two workers racing on the
+/// same cold cell may both measure; the values are deterministic, so
+/// last-write-wins is harmless).  Missing exact coupling groups fall back
+/// to the database's nearest-ranks donor chains; cells that cannot be
+/// measured at all fall back to the snapshot's fitted scaling models.
+class QueryEngine {
+ public:
+  QueryEngine(const Workload* workload, EngineOptions options = {});
+
+  [[nodiscard]] Prediction predict(const PredictorSnapshot& snapshot,
+                                   const QueryKey& query);
+  [[nodiscard]] std::vector<Prediction> predict_batch(
+      const PredictorSnapshot& snapshot, std::span<const QueryKey> queries);
+
+  /// Cache-through cell accessor (nullopt when the cell cannot be
+  /// measured).  Also the CellFn wired into SnapshotSource, so snapshot
+  /// builds and queries share one memo.  `was_hit`, when given, reports
+  /// whether the memo served the call.
+  [[nodiscard]] std::optional<CellInputs> cell(const std::string& application,
+                                               const std::string& config,
+                                               int ranks,
+                                               bool* was_hit = nullptr);
+
+  [[nodiscard]] CacheStats cache_stats() const { return cells_.stats(); }
+
+ private:
+  struct CellKey {
+    std::string application;
+    std::string config;
+    int ranks = 1;
+    [[nodiscard]] bool operator==(const CellKey&) const = default;
+  };
+  struct CellKeyHash {
+    [[nodiscard]] std::size_t operator()(const CellKey& k) const {
+      std::size_t h = std::hash<std::string>{}(k.application);
+      h = h * 1000003 + std::hash<std::string>{}(k.config);
+      h = h * 1000003 + std::hash<int>{}(k.ranks);
+      return h;
+    }
+  };
+
+  const Workload* workload_;
+  ShardedLruCache<CellKey, CellInputs, CellKeyHash> cells_;
+};
+
+}  // namespace kcoup::serve

@@ -1,0 +1,320 @@
+#include "serve/server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <utility>
+
+#include "serve/protocol.hpp"
+
+namespace kcoup::serve {
+
+namespace {
+
+/// Send the whole buffer; false on any error (peer gone, etc.).
+bool send_all(int fd, const std::string& data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool send_frame(int fd, const std::string& payload) {
+  return send_all(fd, std::to_string(payload.size()) + "\n" + payload);
+}
+
+/// Read exactly n bytes; false on EOF or error.
+bool recv_exact(int fd, char* buf, std::size_t n) {
+  std::size_t got = 0;
+  while (got < n) {
+    const ssize_t r = ::recv(fd, buf + got, n - got, 0);
+    if (r <= 0) {
+      if (r < 0 && errno == EINTR) continue;
+      return false;
+    }
+    got += static_cast<std::size_t>(r);
+  }
+  return true;
+}
+
+enum class FrameStatus { kOk, kEof, kMalformed, kOversized };
+
+/// Read one length-prefixed frame.  kEof only when the connection closes
+/// cleanly before any length byte arrives.
+FrameStatus recv_frame(int fd, std::size_t max_bytes, std::string* payload) {
+  // Length line: ASCII digits then '\n', at most 20 chars.
+  std::size_t length = 0;
+  std::size_t digits = 0;
+  for (;;) {
+    char c = 0;
+    const ssize_t r = ::recv(fd, &c, 1, 0);
+    if (r <= 0) {
+      if (r < 0 && errno == EINTR) continue;
+      return digits == 0 ? FrameStatus::kEof : FrameStatus::kMalformed;
+    }
+    if (c == '\n') {
+      if (digits == 0) return FrameStatus::kMalformed;
+      break;
+    }
+    if (c < '0' || c > '9' || digits >= 20) return FrameStatus::kMalformed;
+    length = length * 10 + static_cast<std::size_t>(c - '0');
+    ++digits;
+  }
+  if (length > max_bytes) return FrameStatus::kOversized;
+  payload->resize(length);
+  if (length != 0 && !recv_exact(fd, payload->data(), length)) {
+    return FrameStatus::kMalformed;
+  }
+  return FrameStatus::kOk;
+}
+
+}  // namespace
+
+Server::Server(SnapshotSource* source, QueryEngine* engine,
+               ServerConfig config)
+    : source_(source), engine_(engine), config_(std::move(config)) {
+  if (config_.workers == 0) config_.workers = 1;
+  if (config_.max_inflight == 0) config_.max_inflight = 2 * config_.workers;
+}
+
+Server::~Server() { stop(); }
+
+void Server::start() {
+  if (listen_fd_ >= 0) return;
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    throw BindError("serve: cannot create socket: " +
+                    std::string(std::strerror(errno)));
+  }
+  const int yes = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &yes, sizeof(yes));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(config_.port));
+  if (::inet_pton(AF_INET, config_.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    throw BindError("serve: invalid host '" + config_.host + "'");
+  }
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const std::string why = std::strerror(errno);
+    ::close(fd);
+    throw BindError("serve: cannot bind " + config_.host + ":" +
+                    std::to_string(config_.port) + ": " + why);
+  }
+  if (::listen(fd, 64) != 0) {
+    const std::string why = std::strerror(errno);
+    ::close(fd);
+    throw BindError("serve: cannot listen on " + config_.host + ":" +
+                    std::to_string(config_.port) + ": " + why);
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &bound_len) !=
+      0) {
+    const std::string why = std::strerror(errno);
+    ::close(fd);
+    throw BindError("serve: getsockname failed: " + why);
+  }
+  port_ = ntohs(bound.sin_port);
+  listen_fd_ = fd;
+
+  latency_.clear();
+  latency_.resize(config_.workers + 1);  // last slot: off-pool threads
+  pool_ = std::make_unique<support::ThreadPool>(config_.workers);
+  running_.store(true, std::memory_order_release);
+  acceptor_ = std::thread([this] { accept_loop(); });
+}
+
+void Server::stop() {
+  if (listen_fd_ < 0) return;
+  running_.store(false, std::memory_order_release);
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  ::close(listen_fd_);
+  if (acceptor_.joinable()) acceptor_.join();
+  // Graceful drain: stop reading further requests from open connections;
+  // workers finish the requests already in flight and write their
+  // responses, then see EOF and close.
+  {
+    std::lock_guard<std::mutex> lock(clients_mutex_);
+    for (int fd : clients_) ::shutdown(fd, SHUT_RD);
+  }
+  if (pool_) {
+    pool_->wait_idle();
+    pool_.reset();
+  }
+  listen_fd_ = -1;
+}
+
+void Server::register_client(int fd) {
+  std::lock_guard<std::mutex> lock(clients_mutex_);
+  clients_.push_back(fd);
+}
+
+void Server::unregister_client(int fd) {
+  std::lock_guard<std::mutex> lock(clients_mutex_);
+  std::erase(clients_, fd);
+}
+
+void Server::accept_loop() {
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // listener closed (stop()) or fatal
+    }
+    if (!running_.load(std::memory_order_acquire)) {
+      ::close(fd);
+      return;
+    }
+    connections_.fetch_add(1, std::memory_order_relaxed);
+    if (inflight_.fetch_add(1, std::memory_order_acq_rel) >=
+        config_.max_inflight) {
+      // Fast reject without touching the worker pool: one error frame,
+      // then close.  The client sees "overloaded" in bounded time no
+      // matter how deep the pool's backlog is.
+      inflight_.fetch_sub(1, std::memory_order_acq_rel);
+      rejected_overload_.fetch_add(1, std::memory_order_relaxed);
+      send_frame(fd, error_json("server overloaded, retry later", 429));
+      ::close(fd);
+      continue;
+    }
+    register_client(fd);
+    pool_->submit([this, fd] {
+      serve_connection(fd);
+      unregister_client(fd);
+      ::close(fd);
+      inflight_.fetch_sub(1, std::memory_order_acq_rel);
+    });
+  }
+}
+
+void Server::serve_connection(int fd) {
+  std::string payload;
+  for (;;) {
+    const FrameStatus status =
+        recv_frame(fd, config_.max_frame_bytes, &payload);
+    if (status == FrameStatus::kEof) return;
+    if (status == FrameStatus::kMalformed) {
+      malformed_frames_.fetch_add(1, std::memory_order_relaxed);
+      send_frame(fd, error_json("malformed frame", 400));
+      return;
+    }
+    if (status == FrameStatus::kOversized) {
+      oversized_frames_.fetch_add(1, std::memory_order_relaxed);
+      send_frame(fd, error_json("frame exceeds " +
+                                    std::to_string(config_.max_frame_bytes) +
+                                    " bytes",
+                                413));
+      return;
+    }
+
+    const auto t0 = std::chrono::steady_clock::now();
+    const std::string response = handle_payload(payload);
+    const std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - t0;
+    requests_.fetch_add(1, std::memory_order_relaxed);
+    {
+      std::size_t slot = support::ThreadPool::this_worker_index();
+      if (slot >= latency_.size()) slot = latency_.size() - 1;
+      std::lock_guard<std::mutex> lock(latency_mutex_);
+      latency_[slot].record(elapsed.count());
+    }
+    if (!send_frame(fd, response)) return;
+  }
+}
+
+std::string Server::handle_payload(const std::string& payload) {
+  const auto request = parse_request(payload);
+  if (!request.has_value()) {
+    errors_.fetch_add(1, std::memory_order_relaxed);
+    return error_json("malformed request", 400);
+  }
+  switch (request->op) {
+    case RequestOp::kPing:
+      return "{\"ok\":true,\"op\":\"ping\"}";
+    case RequestOp::kStats: {
+      std::string out = metrics().to_jsonl();
+      if (!out.empty() && out.back() == '\n') out.pop_back();
+      return out;
+    }
+    case RequestOp::kPredict:
+    case RequestOp::kBatch: {
+      const auto snapshot = source_->current();
+      if (snapshot == nullptr) {
+        errors_.fetch_add(1, std::memory_order_relaxed);
+        return error_json("no snapshot loaded", 503);
+      }
+      std::vector<Prediction> results =
+          engine_->predict_batch(*snapshot, request->queries);
+      predictions_.fetch_add(results.size(), std::memory_order_relaxed);
+      std::uint64_t failed = 0;
+      for (const Prediction& p : results) {
+        if (!p.ok) ++failed;
+      }
+      if (failed != 0) errors_.fetch_add(failed, std::memory_order_relaxed);
+      if (request->op == RequestOp::kPredict) {
+        return prediction_json(results.front());
+      }
+      return batch_json(results);
+    }
+  }
+  errors_.fetch_add(1, std::memory_order_relaxed);
+  return error_json("unhandled request", 400);
+}
+
+ServeMetrics Server::metrics() const {
+  ServeMetrics m;
+  m.workers = config_.workers;
+  m.connections = connections_.load(std::memory_order_relaxed);
+  m.requests = requests_.load(std::memory_order_relaxed);
+  m.predictions = predictions_.load(std::memory_order_relaxed);
+  m.errors = errors_.load(std::memory_order_relaxed);
+  m.rejected_overload = rejected_overload_.load(std::memory_order_relaxed);
+  m.malformed_frames = malformed_frames_.load(std::memory_order_relaxed);
+  m.oversized_frames = oversized_frames_.load(std::memory_order_relaxed);
+
+  const CacheStats cache = engine_->cache_stats();
+  m.cache_hits = cache.hits;
+  m.cache_misses = cache.misses;
+  m.cache_evictions = cache.evictions;
+  m.cache_size = cache.size;
+
+  m.snapshot_reloads = source_->reloads();
+  m.snapshot_reload_failures = source_->reload_failures();
+  if (const auto snapshot = source_->current()) {
+    m.snapshot_version = snapshot->version();
+    m.db_records = snapshot->database().records().size();
+  }
+
+  support::LatencyHistogram merged;
+  {
+    std::lock_guard<std::mutex> lock(latency_mutex_);
+    for (const support::LatencyHistogram& h : latency_) merged.merge(h);
+  }
+  m.latency_count = merged.count();
+  if (merged.count() != 0) {
+    m.latency_p50_s = merged.quantile(0.50);
+    m.latency_p95_s = merged.quantile(0.95);
+    m.latency_p99_s = merged.quantile(0.99);
+    m.latency_mean_s = merged.mean();
+    m.latency_max_s = merged.max();
+  }
+  return m;
+}
+
+}  // namespace kcoup::serve

@@ -1,0 +1,126 @@
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/metrics.hpp"
+#include "serve/query_engine.hpp"
+#include "serve/snapshot.hpp"
+#include "support/latency_histogram.hpp"
+#include "support/thread_pool.hpp"
+
+namespace kcoup::serve {
+
+struct ServerConfig {
+  std::string host = "127.0.0.1";  ///< loopback only by design
+  int port = 0;                    ///< 0 = kernel-assigned ephemeral port
+  std::size_t workers = 4;
+  /// Connections being handled concurrently before the accept loop starts
+  /// fast-rejecting with a code-429 frame; 0 = 2 * workers.
+  std::size_t max_inflight = 0;
+  /// Largest accepted request payload; larger frames get a code-413 frame
+  /// and the connection is closed.
+  std::size_t max_frame_bytes = 64 * 1024;
+};
+
+/// Thrown when the listening socket cannot be created/bound; the CLI maps
+/// it to exit code 4 so scripts can tell "port taken" from other failures.
+class BindError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Loopback TCP front end for the query engine.  One accept thread hands
+/// connections to a fixed ThreadPool; each connection is served
+/// request-by-request (length-prefixed JSON frames, see protocol.hpp) until
+/// the peer closes.  Admission control is at accept: when max_inflight
+/// connections are already being handled, the new connection gets one
+/// error frame (code 429) and is closed without touching the pool, so an
+/// overloaded server still answers "try later" quickly.
+///
+/// stop() is a graceful drain: the listener closes, every open client
+/// socket gets shutdown(SHUT_RD) — in-flight requests finish and their
+/// responses are written, but no further requests are read — and the pool
+/// is drained before stop() returns.  Combined with snapshot hot-reload
+/// this gives zero dropped in-flight requests across both reloads and
+/// shutdown.
+///
+/// Request latencies land in per-worker LatencyHistograms (no shared-state
+/// contention on the hot path); metrics() merges them on demand.
+class Server {
+ public:
+  Server(SnapshotSource* source, QueryEngine* engine, ServerConfig config);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Bind + listen + start the accept thread.  Throws BindError when the
+  /// socket cannot be bound.
+  void start();
+
+  /// Graceful drain (see class comment).  Idempotent.
+  void stop();
+
+  /// The bound port (useful with config.port = 0).
+  [[nodiscard]] int port() const { return port_; }
+
+  [[nodiscard]] bool running() const {
+    return running_.load(std::memory_order_acquire);
+  }
+
+  [[nodiscard]] std::uint64_t requests_handled() const {
+    return requests_.load(std::memory_order_relaxed);
+  }
+
+  /// Point-in-time aggregate: server counters + engine cache stats +
+  /// snapshot reload stats + merged latency quantiles.
+  [[nodiscard]] ServeMetrics metrics() const;
+
+ private:
+  void accept_loop();
+  void serve_connection(int fd);
+  /// Handle one parsed payload; returns the response JSON.
+  [[nodiscard]] std::string handle_payload(const std::string& payload);
+
+  void register_client(int fd);
+  void unregister_client(int fd);
+
+  SnapshotSource* source_;
+  QueryEngine* engine_;
+  ServerConfig config_;
+
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::thread acceptor_;
+  std::unique_ptr<support::ThreadPool> pool_;
+  std::atomic<bool> running_{false};
+
+  std::atomic<std::size_t> inflight_{0};
+  std::atomic<std::uint64_t> connections_{0};
+  std::atomic<std::uint64_t> requests_{0};
+  std::atomic<std::uint64_t> predictions_{0};
+  std::atomic<std::uint64_t> errors_{0};
+  std::atomic<std::uint64_t> rejected_overload_{0};
+  std::atomic<std::uint64_t> malformed_frames_{0};
+  std::atomic<std::uint64_t> oversized_frames_{0};
+
+  /// Slot w < workers belongs to pool worker w; the last slot catches
+  /// off-pool threads.  All slots share latency_mutex_ (recording is a few
+  /// adds — cheaper than the JSON work around it — and metrics() may merge
+  /// concurrently).
+  std::vector<support::LatencyHistogram> latency_;
+  mutable std::mutex latency_mutex_;
+
+  std::mutex clients_mutex_;
+  std::vector<int> clients_;
+};
+
+}  // namespace kcoup::serve

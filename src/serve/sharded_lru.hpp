@@ -1,0 +1,123 @@
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace kcoup::serve {
+
+/// Counters for one cache; read with relaxed atomics, so totals observed
+/// while other threads mutate the cache are approximate but never torn.
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  std::size_t size = 0;
+};
+
+/// A sharded LRU map: the query engine's per-(app, config, ranks) memo.
+///
+/// Keys hash to one of `shards` independent shards, each a classic
+/// mutex-protected list+map LRU, so concurrent server workers only contend
+/// when they touch the same shard.  Each shard holds at most
+/// ceil(capacity / shards) entries and evicts its least-recently-used entry
+/// when full.  A capacity of 0 disables the cache entirely: get() always
+/// misses and put() is a no-op — the knob behind `kcoup serve
+/// --cache-capacity 0` and the cache-on/off bit-identity tests.
+template <typename Key, typename Value, typename Hash = std::hash<Key>>
+class ShardedLruCache {
+ public:
+  explicit ShardedLruCache(std::size_t capacity, std::size_t shards = 8)
+      : capacity_(capacity),
+        shard_capacity_(shards < 2 ? capacity
+                                   : (capacity + shards - 1) / shards),
+        shards_(shards == 0 ? 1 : shards) {
+    for (auto& s : shards_) s = std::make_unique<Shard>();
+  }
+
+  [[nodiscard]] bool enabled() const { return capacity_ > 0; }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+  [[nodiscard]] std::optional<Value> get(const Key& key) {
+    if (!enabled()) {
+      misses_.fetch_add(1, std::memory_order_relaxed);
+      return std::nullopt;
+    }
+    Shard& s = shard_for(key);
+    std::lock_guard<std::mutex> lock(s.mutex);
+    const auto it = s.index.find(key);
+    if (it == s.index.end()) {
+      misses_.fetch_add(1, std::memory_order_relaxed);
+      return std::nullopt;
+    }
+    s.lru.splice(s.lru.begin(), s.lru, it->second);  // move to front (MRU)
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    return it->second->second;
+  }
+
+  void put(const Key& key, Value value) {
+    if (!enabled()) return;
+    Shard& s = shard_for(key);
+    std::lock_guard<std::mutex> lock(s.mutex);
+    const auto it = s.index.find(key);
+    if (it != s.index.end()) {
+      it->second->second = std::move(value);
+      s.lru.splice(s.lru.begin(), s.lru, it->second);
+      return;
+    }
+    if (s.lru.size() >= shard_capacity_) {
+      s.index.erase(s.lru.back().first);
+      s.lru.pop_back();
+      evictions_.fetch_add(1, std::memory_order_relaxed);
+      size_.fetch_sub(1, std::memory_order_relaxed);
+    }
+    s.lru.emplace_front(key, std::move(value));
+    s.index.emplace(key, s.lru.begin());
+    size_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] CacheStats stats() const {
+    CacheStats st;
+    st.hits = hits_.load(std::memory_order_relaxed);
+    st.misses = misses_.load(std::memory_order_relaxed);
+    st.evictions = evictions_.load(std::memory_order_relaxed);
+    st.size = size_.load(std::memory_order_relaxed);
+    return st;
+  }
+
+ private:
+  struct Shard {
+    std::mutex mutex;
+    std::list<std::pair<Key, Value>> lru;  ///< front = most recently used
+    std::unordered_map<Key, typename std::list<std::pair<Key, Value>>::iterator,
+                       Hash>
+        index;
+  };
+
+  [[nodiscard]] Shard& shard_for(const Key& key) {
+    // Mix the hash so shard selection and the shard-local unordered_map
+    // don't consume the same low bits.
+    std::uint64_t h = static_cast<std::uint64_t>(Hash{}(key));
+    h ^= h >> 33;
+    h *= 0xff51afd7ed558ccdULL;
+    h ^= h >> 33;
+    return *shards_[h % shards_.size()];
+  }
+
+  std::size_t capacity_;
+  std::size_t shard_capacity_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> evictions_{0};
+  std::atomic<std::size_t> size_{0};
+};
+
+}  // namespace kcoup::serve

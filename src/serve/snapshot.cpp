@@ -1,0 +1,212 @@
+#include "serve/snapshot.hpp"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+#include <utility>
+
+#include "coupling/analysis.hpp"
+
+namespace kcoup::serve {
+
+namespace {
+
+/// Reconstruct the full chain set of one complete group, in start order,
+/// with the exact members/isolated_sum/chain_time the campaign assembly
+/// produced — so coupling_coefficients() over it is bit-identical to the
+/// in-process study's.
+std::optional<std::vector<coupling::ChainCoupling>> reconstruct_chains(
+    std::vector<const coupling::CouplingRecord*> group) {
+  std::sort(group.begin(), group.end(),
+            [](const coupling::CouplingRecord* a,
+               const coupling::CouplingRecord* b) {
+              return a->key.chain_start < b->key.chain_start;
+            });
+  const std::size_t loop_size = group.size();
+  std::vector<coupling::ChainCoupling> chains;
+  chains.reserve(loop_size);
+  for (std::size_t start = 0; start < loop_size; ++start) {
+    const coupling::CouplingRecord& r = *group[start];
+    if (r.key.chain_start != start) return std::nullopt;  // holes: partial
+    if (r.key.chain_length > loop_size) return std::nullopt;
+    coupling::ChainCoupling c;
+    c.start = start;
+    c.length = r.key.chain_length;
+    for (std::size_t i = 0; i < c.length; ++i) {
+      c.members.push_back((start + i) % loop_size);
+    }
+    c.label = "db(P=" + std::to_string(r.key.ranks) + ")";
+    c.chain_time = r.chain_time;
+    c.isolated_sum = r.isolated_sum;
+    chains.push_back(std::move(c));
+  }
+  return chains;
+}
+
+}  // namespace
+
+PredictorSnapshot::PredictorSnapshot(coupling::CouplingDatabase db,
+                                     std::uint64_t version,
+                                     const CellFn& cell_fn,
+                                     const SnapshotOptions& options)
+    : db_(std::move(db)), version_(version) {
+  // Group records by (application, config, ranks, chain_length).
+  std::map<GroupKey, std::vector<const coupling::CouplingRecord*>> by_group;
+  for (const coupling::CouplingRecord& r : db_.records()) {
+    by_group[GroupKey{r.key.application, r.key.config, r.key.ranks,
+                      r.key.chain_length}]
+        .push_back(&r);
+  }
+  for (auto& [key, records] : by_group) {
+    auto chains = reconstruct_chains(std::move(records));
+    if (!chains.has_value()) continue;  // partial group: reuse path at query
+    AlphaGroup group;
+    group.loop_size = chains->size();
+    group.alpha = coupling::coupling_coefficients(group.loop_size, *chains);
+    group.chains = std::move(*chains);
+    groups_.emplace(key, std::move(group));
+  }
+
+  if (!options.fit_scaling_models || !cell_fn) return;
+
+  // Fit per-application scaling models from the database's measurable
+  // cells.  Samples pool across configs and rank counts (n varies with the
+  // problem class, P with the ranks); applications with fewer distinct
+  // samples than basis terms — or a singular fit — simply get no models.
+  std::map<std::string, std::set<std::pair<std::string, int>>> cells_by_app;
+  for (const coupling::CouplingRecord& r : db_.records()) {
+    cells_by_app[r.key.application].insert({r.key.config, r.key.ranks});
+  }
+  for (const auto& [application, cells] : cells_by_app) {
+    std::vector<std::vector<coupling::ScalingSample>> samples;
+    for (const auto& [config, ranks] : cells) {
+      const auto cell = cell_fn(application, config, ranks);
+      if (!cell.has_value()) continue;
+      if (samples.empty()) samples.resize(cell->loop_size);
+      if (samples.size() != cell->loop_size) continue;  // shape mismatch
+      for (std::size_t k = 0; k < cell->loop_size; ++k) {
+        samples[k].push_back({cell->grid_extent,
+                              static_cast<double>(ranks),
+                              cell->inputs.isolated_means[k]});
+      }
+    }
+    const coupling::ScalingBasis basis = coupling::ScalingBasis::npb_default();
+    if (samples.empty() || samples.front().size() < basis.size()) continue;
+    std::vector<coupling::KernelScalingModel> models;
+    models.reserve(samples.size());
+    try {
+      for (const auto& kernel_samples : samples) {
+        models.push_back(coupling::KernelScalingModel::fit(
+            coupling::ScalingBasis::npb_default(), kernel_samples));
+      }
+    } catch (const std::invalid_argument&) {
+      continue;  // singular fit (e.g. all samples identical): no models
+    }
+    models_.emplace(application, std::move(models));
+  }
+}
+
+const AlphaGroup* PredictorSnapshot::find_alpha(const std::string& application,
+                                                const std::string& config,
+                                                int ranks,
+                                                std::size_t chain_length) const {
+  const auto it =
+      groups_.find(GroupKey{application, config, ranks, chain_length});
+  if (it == groups_.end()) return nullptr;
+  return &it->second;
+}
+
+const std::vector<coupling::KernelScalingModel>* PredictorSnapshot::models_for(
+    const std::string& application) const {
+  const auto it = models_.find(application);
+  if (it == models_.end()) return nullptr;
+  return &it->second;
+}
+
+SnapshotSource::SnapshotSource(std::string path, CellFn cell_fn,
+                               SnapshotOptions options)
+    : path_(std::move(path)),
+      cell_fn_(std::move(cell_fn)),
+      options_(options) {}
+
+SnapshotSource::~SnapshotSource() { stop_polling(); }
+
+std::optional<SnapshotSource::FileProbe> SnapshotSource::probe() const {
+  std::error_code ec;
+  FileProbe p;
+  p.mtime = std::filesystem::last_write_time(path_, ec);
+  if (ec) return std::nullopt;
+  p.size = std::filesystem::file_size(path_, ec);
+  if (ec) return std::nullopt;
+  return p;
+}
+
+void SnapshotSource::load_and_publish(const FileProbe& seen) {
+  coupling::CouplingDatabase db;
+  db.load_csv_file(path_);
+  auto snapshot = std::make_shared<const PredictorSnapshot>(
+      std::move(db), next_version_, cell_fn_, options_);
+  current_.store(std::move(snapshot), std::memory_order_release);
+  ++next_version_;
+  last_probe_ = seen;
+}
+
+void SnapshotSource::load() {
+  const auto seen = probe();
+  if (!seen.has_value()) {
+    throw std::runtime_error("SnapshotSource: cannot stat " + path_);
+  }
+  load_and_publish(*seen);
+  reloads_.fetch_add(1, std::memory_order_relaxed);
+}
+
+bool SnapshotSource::poll() {
+  const auto seen = probe();
+  if (!seen.has_value()) {
+    // File vanished (mid-rename window, or deleted): keep serving the old
+    // snapshot and try again next poll.
+    return false;
+  }
+  if (last_probe_.has_value() && *seen == *last_probe_) return false;
+  try {
+    load_and_publish(*seen);
+    reloads_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  } catch (const std::exception&) {
+    reload_failures_.fetch_add(1, std::memory_order_relaxed);
+    // Remember the bad probe so a broken file is not re-parsed every poll;
+    // the next successful save changes mtime/size again and retriggers.
+    last_probe_ = seen;
+    return false;
+  }
+}
+
+void SnapshotSource::start_polling(std::chrono::milliseconds interval) {
+  stop_polling();
+  {
+    std::lock_guard<std::mutex> lock(poll_mutex_);
+    poll_stop_ = false;
+  }
+  poller_ = std::thread([this, interval] {
+    std::unique_lock<std::mutex> lock(poll_mutex_);
+    for (;;) {
+      if (poll_cv_.wait_for(lock, interval, [this] { return poll_stop_; })) {
+        return;
+      }
+      lock.unlock();
+      poll();
+      lock.lock();
+    }
+  });
+}
+
+void SnapshotSource::stop_polling() {
+  {
+    std::lock_guard<std::mutex> lock(poll_mutex_);
+    poll_stop_ = true;
+  }
+  poll_cv_.notify_all();
+  if (poller_.joinable()) poller_.join();
+}
+
+}  // namespace kcoup::serve

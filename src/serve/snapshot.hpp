@@ -1,0 +1,160 @@
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <filesystem>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <tuple>
+#include <vector>
+
+#include "coupling/database.hpp"
+#include "coupling/scaling_model.hpp"
+#include "serve/workload.hpp"
+
+namespace kcoup::serve {
+
+/// Precomputed composition coefficients for one exact
+/// (application, config, ranks, chain_length) group of the database: the
+/// reconstructed chain set (start order, exactly as measure_chains() and the
+/// campaign assembly build it) and coupling_coefficients() over it.  Only
+/// complete groups — one chain per loop position — are precomputed; partial
+/// groups fall back to the nearest-ranks reuse path at query time.
+struct AlphaGroup {
+  std::vector<coupling::ChainCoupling> chains;
+  std::vector<double> alpha;
+  std::size_t loop_size = 0;
+};
+
+/// Supplies measured cell inputs during a snapshot build (the scaling-model
+/// fit needs isolated means for the database's cells).  Returns nullopt for
+/// cells that cannot be measured.  Wired to QueryEngine::cell() in the
+/// server so build-time measurements land in — and are served from — the
+/// engine's memo cache.
+using CellFn = std::function<std::optional<CellInputs>(
+    const std::string& application, const std::string& config, int ranks)>;
+
+struct SnapshotOptions {
+  /// Fit per-kernel scaling models E_k(n, P) from the database's measurable
+  /// cells at build time (enables predictions for configurations that
+  /// cannot run, e.g. BT at a non-square rank count).  Requires a CellFn.
+  bool fit_scaling_models = true;
+};
+
+/// An immutable, internally consistent bundle of everything the query
+/// engine reads: the loaded coupling database, the precomputed alpha
+/// coefficients for every complete group, and per-application fitted
+/// scaling models.  Snapshots are published through
+/// std::atomic<std::shared_ptr<const PredictorSnapshot>> — readers grab a
+/// reference once per request and never observe a half-reloaded state.
+class PredictorSnapshot {
+ public:
+  PredictorSnapshot(coupling::CouplingDatabase db, std::uint64_t version,
+                    const CellFn& cell_fn, const SnapshotOptions& options);
+
+  [[nodiscard]] const coupling::CouplingDatabase& database() const {
+    return db_;
+  }
+  [[nodiscard]] std::uint64_t version() const { return version_; }
+
+  /// The precomputed group for an exact (application, config, ranks, q)
+  /// point, or nullptr when the database has no complete chain set for it.
+  [[nodiscard]] const AlphaGroup* find_alpha(const std::string& application,
+                                             const std::string& config,
+                                             int ranks,
+                                             std::size_t chain_length) const;
+
+  /// Fitted per-kernel scaling models for an application (loop order), or
+  /// nullptr when the database held too few measurable cells to fit.
+  [[nodiscard]] const std::vector<coupling::KernelScalingModel>* models_for(
+      const std::string& application) const;
+
+  [[nodiscard]] std::size_t alpha_group_count() const {
+    return groups_.size();
+  }
+  [[nodiscard]] std::size_t modeled_application_count() const {
+    return models_.size();
+  }
+
+ private:
+  using GroupKey = std::tuple<std::string, std::string, int, std::size_t>;
+
+  coupling::CouplingDatabase db_;
+  std::uint64_t version_ = 0;
+  std::map<GroupKey, AlphaGroup> groups_;
+  std::map<std::string, std::vector<coupling::KernelScalingModel>> models_;
+};
+
+/// Owns the current snapshot and hot-reloads it when the database file
+/// changes on disk.  The probe is mtime + size; save_csv_file()'s
+/// temp-write-then-rename means a probe can never observe a half-written
+/// database.  Readers call current() — a lock-free atomic shared_ptr load —
+/// once per request; a failed reload keeps the previous snapshot serving.
+class SnapshotSource {
+ public:
+  SnapshotSource(std::string path, CellFn cell_fn,
+                 SnapshotOptions options = {});
+  ~SnapshotSource();
+
+  SnapshotSource(const SnapshotSource&) = delete;
+  SnapshotSource& operator=(const SnapshotSource&) = delete;
+
+  /// Initial load; throws (naming the path, via load_csv_file) on failure.
+  void load();
+
+  /// The currently published snapshot (nullptr before the first load()).
+  [[nodiscard]] std::shared_ptr<const PredictorSnapshot> current() const {
+    return current_.load(std::memory_order_acquire);
+  }
+
+  /// Probe the file; rebuild and publish if it changed.  Returns true iff a
+  /// new snapshot was published.  A failed reload is counted and the old
+  /// snapshot stays.  Safe to call concurrently with readers (but only one
+  /// poller should call it).
+  bool poll();
+
+  /// Start/stop the background polling thread.
+  void start_polling(std::chrono::milliseconds interval);
+  void stop_polling();
+
+  [[nodiscard]] std::uint64_t reloads() const {
+    return reloads_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t reload_failures() const {
+    return reload_failures_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct FileProbe {
+    std::filesystem::file_time_type mtime;
+    std::uintmax_t size = 0;
+    [[nodiscard]] bool operator==(const FileProbe&) const = default;
+  };
+
+  [[nodiscard]] std::optional<FileProbe> probe() const;
+  void load_and_publish(const FileProbe& seen);
+
+  std::string path_;
+  CellFn cell_fn_;
+  SnapshotOptions options_;
+  std::atomic<std::shared_ptr<const PredictorSnapshot>> current_{nullptr};
+  std::optional<FileProbe> last_probe_;
+  std::uint64_t next_version_ = 1;
+  std::atomic<std::uint64_t> reloads_{0};
+  std::atomic<std::uint64_t> reload_failures_{0};
+
+  std::thread poller_;
+  std::mutex poll_mutex_;
+  std::condition_variable poll_cv_;
+  bool poll_stop_ = false;
+};
+
+}  // namespace kcoup::serve

@@ -1,0 +1,115 @@
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+
+namespace kcoup::support {
+
+/// Log-bucketed latency histogram: fixed memory, O(1) record, mergeable.
+///
+/// Buckets are log-linear (HDR style): each power-of-two octave of seconds
+/// is split into 16 linear sub-buckets, covering 2^-20 s (~1 us) through
+/// 2^8 s (256 s); values outside the range clamp into the edge buckets.
+/// Worst-case quantile error is therefore one sixteenth of an octave
+/// (~4 %), plenty for p50/p95/p99 reporting.
+///
+/// Not thread-safe by design: the prediction server keeps one instance per
+/// worker (written without synchronisation by its owning thread) and
+/// merge()s them into a scratch instance when metrics are read.
+class LatencyHistogram {
+ public:
+  static constexpr int kMinExponent = -20;  ///< 2^-20 s ~ 0.95 us
+  static constexpr int kMaxExponent = 8;    ///< 2^8 s = 256 s
+  static constexpr std::size_t kSubBuckets = 16;
+  static constexpr std::size_t kBuckets =
+      static_cast<std::size_t>(kMaxExponent - kMinExponent) * kSubBuckets;
+
+  void record(double seconds) {
+    if (!(seconds >= 0.0)) return;  // NaN / negative: drop, never corrupt
+    ++counts_[bucket_index(seconds)];
+    ++count_;
+    sum_ += seconds;
+    if (seconds < min_ || count_ == 1) min_ = seconds;
+    if (seconds > max_) max_ = seconds;
+  }
+
+  void merge(const LatencyHistogram& other) {
+    for (std::size_t i = 0; i < kBuckets; ++i) counts_[i] += other.counts_[i];
+    if (other.count_ == 0) return;
+    if (count_ == 0 || other.min_ < min_) min_ = other.min_;
+    if (other.max_ > max_) max_ = other.max_;
+    count_ += other.count_;
+    sum_ += other.sum_;
+  }
+
+  void clear() { *this = LatencyHistogram{}; }
+
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] double min() const { return count_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const { return count_ ? max_ : 0.0; }
+  [[nodiscard]] double mean() const {
+    return count_ ? sum_ / static_cast<double>(count_) : 0.0;
+  }
+
+  /// The q-quantile (q in [0, 1]) as the midpoint of the bucket holding the
+  /// ceil(q * count)-th sample, clamped to the exact observed [min, max].
+  /// Returns 0 when empty.
+  [[nodiscard]] double quantile(double q) const {
+    if (count_ == 0) return 0.0;
+    if (q <= 0.0) return min();
+    if (q >= 1.0) return max();
+    const std::uint64_t target = static_cast<std::uint64_t>(
+        std::ceil(q * static_cast<double>(count_)));
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < kBuckets; ++i) {
+      seen += counts_[i];
+      if (seen >= target) {
+        const double mid = 0.5 * (bucket_lower(i) + bucket_upper(i));
+        if (mid < min_) return min_;
+        if (mid > max_) return max_;
+        return mid;
+      }
+    }
+    return max();
+  }
+
+ private:
+  [[nodiscard]] static std::size_t bucket_index(double seconds) {
+    int exp = 0;
+    const double frac = std::frexp(seconds, &exp);  // seconds = frac * 2^exp
+    // frac in [0.5, 1): the value lives in octave (exp - 1).
+    const int octave = exp - 1;
+    if (seconds <= 0.0 || octave < kMinExponent) return 0;
+    if (octave >= kMaxExponent) return kBuckets - 1;
+    const auto sub = static_cast<std::size_t>((frac - 0.5) * 2.0 *
+                                              static_cast<double>(kSubBuckets));
+    return static_cast<std::size_t>(octave - kMinExponent) * kSubBuckets +
+           (sub < kSubBuckets ? sub : kSubBuckets - 1);
+  }
+
+  [[nodiscard]] static double bucket_lower(std::size_t index) {
+    const int octave =
+        kMinExponent + static_cast<int>(index / kSubBuckets);
+    const double sub = static_cast<double>(index % kSubBuckets);
+    return std::ldexp(1.0 + sub / static_cast<double>(kSubBuckets),
+                      octave);
+  }
+
+  [[nodiscard]] static double bucket_upper(std::size_t index) {
+    const int octave =
+        kMinExponent + static_cast<int>(index / kSubBuckets);
+    const double sub = static_cast<double>(index % kSubBuckets) + 1.0;
+    return std::ldexp(1.0 + sub / static_cast<double>(kSubBuckets),
+                      octave);
+  }
+
+  std::array<std::uint64_t, kBuckets> counts_{};
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace kcoup::support

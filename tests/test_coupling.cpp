@@ -263,6 +263,47 @@ TEST(PredictorTest, BestSelectsSmallestError) {
   EXPECT_EQ(r.best()->length, 3u);
 }
 
+TEST(ChainCouplingTest, ZeroIsolatedSumYieldsNaNNotInfinity) {
+  // Regression: a chain whose kernels measured to exactly zero used to
+  // divide by zero; C_S is undefined there and must report NaN.
+  ChainCoupling c;
+  c.chain_time = 1.0;
+  c.isolated_sum = 0.0;
+  EXPECT_TRUE(std::isnan(c.coupling()));
+  c.isolated_sum = 2.0;
+  EXPECT_DOUBLE_EQ(c.coupling(), 0.5);
+}
+
+TEST(AnalysisTest, AlphaPredictionMatchesCouplingPrediction) {
+  // alpha_prediction with coefficients from coupling_coefficients must be
+  // bit-identical to coupling_prediction over the same chains — it is the
+  // serving layer's precomputed fast path.
+  std::vector<ChainCoupling> chains;
+  for (std::size_t start = 0; start < 3; ++start) {
+    ChainCoupling c;
+    c.start = start;
+    c.length = 2;
+    c.members = {start, (start + 1) % 3};
+    c.chain_time = 1.5 + 0.25 * static_cast<double>(start);
+    c.isolated_sum = 2.0;
+    chains.push_back(c);
+  }
+  PredictionInputs in;
+  in.isolated_means = {0.5, 0.75, 1.0};
+  in.iterations = 7;
+  in.prologue_s = 0.125;
+  in.epilogue_s = 0.25;
+  const std::vector<double> alpha = coupling_coefficients(3, chains);
+  EXPECT_EQ(alpha_prediction(in, alpha), coupling_prediction(in, chains));
+}
+
+TEST(AnalysisTest, AlphaPredictionRejectsSizeMismatch) {
+  PredictionInputs in;
+  in.isolated_means = {1.0, 2.0};
+  const std::vector<double> alpha{1.0};
+  EXPECT_THROW((void)alpha_prediction(in, alpha), std::invalid_argument);
+}
+
 TEST(StudyTest, DeterministicAcrossRuns) {
   SyntheticApp s1({{10.0, 2.0}, {20.0, 1.0}}, 30);
   SyntheticApp s2({{10.0, 2.0}, {20.0, 1.0}}, 30);

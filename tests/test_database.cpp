@@ -4,6 +4,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <filesystem>
+#include <fstream>
 #include <limits>
 #include <sstream>
 
@@ -174,6 +176,56 @@ TEST(DatabaseTest, MalformedCsvThrows) {
       "application,config,ranks,chain_length,chain_start,chain_time,"
       "isolated_sum\nBT,W,4\n");
   EXPECT_THROW(db.load_csv(short_line), std::runtime_error);
+}
+
+TEST(DatabaseTest, LoadCsvFileRoundTripsThroughDisk) {
+  namespace fs = std::filesystem;
+  const fs::path path = fs::path(::testing::TempDir()) / "kcoup_db_ok.csv";
+  CouplingDatabase out;
+  out.record("BT", "W", 4, std::vector<ChainCoupling>{chain(0, 2, 8.0, 10.0),
+                                                      chain(1, 2, 9.0, 10.0)});
+  out.save_csv_file(path.string());
+
+  CouplingDatabase in;
+  in.load_csv_file(path.string());
+  EXPECT_EQ(in.size(), 2u);
+  const auto found = in.find({"BT", "W", 4, 2, 1});
+  ASSERT_TRUE(found.has_value());
+  EXPECT_DOUBLE_EQ(found->chain_time, 9.0);
+  fs::remove(path);
+}
+
+TEST(DatabaseTest, LoadCsvFileNamesMissingPath) {
+  CouplingDatabase db;
+  const std::string path = "/nonexistent/kcoup/store.csv";
+  try {
+    db.load_csv_file(path);
+    FAIL() << "expected load_csv_file to throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find(path), std::string::npos);
+  }
+}
+
+TEST(DatabaseTest, LoadCsvFileNamesPathAndLineOnMalformedContent) {
+  namespace fs = std::filesystem;
+  const fs::path path = fs::path(::testing::TempDir()) / "kcoup_db_bad.csv";
+  {
+    std::ofstream out(path);
+    out << "application,config,ranks,chain_length,chain_start,chain_time,"
+           "isolated_sum\n"
+        << "BT,W,4,2,0,8.0,10.0\n"
+        << "BT,W,not_a_number,2,1,9.0,10.0\n";
+  }
+  CouplingDatabase db;
+  try {
+    db.load_csv_file(path.string());
+    FAIL() << "expected load_csv_file to throw";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find(path.string()), std::string::npos) << what;
+    EXPECT_NE(what.find("3"), std::string::npos) << what;  // offending line
+  }
+  fs::remove(path);
 }
 
 TEST(DatabaseTest, ReusePredictionUsesDonorCouplings) {

@@ -1,0 +1,324 @@
+// Loopback tests for the TCP prediction server: wire round trips, batch
+// queries, N concurrent clients, malformed/oversized-frame rejection,
+// overload fast-reject, graceful drain, live hot-reload, and the stats op.
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <filesystem>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "coupling/database.hpp"
+#include "coupling/study.hpp"
+#include "machine/config.hpp"
+#include "npb/bt/bt_model.hpp"
+#include "serve/client.hpp"
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
+
+namespace kcoup {
+namespace {
+
+/// One BT class-S P=4 study (chains of 2) shared by every test in the
+/// suite: measuring it once keeps the whole file fast, and its prediction
+/// is the bit-identity reference for everything served.
+class ServerTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    cfg_ = new machine::MachineConfig(machine::ibm_sp_p2sc());
+    const auto modeled =
+        npb::bt::make_modeled_bt(npb::ProblemClass::kS, 4, *cfg_);
+    coupling::StudyOptions options;
+    options.chain_lengths = {2};
+    study_ = new coupling::StudyResult(
+        coupling::run_study(modeled->app(), options));
+  }
+
+  static void TearDownTestSuite() {
+    delete study_;
+    delete cfg_;
+    study_ = nullptr;
+    cfg_ = nullptr;
+  }
+
+  void SetUp() override {
+    path_ = std::filesystem::path(::testing::TempDir()) /
+            ("kcoup_server_db_" + std::to_string(::getpid()) + "_" +
+             ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+             ".csv");
+    write_db(1.0);
+    workload_ = std::make_unique<serve::NpbWorkload>(*cfg_);
+    engine_ = std::make_unique<serve::QueryEngine>(workload_.get());
+    source_ = std::make_unique<serve::SnapshotSource>(
+        path_.string(), serve::CellFn{}, serve::SnapshotOptions{false});
+    source_->load();
+  }
+
+  void TearDown() override {
+    server_.reset();  // stop before the source/engine it points at
+    source_.reset();
+    std::filesystem::remove(path_);
+  }
+
+  /// Persist the study's chains with chain_time scaled by `scale` — scale 1
+  /// is the real measurement; any other value simulates a refreshed
+  /// database with different content for hot-reload tests.
+  void write_db(double scale) {
+    coupling::CouplingDatabase db;
+    for (const auto& cl : study_->by_length) {
+      for (coupling::ChainCoupling chain : cl.chains) {
+        chain.chain_time *= scale;
+        coupling::CouplingRecord r;
+        r.key = {"BT", "S", 4, chain.length, chain.start};
+        r.chain_time = chain.chain_time;
+        r.isolated_sum = chain.isolated_sum;
+        db.record(r);
+      }
+    }
+    db.save_csv_file(path_.string());
+  }
+
+  void start_server(serve::ServerConfig config = {}) {
+    server_ = std::make_unique<serve::Server>(source_.get(), engine_.get(),
+                                              config);
+    server_->start();
+  }
+
+  serve::Client connect() {
+    serve::Client client;
+    client.connect("127.0.0.1", server_->port());
+    return client;
+  }
+
+  static machine::MachineConfig* cfg_;
+  static coupling::StudyResult* study_;
+
+  std::filesystem::path path_;
+  std::unique_ptr<serve::NpbWorkload> workload_;
+  std::unique_ptr<serve::QueryEngine> engine_;
+  std::unique_ptr<serve::SnapshotSource> source_;
+  std::unique_ptr<serve::Server> server_;
+};
+
+machine::MachineConfig* ServerTest::cfg_ = nullptr;
+coupling::StudyResult* ServerTest::study_ = nullptr;
+
+TEST_F(ServerTest, BindsEphemeralPortAndAnswersPing) {
+  start_server();
+  EXPECT_GT(server_->port(), 0);
+  EXPECT_TRUE(server_->running());
+  serve::Client client = connect();
+  EXPECT_TRUE(client.ping());
+}
+
+TEST_F(ServerTest, ServedPredictionIsBitIdenticalToRunStudy) {
+  start_server();
+  serve::Client client = connect();
+  const auto p = client.predict({"BT", "S", 4, 2});
+  ASSERT_TRUE(p.has_value());
+  ASSERT_TRUE(p->ok) << p->error;
+  // 17-significant-digit framing: the value that crossed the socket equals
+  // the in-process study bit for bit.
+  EXPECT_EQ(p->coupling_s, study_->by_length[0].prediction_s);
+  EXPECT_EQ(p->actual_s, study_->actual_s);
+  EXPECT_EQ(p->summation_s, study_->summation_s);
+  EXPECT_EQ(p->alpha_source, "exact");
+  EXPECT_EQ(p->inputs_source, "measured");
+  EXPECT_EQ(p->snapshot_version, 1u);
+}
+
+TEST_F(ServerTest, BatchReturnsResultsInOrder) {
+  start_server();
+  serve::Client client = connect();
+  const std::vector<serve::QueryKey> queries{
+      {"BT", "S", 4, 2}, {"bt", "s", 4, 2}, {"BT", "S", 4, 99}};
+  const auto results = client.predict_batch(queries);
+  ASSERT_TRUE(results.has_value());
+  ASSERT_EQ(results->size(), 3u);
+  EXPECT_TRUE((*results)[0].ok);
+  EXPECT_TRUE((*results)[1].ok);  // canonicalized spelling
+  EXPECT_EQ((*results)[1].key.application, "BT");
+  EXPECT_EQ((*results)[0].coupling_s, (*results)[1].coupling_s);
+  EXPECT_FALSE((*results)[2].ok);  // chain 99 > loop size
+}
+
+TEST_F(ServerTest, ManyConcurrentClientsAllGetIdenticalBits) {
+  serve::ServerConfig config;
+  config.workers = 4;
+  config.max_inflight = 64;
+  start_server(config);
+  // Warm the cell memo so concurrent requests are pure cache reads.
+  {
+    serve::Client warm = connect();
+    ASSERT_TRUE(warm.predict({"BT", "S", 4, 2}).has_value());
+  }
+  const double expected = study_->by_length[0].prediction_s;
+  constexpr int kClients = 8;
+  constexpr int kRequests = 5;
+  std::atomic<int> mismatches{0};
+  std::atomic<int> failures{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([this, expected, &mismatches, &failures] {
+      serve::Client client = connect();
+      for (int i = 0; i < kRequests; ++i) {
+        const auto p = client.predict({"BT", "S", 4, 2});
+        if (!p.has_value() || !p->ok) {
+          failures.fetch_add(1);
+        } else if (p->coupling_s != expected) {
+          mismatches.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(mismatches.load(), 0);
+  EXPECT_GE(server_->requests_handled(),
+            static_cast<std::uint64_t>(kClients * kRequests));
+}
+
+TEST_F(ServerTest, MalformedFramePrefixIsRejected) {
+  start_server();
+  serve::Client client = connect();
+  const auto response = client.roundtrip_raw("banana\n");
+  ASSERT_TRUE(response.has_value());
+  EXPECT_NE(response->find("\"code\":400"), std::string::npos);
+  // The server closed the connection after the error frame.
+  EXPECT_FALSE(client.roundtrip(serve::ping_request()).has_value());
+  EXPECT_EQ(server_->metrics().malformed_frames, 1u);
+}
+
+TEST_F(ServerTest, MalformedJsonPayloadGetsErrorButKeepsConnection) {
+  start_server();
+  serve::Client client = connect();
+  const auto response = client.roundtrip("{\"op\":\"nonsense\"}");
+  ASSERT_TRUE(response.has_value());
+  EXPECT_NE(response->find("\"code\":400"), std::string::npos);
+  EXPECT_TRUE(client.ping());  // same connection still serves
+}
+
+TEST_F(ServerTest, OversizedFrameIsRejected) {
+  serve::ServerConfig config;
+  config.max_frame_bytes = 128;
+  start_server(config);
+  serve::Client client = connect();
+  const std::string big(4096, 'x');
+  const auto response = client.roundtrip(big);
+  ASSERT_TRUE(response.has_value());
+  EXPECT_NE(response->find("\"code\":413"), std::string::npos);
+  EXPECT_EQ(server_->metrics().oversized_frames, 1u);
+}
+
+TEST_F(ServerTest, OverloadFastRejectsWithoutQueueing) {
+  serve::ServerConfig config;
+  config.workers = 1;
+  config.max_inflight = 1;
+  start_server(config);
+  // First client occupies the only in-flight slot (connections count
+  // against the limit for as long as they stay open).
+  serve::Client first = connect();
+  ASSERT_TRUE(first.ping());  // guarantees it was accepted and dispatched
+  // Second client must get an overload frame immediately — the worker is
+  // irrelevant; the accept loop answers.
+  serve::Client second = connect();
+  const auto response = second.roundtrip(serve::ping_request());
+  ASSERT_TRUE(response.has_value());
+  EXPECT_NE(response->find("\"code\":429"), std::string::npos);
+  EXPECT_EQ(server_->metrics().rejected_overload, 1u);
+  // Once the first client leaves, capacity frees up.
+  first.close();
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  bool accepted = false;
+  while (!accepted && std::chrono::steady_clock::now() < deadline) {
+    serve::Client retry = connect();
+    accepted = retry.ping();
+    if (!accepted) std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_TRUE(accepted);
+}
+
+TEST_F(ServerTest, GracefulStopAnswersInFlightRequests) {
+  start_server();
+  serve::Client client = connect();
+  std::optional<serve::Prediction> result;
+  std::thread requester([&client, &result] {
+    // An uncached cell: the engine measures it while stop() runs.
+    result = client.predict({"BT", "S", 9, 2});
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  server_->stop();  // must drain, not drop
+  requester.join();
+  ASSERT_TRUE(result.has_value());
+  ASSERT_TRUE(result->ok) << result->error;
+  EXPECT_TRUE(std::isfinite(result->coupling_s));
+  EXPECT_FALSE(server_->running());
+}
+
+TEST_F(ServerTest, StopIsIdempotentAndRestartable) {
+  start_server();
+  server_->stop();
+  server_->stop();
+  server_->start();  // a stopped server can come back
+  serve::Client client = connect();
+  EXPECT_TRUE(client.ping());
+}
+
+TEST_F(ServerTest, HotReloadServesNewValuesWithoutRestart) {
+  start_server();
+  serve::Client client = connect();
+  const auto before = client.predict({"BT", "S", 4, 2});
+  ASSERT_TRUE(before.has_value());
+  ASSERT_TRUE(before->ok);
+  EXPECT_EQ(before->snapshot_version, 1u);
+  EXPECT_EQ(before->coupling_s, study_->by_length[0].prediction_s);
+
+  write_db(2.0);  // doubled chain times -> different couplings
+  ASSERT_TRUE(source_->poll());
+
+  const auto after = client.predict({"BT", "S", 4, 2});
+  ASSERT_TRUE(after.has_value());
+  ASSERT_TRUE(after->ok) << after->error;
+  EXPECT_EQ(after->snapshot_version, 2u);
+  EXPECT_NE(after->coupling_s, before->coupling_s);
+  // Cell inputs are snapshot-independent: still served from the memo.
+  EXPECT_TRUE(after->cache_hit);
+  EXPECT_EQ(after->actual_s, before->actual_s);
+  EXPECT_EQ(server_->metrics().snapshot_version, 2u);
+}
+
+TEST_F(ServerTest, StatsOpReportsCountersAndLatency) {
+  start_server();
+  serve::Client client = connect();
+  ASSERT_TRUE(client.predict({"BT", "S", 4, 2}).has_value());
+  const auto stats = client.stats();
+  ASSERT_TRUE(stats.has_value());
+  const auto requests = serve::json_number_field(*stats, "requests");
+  ASSERT_TRUE(requests.has_value());
+  EXPECT_GE(*requests, 1.0);
+  const auto p99 = serve::json_number_field(*stats, "latency_p99_s");
+  ASSERT_TRUE(p99.has_value());
+  EXPECT_GT(*p99, 0.0);
+
+  const serve::ServeMetrics metrics = server_->metrics();
+  EXPECT_GE(metrics.requests, 2u);
+  EXPECT_EQ(metrics.predictions, 1u);
+  EXPECT_EQ(metrics.db_records, study_->by_length[0].chains.size());
+  EXPECT_GT(metrics.latency_p50_s, 0.0);
+  EXPECT_GE(metrics.latency_max_s, metrics.latency_p50_s);
+  // Reporters agree with each other on the counters they share.
+  const std::string jsonl = metrics.to_jsonl();
+  EXPECT_NE(jsonl.find("\"predictions\":1"), std::string::npos);
+  EXPECT_NE(metrics.to_csv().find("latency_p99_s"), std::string::npos);
+  EXPECT_FALSE(metrics.to_table().to_string().empty());
+}
+
+}  // namespace
+}  // namespace kcoup

@@ -5,13 +5,19 @@
 //   kcoup transitions --app bt --procs 4 --sizes 8,12,16,24,32,48,64
 //   kcoup reuse --app bt --class A --donor 9 --targets 16,25 --chains 4
 //   kcoup parallel --app lu --n 33 --iters 300 --procs 8 --chains 3
+//   kcoup serve --db store.csv --port 7070 --workers 4
+//   kcoup query --port 7070 --app bt --class W --procs 4,9 --chains 2
 //   kcoup machines
 //
 // Every command runs against the modeled IBM SP by default; pass
 // --machine generic-smp (or edit machine presets) for other architectures.
 
+#include <atomic>
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <map>
 #include <memory>
@@ -19,12 +25,16 @@
 #include <set>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "campaign/executor.hpp"
 #include "coupling/database.hpp"
 #include "coupling/study.hpp"
 #include "machine/config.hpp"
+#include "serve/client.hpp"
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
 #include "npb/bt/bt_model.hpp"
 #include "npb/bt/bt_timed.hpp"
 #include "npb/lu/lu_model.hpp"
@@ -517,9 +527,10 @@ int cmd_campaign(const Args& args) {
   }
 
   coupling::CouplingDatabase db;
-  if (db_path) {
-    std::ifstream in(*db_path);
-    if (in) db.load_csv(in);
+  if (db_path && std::filesystem::exists(*db_path)) {
+    // load_csv_file names the path and line in parse errors, so a corrupt
+    // store fails with a pointer at the offending record.
+    db.load_csv_file(*db_path);
   }
 
   const std::size_t workers = serial ? 1 : text.workers;
@@ -591,6 +602,174 @@ int cmd_campaign(const Args& args) {
   return 0;
 }
 
+// --- Prediction service -----------------------------------------------------
+
+std::atomic<bool> g_serve_stop{false};
+
+void serve_signal_handler(int) { g_serve_stop.store(true); }
+
+int cmd_serve(const Args& args) {
+  const std::string db_path = args.get("db");
+  const int port = parse_int_arg("port", args.get("port", "0"));
+  const int workers = parse_int_arg("workers", args.get("workers", "4"));
+  const int max_inflight =
+      parse_int_arg("max-inflight", args.get("max-inflight", "0"));
+  const int poll_ms = parse_int_arg("poll-ms", args.get("poll-ms", "500"));
+  const int cache_capacity =
+      parse_int_arg("cache-capacity", args.get("cache-capacity", "1024"));
+  const int max_requests =
+      parse_int_arg("max-requests", args.get("max-requests", "0"));
+  const machine::MachineConfig cfg =
+      parse_machine(args.get("machine", "ibm-sp"));
+  const bool no_models = args.flag("no-models");
+  const bool quiet = args.flag("quiet");
+  const auto port_file = args.maybe("port-file");
+  const auto metrics_csv = args.maybe("metrics-csv");
+  const auto metrics_jsonl = args.maybe("metrics-jsonl");
+  args.check_all_used();
+  if (workers < 1) throw std::runtime_error("--workers must be >= 1");
+  if (poll_ms < 0) throw std::runtime_error("--poll-ms must be >= 0");
+  if (cache_capacity < 0) {
+    throw std::runtime_error("--cache-capacity must be >= 0");
+  }
+
+  serve::NpbWorkload workload(cfg);
+  serve::EngineOptions engine_options;
+  engine_options.cache_capacity = static_cast<std::size_t>(cache_capacity);
+  serve::QueryEngine engine(&workload, engine_options);
+  serve::SnapshotOptions snapshot_options;
+  snapshot_options.fit_scaling_models = !no_models;
+  serve::SnapshotSource source(
+      db_path,
+      [&engine](const std::string& a, const std::string& c, int p) {
+        return engine.cell(a, c, p);
+      },
+      snapshot_options);
+  source.load();
+
+  serve::ServerConfig config;
+  config.port = port;
+  config.workers = static_cast<std::size_t>(workers);
+  config.max_inflight = static_cast<std::size_t>(max_inflight);
+  serve::Server server(&source, &engine, config);
+  server.start();  // throws serve::BindError -> exit code 4 (see main)
+  if (poll_ms > 0) source.start_polling(std::chrono::milliseconds(poll_ms));
+
+  if (port_file) {
+    std::ofstream out(*port_file);
+    if (!out) throw std::runtime_error("cannot write " + *port_file);
+    out << server.port() << '\n';
+  }
+  if (!quiet) {
+    std::printf("kcoup serve: listening on %s:%d (%d workers, db %s)\n",
+                config.host.c_str(), server.port(), workers, db_path.c_str());
+  }
+
+  g_serve_stop.store(false);
+  std::signal(SIGINT, serve_signal_handler);
+  std::signal(SIGTERM, serve_signal_handler);
+  while (!g_serve_stop.load()) {
+    if (max_requests > 0 &&
+        server.requests_handled() >=
+            static_cast<std::uint64_t>(max_requests)) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  std::signal(SIGINT, SIG_DFL);
+  std::signal(SIGTERM, SIG_DFL);
+
+  source.stop_polling();
+  server.stop();  // graceful drain: in-flight requests finish first
+
+  const serve::ServeMetrics metrics = server.metrics();
+  if (!quiet) {
+    std::printf("%s\n", metrics.to_table().to_string().c_str());
+  }
+  if (metrics_csv) {
+    std::ofstream out(*metrics_csv);
+    if (!out) throw std::runtime_error("cannot write " + *metrics_csv);
+    out << metrics.to_csv();
+    if (!quiet) std::printf("wrote %s\n", metrics_csv->c_str());
+  }
+  if (metrics_jsonl) {
+    std::ofstream out(*metrics_jsonl, std::ios::app);
+    if (!out) throw std::runtime_error("cannot write " + *metrics_jsonl);
+    out << metrics.to_jsonl();
+    if (!quiet) std::printf("appended %s\n", metrics_jsonl->c_str());
+  }
+  return 0;
+}
+
+int cmd_query(const Args& args) {
+  const std::string host = args.get("host", "127.0.0.1");
+  const int port = parse_int_arg("port", args.get("port"));
+  const bool stats = args.flag("stats");
+  const bool raw = args.flag("raw");
+
+  serve::Client client;
+  if (stats) {
+    args.check_all_used();
+    client.connect(host, port);
+    const auto response = client.stats();
+    if (!response.has_value()) {
+      throw std::runtime_error("query: no stats response from " + host + ":" +
+                               std::to_string(port));
+    }
+    std::printf("%s\n", response->c_str());
+    return 0;
+  }
+
+  const std::string app_name = args.get("app");
+  const std::string cls = args.get("class");
+  const std::vector<int> procs = parse_int_list(args.get("procs", "4"));
+  const std::vector<std::size_t> chains =
+      parse_size_list(args.get("chains", "2"));
+  args.check_all_used();
+
+  std::vector<serve::QueryKey> queries;
+  for (int p : procs) {
+    for (std::size_t q : chains) {
+      queries.push_back(serve::QueryKey{app_name, cls, p, q});
+    }
+  }
+  client.connect(host, port);
+  const auto results = client.predict_batch(queries);
+  if (!results.has_value()) {
+    throw std::runtime_error("query: no response from " + host + ":" +
+                             std::to_string(port));
+  }
+
+  if (raw) {
+    for (const serve::Prediction& p : *results) {
+      std::printf("%s\n", serve::prediction_json(p).c_str());
+    }
+    return 0;
+  }
+  report::Table t("Served predictions (" + host + ":" + std::to_string(port) +
+                  ")");
+  t.set_header({"app", "class", "P", "q", "actual", "summation", "coupling",
+                "alpha", "inputs"});
+  bool any_failed = false;
+  for (const serve::Prediction& p : *results) {
+    if (!p.ok) {
+      any_failed = true;
+      t.add_row({p.key.application, p.key.config, std::to_string(p.key.ranks),
+                 std::to_string(p.key.chain_length), "-", "-",
+                 "error: " + p.error, "-", "-"});
+      continue;
+    }
+    t.add_row({p.key.application, p.key.config, std::to_string(p.key.ranks),
+               std::to_string(p.key.chain_length),
+               report::format_seconds(p.actual_s),
+               report::format_prediction(p.summation_s, p.summation_error),
+               report::format_prediction(p.coupling_s, p.coupling_error),
+               p.alpha_source, p.inputs_source});
+  }
+  std::printf("%s\n", t.to_string().c_str());
+  return any_failed ? 1 : 0;
+}
+
 int cmd_machines(const Args& args) {
   args.check_all_used();
   for (const machine::MachineConfig& c :
@@ -636,9 +815,21 @@ void usage() {
       "                    [--fault-measure-rate F] [--fault-noise-rate F]\n"
       "                    [--fault-abort-after N]\n"
       "                    [--machine ibm-sp|generic-smp]\n"
-      "  kcoup machines\n\n"
-      "campaign exit codes: 0 complete, 1 error, 3 completed with task\n"
-      "failures (partial results; failed values reported as nan).\n");
+      "  kcoup serve       --db store.csv [--port P] [--workers N]\n"
+      "                    [--max-inflight N] [--poll-ms MS]\n"
+      "                    [--cache-capacity N] [--no-models] [--quiet]\n"
+      "                    [--max-requests N] [--port-file path]\n"
+      "                    [--metrics-csv path] [--metrics-jsonl path]\n"
+      "                    [--machine ibm-sp|generic-smp]\n"
+      "  kcoup query       --port P [--host H] --app bt|sp|lu --class C\n"
+      "                    [--procs 4,9] [--chains 2,3] [--raw]\n"
+      "  kcoup query       --port P [--host H] --stats\n"
+      "  kcoup machines\n"
+      "  kcoup --version\n\n"
+      "exit codes: 0 success; 1 runtime error (also: any served query\n"
+      "failed); 2 usage error; 3 campaign completed with task failures\n"
+      "(partial results; failed values reported as nan); 4 serve could not\n"
+      "bind its listening socket.\n");
 }
 
 }  // namespace
@@ -649,15 +840,27 @@ int main(int argc, char** argv) {
     return 2;
   }
   const std::string cmd = argv[1];
+  if (cmd == "--version" || cmd == "version") {
+#ifdef KCOUP_VERSION
+    std::printf("kcoup %s\n", KCOUP_VERSION);
+#else
+    std::printf("kcoup (unversioned build)\n");
+#endif
+    return 0;
+  }
   try {
     std::set<std::string> bool_flags;
     if (cmd == "campaign") bool_flags = {"serial", "quiet", "no-pool"};
+    if (cmd == "serve") bool_flags = {"no-models", "quiet"};
+    if (cmd == "query") bool_flags = {"stats", "raw"};
     const Args args(argc, argv, std::move(bool_flags));
     if (cmd == "study") return cmd_study(args);
     if (cmd == "transitions") return cmd_transitions(args);
     if (cmd == "reuse") return cmd_reuse(args);
     if (cmd == "parallel") return cmd_parallel(args);
     if (cmd == "campaign") return cmd_campaign(args);
+    if (cmd == "serve") return cmd_serve(args);
+    if (cmd == "query") return cmd_query(args);
     if (cmd == "machines") return cmd_machines(args);
     if (cmd == "help" || cmd == "--help" || cmd == "-h") {
       usage();
@@ -666,6 +869,9 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "unknown command '%s'\n\n", cmd.c_str());
     usage();
     return 2;
+  } catch (const kcoup::serve::BindError& e) {
+    std::fprintf(stderr, "kcoup %s: %s\n", cmd.c_str(), e.what());
+    return 4;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "kcoup %s: %s\n", cmd.c_str(), e.what());
     return 1;
