@@ -184,6 +184,64 @@ std::string to_text(const CampaignTextSpec& spec) {
   return out.str();
 }
 
+void CampaignMetrics::publish(obs::MetricsRegistry& registry) const {
+  auto count = [&registry](const char* name, std::size_t v) {
+    registry.counter(name).add(static_cast<std::uint64_t>(v));
+  };
+  auto level = [&registry](const char* name, double v) {
+    registry.gauge(name).set(v);
+  };
+  count("campaign.studies", studies);
+  count("campaign.workers", workers);
+  count("campaign.tasks_requested", tasks_requested);
+  count("campaign.tasks_planned", tasks_planned);
+  count("campaign.tasks_deduplicated", tasks_deduplicated);
+  count("campaign.cache_hits", cache_hits);
+  count("campaign.journal_hits", journal_hits);
+  count("campaign.tasks_executed", tasks_executed);
+  count("campaign.tasks_retried", tasks_retried);
+  count("campaign.tasks_failed", tasks_failed);
+  count("campaign.handles_created", handles_created);
+  count("campaign.handles_reused", handles_reused);
+  level("campaign.plan_s", plan_s);
+  level("campaign.measure_s", measure_s);
+  level("campaign.assemble_s", assemble_s);
+  level("campaign.wall_s", wall_s);
+  level("campaign.task_min_s", task_min_s);
+  level("campaign.task_max_s", task_max_s);
+  level("campaign.task_mean_s", task_mean_s);
+}
+
+CampaignMetrics CampaignMetrics::from_registry(obs::MetricsRegistry& registry) {
+  auto count = [&registry](const char* name) {
+    return static_cast<std::size_t>(registry.counter(name).value());
+  };
+  auto level = [&registry](const char* name) {
+    return registry.gauge(name).value();
+  };
+  CampaignMetrics m;
+  m.studies = count("campaign.studies");
+  m.workers = count("campaign.workers");
+  m.tasks_requested = count("campaign.tasks_requested");
+  m.tasks_planned = count("campaign.tasks_planned");
+  m.tasks_deduplicated = count("campaign.tasks_deduplicated");
+  m.cache_hits = count("campaign.cache_hits");
+  m.journal_hits = count("campaign.journal_hits");
+  m.tasks_executed = count("campaign.tasks_executed");
+  m.tasks_retried = count("campaign.tasks_retried");
+  m.tasks_failed = count("campaign.tasks_failed");
+  m.handles_created = count("campaign.handles_created");
+  m.handles_reused = count("campaign.handles_reused");
+  m.plan_s = level("campaign.plan_s");
+  m.measure_s = level("campaign.measure_s");
+  m.assemble_s = level("campaign.assemble_s");
+  m.wall_s = level("campaign.wall_s");
+  m.task_min_s = level("campaign.task_min_s");
+  m.task_max_s = level("campaign.task_max_s");
+  m.task_mean_s = level("campaign.task_mean_s");
+  return m;
+}
+
 report::Table CampaignMetrics::to_table() const {
   report::Table t("Campaign metrics");
   t.set_header({"metric", "value"});

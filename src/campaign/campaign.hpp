@@ -11,6 +11,7 @@
 #include "campaign/faultsim.hpp"
 #include "coupling/kernel.hpp"
 #include "coupling/measurement.hpp"
+#include "obs/metrics.hpp"
 #include "report/table.hpp"
 
 namespace kcoup::campaign {
@@ -157,6 +158,17 @@ struct CampaignMetrics {
   [[nodiscard]] std::string to_csv() const;
   /// One self-contained JSON object (JSONL record).
   [[nodiscard]] std::string to_jsonl() const;
+
+  /// Read a metrics view out of an obs::MetricsRegistry populated by the
+  /// executor ("campaign.*" counters and gauges).  The registry is the
+  /// canonical store; this struct is the rendering view over it, and the
+  /// round trip is bit-exact (counters are integers, gauges atomic doubles),
+  /// so table/CSV/JSONL output is unchanged by the indirection.
+  [[nodiscard]] static CampaignMetrics from_registry(
+      obs::MetricsRegistry& registry);
+  /// Publish this struct's values into `registry` under the same
+  /// "campaign.*" names from_registry() reads.
+  void publish(obs::MetricsRegistry& registry) const;
 };
 
 }  // namespace kcoup::campaign

@@ -15,6 +15,7 @@
 
 #include "campaign/journal.hpp"
 #include "coupling/analysis.hpp"
+#include "obs/trace.hpp"
 #include "support/thread_pool.hpp"
 #include "trace/stats.hpp"
 
@@ -35,12 +36,16 @@ struct TaskOutcome {
   bool ok = false;         ///< false until the task completes successfully
 };
 
-/// Failed tasks, collected across workers.
+/// Failed tasks, collected across workers.  Failures also tick the live
+/// "campaign.tasks_failed" counter so a registry observer sees them as they
+/// happen, not only in the end-of-run metrics.
 struct FailureSink {
   std::mutex mutex;
   std::vector<TaskFailure> failures;
+  obs::Counter* failed_counter = nullptr;
 
   void record(const TaskKey& key, int attempts, const char* what) {
+    if (failed_counter != nullptr) failed_counter->add(1);
     std::lock_guard<std::mutex> lock(mutex);
     failures.push_back(TaskFailure{key, attempts, what});
   }
@@ -89,6 +94,7 @@ TaskOutcome measure_task(const CampaignSpec& spec, const MeasurementTask& task,
 
   TaskOutcome out;
   if (task.key.kind == TaskKind::kActual) {
+    obs::ScopedSpan span("measure", "campaign");
     out.value = harness.actual_total();  // one full run; nothing to retry
     return out;
   }
@@ -106,7 +112,11 @@ TaskOutcome measure_task(const CampaignSpec& spec, const MeasurementTask& task,
     throw std::logic_error("measure_task: unreachable kind");
   };
 
-  trace::RunningStats stats = sample();
+  trace::RunningStats stats;
+  {
+    obs::ScopedSpan span("measure", "campaign");
+    stats = sample();
+  }
   if (faults != nullptr) {
     // An injected outlier: one extra sample at `factor` times the current
     // mean widens the spread enough to trip a configured retry threshold,
@@ -119,6 +129,8 @@ TaskOutcome measure_task(const CampaignSpec& spec, const MeasurementTask& task,
   while (out.attempts < attempt_budget && stats.count() > 1 &&
          stats.mean() > 0.0 &&
          stats.stddev() / stats.mean() > retry.max_relative_stddev) {
+    obs::ScopedSpan span("retry", "campaign");
+    span.annotate("attempt", static_cast<std::uint64_t>(out.attempts + 1));
     stats.merge(sample());
     ++out.attempts;
   }
@@ -151,10 +163,13 @@ TaskOutcome run_task_once(const CampaignSpec& spec,
 TaskOutcome execute_task(const CampaignSpec& spec, const MeasurementTask& task,
                          HandlePool& pool, FaultSimulator* faults,
                          FailureSink& sink) {
+  obs::ScopedSpan span("task", "campaign");
+  if (span.active()) span.annotate("key", to_string(task.key));
   const Clock::time_point t0 = Clock::now();
   if (faults != nullptr) faults->maybe_abort();
   TaskOutcome out;
   int attempts_spent = 0;
+  bool fault_injected = false;
   const int budget = std::max(1, spec.retry.max_attempts);
   for (;;) {
     try {
@@ -165,6 +180,9 @@ TaskOutcome execute_task(const CampaignSpec& spec, const MeasurementTask& task,
     } catch (const CampaignAborted&) {
       throw;
     } catch (const std::exception& e) {
+      if (dynamic_cast<const FaultInjected*>(&e) != nullptr) {
+        fault_injected = true;
+      }
       ++attempts_spent;
       if (attempts_spent >= budget) {
         sink.record(task.key, attempts_spent, e.what());
@@ -175,6 +193,11 @@ TaskOutcome execute_task(const CampaignSpec& spec, const MeasurementTask& task,
     }
   }
   out.measure_s = seconds_since(t0);
+  if (span.active()) {
+    span.annotate("attempts", static_cast<std::uint64_t>(out.attempts));
+    span.annotate("ok", out.ok);
+    if (fault_injected) span.annotate("fault", true);
+  }
   return out;
 }
 
@@ -197,7 +220,7 @@ std::vector<const MeasurementTask*> cost_sorted(
 }  // namespace
 
 CampaignResult execute_plan(const CampaignSpec& spec, const CampaignPlan& plan,
-                            std::size_t workers) {
+                            std::size_t workers, obs::MetricsRegistry* registry) {
   const Clock::time_point wall0 = Clock::now();
   if (plan.shapes.size() != spec.studies.size()) {
     throw std::invalid_argument("execute_plan: plan does not match spec");
@@ -207,9 +230,25 @@ CampaignResult execute_plan(const CampaignSpec& spec, const CampaignPlan& plan,
   }
   workers = std::min(workers, std::max<std::size_t>(1, plan.tasks.size()));
 
+  obs::MetricsRegistry local_registry;
+  obs::MetricsRegistry& reg = registry != nullptr ? *registry : local_registry;
+  obs::Counter& c_executed = reg.counter("campaign.tasks_executed");
+  obs::Counter& c_retried = reg.counter("campaign.tasks_retried");
+  obs::Histogram& h_task = reg.histogram("campaign.task_seconds");
+  // Live per-task bookkeeping: counters tick as tasks finish so an external
+  // registry sees progress mid-run; the final CampaignMetrics is read back
+  // out of the registry below and matches the old post-hoc accounting
+  // exactly (retried = sum over tasks of attempts - 1).
+  auto note_done = [&](const TaskOutcome& out) {
+    c_executed.add(1);
+    c_retried.add(static_cast<std::uint64_t>(out.attempts - 1));
+    h_task.record(out.measure_s);
+  };
+
   FaultSimulator fault_sim(spec.faults);
   FaultSimulator* faults = spec.faults.enabled() ? &fault_sim : nullptr;
   FailureSink sink;
+  sink.failed_counter = &reg.counter("campaign.tasks_failed");
   std::unique_ptr<TaskJournal> journal;
   if (!spec.journal_path.empty()) {
     journal = std::make_unique<TaskJournal>(spec.journal_path);
@@ -230,15 +269,18 @@ CampaignResult execute_plan(const CampaignSpec& spec, const CampaignPlan& plan,
   std::size_t handles_created = 0;
   std::size_t handles_reused = 0;
   if (workers <= 1) {
+    obs::ScopedSpan phase("measure_phase", "campaign");
     HandlePool handle_pool;
     for (const MeasurementTask& t : plan.tasks) {
       const TaskOutcome out = execute_task(spec, t, handle_pool, faults, sink);
       outcomes[t.key] = out;
       journal_done(t.key, out);
+      note_done(out);
     }
     handles_created = handle_pool.created;
     handles_reused = handle_pool.reused;
   } else {
+    obs::ScopedSpan phase("measure_phase", "campaign");
     std::mutex error_mutex;
     std::exception_ptr first_error;
     // One handle pool per worker: a worker indexes its own pool through
@@ -251,13 +293,14 @@ CampaignResult execute_plan(const CampaignSpec& spec, const CampaignPlan& plan,
       for (const MeasurementTask* t : cost_sorted(plan.tasks)) {
         TaskOutcome* slot = &outcomes.find(t->key)->second;
         pool.submit([&spec, t, slot, &handle_pools, &error_mutex, &first_error,
-                     faults, &sink, &journal_done] {
+                     faults, &sink, &journal_done, &note_done] {
           try {
             *slot = execute_task(
                 spec, *t,
                 handle_pools[support::ThreadPool::this_worker_index()], faults,
                 sink);
             journal_done(t->key, *slot);
+            note_done(*slot);
           } catch (...) {
             // execute_task isolates task failures; only an injected
             // campaign abort (or a truly unexpected error) lands here.
@@ -277,6 +320,7 @@ CampaignResult execute_plan(const CampaignSpec& spec, const CampaignPlan& plan,
   const double measure_s = seconds_since(measure0);
 
   const Clock::time_point assemble0 = Clock::now();
+  obs::ScopedSpan assemble_span("assemble_phase", "campaign");
   // nullopt == the task ran and failed; its values become explicit missing
   // markers.  A key absent from both stores is a plan inconsistency.
   auto value_of = [&](const TaskKey& key) -> std::optional<double> {
@@ -358,6 +402,7 @@ CampaignResult execute_plan(const CampaignSpec& spec, const CampaignPlan& plan,
     result.studies.push_back(std::move(r));
   }
   const double assemble_s = seconds_since(assemble0);
+  assemble_span.finish();
 
   result.failures = std::move(sink.failures);
   std::sort(result.failures.begin(), result.failures.end(),
@@ -365,49 +410,70 @@ CampaignResult execute_plan(const CampaignSpec& spec, const CampaignPlan& plan,
               return a.key < b.key;
             });
 
-  CampaignMetrics& m = result.metrics;
-  m.studies = spec.studies.size();
-  m.workers = workers;
-  m.tasks_requested = plan.tasks_requested;
-  m.tasks_planned = plan.tasks.size();
-  m.tasks_deduplicated = plan.tasks_deduplicated;
-  m.cache_hits = plan.cache_hits;
-  m.journal_hits = plan.journal_hits;
-  m.tasks_executed = plan.tasks.size();
-  m.tasks_failed = result.failures.size();
-  m.handles_created = handles_created;
-  m.handles_reused = handles_reused;
+  // Plan-shaped counters are only known once, here; task progress counters
+  // (executed / retried / failed) already ticked live via note_done() and
+  // the failure sink.  The gauges reuse the exact post-hoc RunningStats
+  // accounting, so the metrics read back below are bit-identical to the
+  // pre-registry struct fill.
+  auto count = [&reg](const char* name, std::size_t v) {
+    reg.counter(name).add(static_cast<std::uint64_t>(v));
+  };
+  count("campaign.studies", spec.studies.size());
+  count("campaign.workers", workers);
+  count("campaign.tasks_requested", plan.tasks_requested);
+  count("campaign.tasks_planned", plan.tasks.size());
+  count("campaign.tasks_deduplicated", plan.tasks_deduplicated);
+  count("campaign.cache_hits", plan.cache_hits);
+  count("campaign.journal_hits", plan.journal_hits);
+  count("campaign.handles_created", handles_created);
+  count("campaign.handles_reused", handles_reused);
   trace::RunningStats task_times;
-  for (const auto& [k, o] : outcomes) {
-    m.tasks_retried += static_cast<std::size_t>(o.attempts - 1);
-    task_times.add(o.measure_s);
-  }
+  for (const auto& [k, o] : outcomes) task_times.add(o.measure_s);
   if (task_times.count() > 0) {
-    m.task_min_s = task_times.min();
-    m.task_max_s = task_times.max();
-    m.task_mean_s = task_times.mean();
+    reg.gauge("campaign.task_min_s").set(task_times.min());
+    reg.gauge("campaign.task_max_s").set(task_times.max());
+    reg.gauge("campaign.task_mean_s").set(task_times.mean());
   }
-  m.measure_s = measure_s;
-  m.assemble_s = assemble_s;
-  m.wall_s = seconds_since(wall0);
+  reg.gauge("campaign.measure_s").set(measure_s);
+  reg.gauge("campaign.assemble_s").set(assemble_s);
+  reg.gauge("campaign.wall_s").set(seconds_since(wall0));
+  result.metrics = CampaignMetrics::from_registry(reg);
   return result;
 }
 
 CampaignResult run_campaign(const CampaignSpec& spec, std::size_t workers,
-                            coupling::CouplingDatabase* db) {
+                            coupling::CouplingDatabase* db,
+                            obs::MetricsRegistry* registry) {
+  obs::MetricsRegistry local_registry;
+  obs::MetricsRegistry& reg = registry != nullptr ? *registry : local_registry;
   const Clock::time_point wall0 = Clock::now();
   const Clock::time_point plan0 = Clock::now();
-  CampaignPlan plan = plan_campaign(spec, db);
-  if (!spec.journal_path.empty()) {
-    // Replay whatever a previous (possibly killed) run already measured.
-    std::ifstream in(spec.journal_path);
-    if (in) (void)apply_journal(plan, load_journal(in));
+  CampaignPlan plan;
+  {
+    obs::ScopedSpan span("plan", "campaign");
+    plan = plan_campaign(spec, db);
+    if (!spec.journal_path.empty()) {
+      // Replay whatever a previous (possibly killed) run already measured.
+      std::ifstream in(spec.journal_path);
+      if (in) (void)apply_journal(plan, load_journal(in));
+    }
+    if (span.active()) {
+      span.annotate("tasks", static_cast<std::uint64_t>(plan.tasks.size()));
+      span.annotate("cache_hits",
+                    static_cast<std::uint64_t>(plan.cache_hits));
+      span.annotate("journal_hits",
+                    static_cast<std::uint64_t>(plan.journal_hits));
+    }
   }
   const double plan_s = seconds_since(plan0);
 
-  CampaignResult result = execute_plan(spec, plan, workers);
+  CampaignResult result = execute_plan(spec, plan, workers, &reg);
   result.metrics.plan_s = plan_s;
   result.metrics.wall_s = seconds_since(wall0);
+  // Keep the registry canonical: mirror the outer timings over the values
+  // execute_plan recorded.
+  reg.gauge("campaign.plan_s").set(result.metrics.plan_s);
+  reg.gauge("campaign.wall_s").set(result.metrics.wall_s);
 
   if (db != nullptr) {
     for (std::size_t s = 0; s < spec.studies.size(); ++s) {

@@ -53,18 +53,29 @@ struct CampaignResult {
 /// Only CampaignAborted (injected crash) escapes.  When
 /// CampaignSpec::journal_path is set, each completed task is appended to
 /// the JSONL journal (flushed per entry) as it finishes.
-[[nodiscard]] CampaignResult execute_plan(const CampaignSpec& spec,
-                                          const CampaignPlan& plan,
-                                          std::size_t workers = 0);
+///
+/// Observability: "campaign.*" counters (tasks_executed, tasks_retried,
+/// tasks_failed, ...) are updated live in `registry` as tasks finish, the
+/// per-task wall-clock distribution lands in the
+/// "campaign.task_seconds" histogram, and the returned CampaignMetrics is
+/// read back out of the registry (CampaignMetrics::from_registry).  Pass a
+/// *fresh* registry to watch a run from another thread; nullptr uses a
+/// run-local one.  When obs::Tracer is enabled, every task, measurement
+/// attempt and retry emits a span (category "campaign").
+[[nodiscard]] CampaignResult execute_plan(
+    const CampaignSpec& spec, const CampaignPlan& plan,
+    std::size_t workers = 0, obs::MetricsRegistry* registry = nullptr);
 
 /// Plan + execute.  When `db` is given, chains it already holds are served
 /// from it (cache hits) and every chain measured or assembled by the
 /// campaign is recorded back, so later campaigns keep shrinking.  When
 /// `spec.journal_path` names an existing journal, its completed keys are
 /// replayed into the plan before execution (journal_hits), so a killed
-/// campaign resumes exactly where it stopped.
+/// campaign resumes exactly where it stopped.  `registry` as in
+/// execute_plan().
 [[nodiscard]] CampaignResult run_campaign(
     const CampaignSpec& spec, std::size_t workers = 0,
-    coupling::CouplingDatabase* db = nullptr);
+    coupling::CouplingDatabase* db = nullptr,
+    obs::MetricsRegistry* registry = nullptr);
 
 }  // namespace kcoup::campaign

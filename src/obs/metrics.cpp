@@ -1,0 +1,54 @@
+#include "obs/metrics.hpp"
+
+namespace kcoup::obs {
+
+namespace {
+
+/// Heterogeneous get-or-create keeping pointer stability: the mapped
+/// unique_ptr never moves, so returned references survive rehash-free
+/// std::map growth and registry-wide iteration.
+template <typename Map>
+auto& get_or_create(Map& map, std::string_view name) {
+  const auto it = map.find(name);
+  if (it != map.end()) return *it->second;
+  using Metric = typename Map::mapped_type::element_type;
+  return *map.emplace(std::string(name), std::make_unique<Metric>())
+              .first->second;
+}
+
+}  // namespace
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return get_or_create(counters_, name);
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return get_or_create(gauges_, name);
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return get_or_create(histograms_, name);
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  MetricsSnapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, metric] : counters_) {
+    snap.counters.emplace_back(name, metric->value());
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, metric] : gauges_) {
+    snap.gauges.emplace_back(name, metric->value());
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, metric] : histograms_) {
+    snap.histograms.emplace_back(name, metric->snapshot());
+  }
+  return snap;
+}
+
+}  // namespace kcoup::obs

@@ -1,0 +1,107 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "support/latency_histogram.hpp"
+
+namespace kcoup::obs {
+
+/// Monotonic event count.  add() is a relaxed atomic increment — safe from
+/// any thread, O(1), no fence traffic on the hot path.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  [[nodiscard]] std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-written double (a level, not a count): timings, sizes, ratios.
+/// store/load are relaxed atomics, so a gauge round-trips the exact bits it
+/// was set to — which is what lets CampaignMetrics be a bit-compatible view
+/// over the registry.
+class Gauge {
+ public:
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  [[nodiscard]] double value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Log-bucketed distribution (support::LatencyHistogram) behind a mutex.
+/// record() is a few adds under an uncontended lock; snapshot() copies the
+/// fixed-size bucket array.  Writers that need a lock-free path should keep
+/// per-thread histograms and merge them into one of these.
+class Histogram {
+ public:
+  void record(double seconds) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    histogram_.record(seconds);
+  }
+
+  void merge(const support::LatencyHistogram& other) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    histogram_.merge(other);
+  }
+
+  [[nodiscard]] support::LatencyHistogram snapshot() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return histogram_;
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  support::LatencyHistogram histogram_;
+};
+
+/// A point-in-time copy of every metric in a registry, name-sorted.
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<std::pair<std::string, support::LatencyHistogram>> histograms;
+};
+
+/// Named metric store.  counter()/gauge()/histogram() get-or-create and
+/// return a reference that stays valid for the registry's lifetime —
+/// callers resolve names once at setup and then update through the
+/// reference, so the hot path never touches the name map or its lock.
+///
+/// The campaign executor keeps one registry per run (its CampaignMetrics is
+/// read out of it); the server keeps one for its whole lifetime (its stats
+/// endpoint and ServeMetrics are views over it).
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  [[nodiscard]] Counter& counter(std::string_view name);
+  [[nodiscard]] Gauge& gauge(std::string_view name);
+  [[nodiscard]] Histogram& histogram(std::string_view name);
+
+  /// Copy every metric's current value (names sorted; safe to call while
+  /// updates continue — counters/gauges are atomic, histograms locked).
+  [[nodiscard]] MetricsSnapshot snapshot() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+}  // namespace kcoup::obs

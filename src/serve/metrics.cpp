@@ -39,6 +39,7 @@ report::Table ServeMetrics::to_table() const {
   secs("latency p99", latency_p99_s);
   secs("latency mean", latency_mean_s);
   secs("latency max", latency_max_s);
+  secs("uptime", uptime_s);
   return t;
 }
 
@@ -50,7 +51,7 @@ std::string ServeMetrics::to_csv() const {
          "cache_evictions,cache_size,snapshot_reloads,"
          "snapshot_reload_failures,snapshot_version,db_records,latency_count,"
          "latency_p50_s,latency_p95_s,latency_p99_s,latency_mean_s,"
-         "latency_max_s\n"
+         "latency_max_s,uptime_s\n"
       << workers << ',' << connections << ',' << requests << ','
       << predictions << ',' << errors << ',' << rejected_overload << ','
       << malformed_frames << ',' << oversized_frames << ',' << cache_hits
@@ -58,7 +59,7 @@ std::string ServeMetrics::to_csv() const {
       << ',' << snapshot_reloads << ',' << snapshot_reload_failures << ','
       << snapshot_version << ',' << db_records << ',' << latency_count << ','
       << latency_p50_s << ',' << latency_p95_s << ',' << latency_p99_s << ','
-      << latency_mean_s << ',' << latency_max_s << '\n';
+      << latency_mean_s << ',' << latency_max_s << ',' << uptime_s << '\n';
   return out.str();
 }
 
@@ -84,7 +85,8 @@ std::string ServeMetrics::to_jsonl() const {
       << ",\"latency_p95_s\":" << latency_p95_s
       << ",\"latency_p99_s\":" << latency_p99_s
       << ",\"latency_mean_s\":" << latency_mean_s
-      << ",\"latency_max_s\":" << latency_max_s << "}\n";
+      << ",\"latency_max_s\":" << latency_max_s
+      << ",\"uptime_s\":" << uptime_s << "}\n";
   return out.str();
 }
 

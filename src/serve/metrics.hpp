@@ -40,6 +40,11 @@ struct ServeMetrics {
   double latency_mean_s = 0.0;
   double latency_max_s = 0.0;
 
+  /// Seconds since Server::start(); 0 before the server starts.  Appended
+  /// after the latency fields in every renderer so pre-existing consumers
+  /// keep their column/key positions.
+  double uptime_s = 0.0;
+
   [[nodiscard]] report::Table to_table() const;
   /// Header line + one data row.
   [[nodiscard]] std::string to_csv() const;

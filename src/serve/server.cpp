@@ -84,7 +84,17 @@ FrameStatus recv_frame(int fd, std::size_t max_bytes, std::string* payload) {
 
 Server::Server(SnapshotSource* source, QueryEngine* engine,
                ServerConfig config)
-    : source_(source), engine_(engine), config_(std::move(config)) {
+    : source_(source),
+      engine_(engine),
+      config_(std::move(config)),
+      c_connections_(registry_.counter("serve.connections")),
+      c_requests_(registry_.counter("serve.requests")),
+      c_predictions_(registry_.counter("serve.predictions")),
+      c_errors_(registry_.counter("serve.errors")),
+      c_rejected_overload_(registry_.counter("serve.rejected_overload")),
+      c_malformed_frames_(registry_.counter("serve.malformed_frames")),
+      c_oversized_frames_(registry_.counter("serve.oversized_frames")),
+      h_latency_(registry_.histogram("serve.request_seconds")) {
   if (config_.workers == 0) config_.workers = 1;
   if (config_.max_inflight == 0) config_.max_inflight = 2 * config_.workers;
 }
@@ -133,9 +143,9 @@ void Server::start() {
   port_ = ntohs(bound.sin_port);
   listen_fd_ = fd;
 
-  latency_.clear();
-  latency_.resize(config_.workers + 1);  // last slot: off-pool threads
   pool_ = std::make_unique<support::ThreadPool>(config_.workers);
+  start_time_ = std::chrono::steady_clock::now();
+  started_.store(true, std::memory_order_release);
   running_.store(true, std::memory_order_release);
   acceptor_ = std::thread([this] { accept_loop(); });
 }
@@ -181,14 +191,14 @@ void Server::accept_loop() {
       ::close(fd);
       return;
     }
-    connections_.fetch_add(1, std::memory_order_relaxed);
+    c_connections_.add(1);
     if (inflight_.fetch_add(1, std::memory_order_acq_rel) >=
         config_.max_inflight) {
       // Fast reject without touching the worker pool: one error frame,
       // then close.  The client sees "overloaded" in bounded time no
       // matter how deep the pool's backlog is.
       inflight_.fetch_sub(1, std::memory_order_acq_rel);
-      rejected_overload_.fetch_add(1, std::memory_order_relaxed);
+      c_rejected_overload_.add(1);
       send_frame(fd, error_json("server overloaded, retry later", 429));
       ::close(fd);
       continue;
@@ -210,12 +220,12 @@ void Server::serve_connection(int fd) {
         recv_frame(fd, config_.max_frame_bytes, &payload);
     if (status == FrameStatus::kEof) return;
     if (status == FrameStatus::kMalformed) {
-      malformed_frames_.fetch_add(1, std::memory_order_relaxed);
+      c_malformed_frames_.add(1);
       send_frame(fd, error_json("malformed frame", 400));
       return;
     }
     if (status == FrameStatus::kOversized) {
-      oversized_frames_.fetch_add(1, std::memory_order_relaxed);
+      c_oversized_frames_.add(1);
       send_frame(fd, error_json("frame exceeds " +
                                     std::to_string(config_.max_frame_bytes) +
                                     " bytes",
@@ -223,70 +233,88 @@ void Server::serve_connection(int fd) {
       return;
     }
 
+    obs::ScopedSpan span("request", "serve");
     const auto t0 = std::chrono::steady_clock::now();
-    const std::string response = handle_payload(payload);
+    const std::string response = handle_payload(payload, span);
     const std::chrono::duration<double> elapsed =
         std::chrono::steady_clock::now() - t0;
-    requests_.fetch_add(1, std::memory_order_relaxed);
-    {
-      std::size_t slot = support::ThreadPool::this_worker_index();
-      if (slot >= latency_.size()) slot = latency_.size() - 1;
-      std::lock_guard<std::mutex> lock(latency_mutex_);
-      latency_[slot].record(elapsed.count());
-    }
-    if (!send_frame(fd, response)) return;
+    c_requests_.add(1);
+    h_latency_.record(elapsed.count());
+    const bool sent = send_frame(fd, response);
+    span.finish();
+    if (!sent) return;
   }
 }
 
-std::string Server::handle_payload(const std::string& payload) {
+std::string Server::handle_payload(const std::string& payload,
+                                   obs::ScopedSpan& span) {
   const auto request = parse_request(payload);
   if (!request.has_value()) {
-    errors_.fetch_add(1, std::memory_order_relaxed);
+    c_errors_.add(1);
+    if (span.active()) span.annotate("op", "malformed");
     return error_json("malformed request", 400);
   }
   switch (request->op) {
     case RequestOp::kPing:
+      if (span.active()) span.annotate("op", "ping");
       return "{\"ok\":true,\"op\":\"ping\"}";
     case RequestOp::kStats: {
+      if (span.active()) span.annotate("op", "stats");
       std::string out = metrics().to_jsonl();
       if (!out.empty() && out.back() == '\n') out.pop_back();
       return out;
     }
     case RequestOp::kPredict:
     case RequestOp::kBatch: {
+      if (span.active()) {
+        span.annotate("op",
+                      request->op == RequestOp::kPredict ? "predict" : "batch");
+      }
       const auto snapshot = source_->current();
       if (snapshot == nullptr) {
-        errors_.fetch_add(1, std::memory_order_relaxed);
+        c_errors_.add(1);
         return error_json("no snapshot loaded", 503);
       }
       std::vector<Prediction> results =
           engine_->predict_batch(*snapshot, request->queries);
-      predictions_.fetch_add(results.size(), std::memory_order_relaxed);
+      c_predictions_.add(results.size());
       std::uint64_t failed = 0;
+      std::uint64_t cache_hits = 0;
       for (const Prediction& p : results) {
         if (!p.ok) ++failed;
+        if (p.cache_hit) ++cache_hits;
       }
-      if (failed != 0) errors_.fetch_add(failed, std::memory_order_relaxed);
+      if (failed != 0) c_errors_.add(failed);
+      if (span.active()) {
+        span.annotate("cache_hits", cache_hits);
+        span.annotate("ok", failed == 0);
+        // Fallback kind of the first answer stands in for the request: a
+        // single predict has exactly one, a batch is usually homogeneous.
+        if (!results.front().alpha_source.empty()) {
+          span.annotate("alpha", results.front().alpha_source);
+        }
+      }
       if (request->op == RequestOp::kPredict) {
         return prediction_json(results.front());
       }
       return batch_json(results);
     }
   }
-  errors_.fetch_add(1, std::memory_order_relaxed);
+  c_errors_.add(1);
+  if (span.active()) span.annotate("op", "unhandled");
   return error_json("unhandled request", 400);
 }
 
 ServeMetrics Server::metrics() const {
   ServeMetrics m;
   m.workers = config_.workers;
-  m.connections = connections_.load(std::memory_order_relaxed);
-  m.requests = requests_.load(std::memory_order_relaxed);
-  m.predictions = predictions_.load(std::memory_order_relaxed);
-  m.errors = errors_.load(std::memory_order_relaxed);
-  m.rejected_overload = rejected_overload_.load(std::memory_order_relaxed);
-  m.malformed_frames = malformed_frames_.load(std::memory_order_relaxed);
-  m.oversized_frames = oversized_frames_.load(std::memory_order_relaxed);
+  m.connections = c_connections_.value();
+  m.requests = c_requests_.value();
+  m.predictions = c_predictions_.value();
+  m.errors = c_errors_.value();
+  m.rejected_overload = c_rejected_overload_.value();
+  m.malformed_frames = c_malformed_frames_.value();
+  m.oversized_frames = c_oversized_frames_.value();
 
   const CacheStats cache = engine_->cache_stats();
   m.cache_hits = cache.hits;
@@ -301,11 +329,13 @@ ServeMetrics Server::metrics() const {
     m.db_records = snapshot->database().records().size();
   }
 
-  support::LatencyHistogram merged;
-  {
-    std::lock_guard<std::mutex> lock(latency_mutex_);
-    for (const support::LatencyHistogram& h : latency_) merged.merge(h);
+  if (started_.load(std::memory_order_acquire)) {
+    m.uptime_s = std::chrono::duration<double>(
+                     std::chrono::steady_clock::now() - start_time_)
+                     .count();
   }
+
+  const support::LatencyHistogram merged = h_latency_.snapshot();
   m.latency_count = merged.count();
   if (merged.count() != 0) {
     m.latency_p50_s = merged.quantile(0.50);

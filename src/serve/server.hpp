@@ -1,6 +1,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
@@ -10,10 +11,11 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "serve/metrics.hpp"
 #include "serve/query_engine.hpp"
 #include "serve/snapshot.hpp"
-#include "support/latency_histogram.hpp"
 #include "support/thread_pool.hpp"
 
 namespace kcoup::serve {
@@ -52,8 +54,14 @@ class BindError : public std::runtime_error {
 /// this gives zero dropped in-flight requests across both reloads and
 /// shutdown.
 ///
-/// Request latencies land in per-worker LatencyHistograms (no shared-state
-/// contention on the hot path); metrics() merges them on demand.
+/// All server counters live in an obs::MetricsRegistry ("serve.*" names)
+/// with the hot-path references bound once at construction, so updates stay
+/// O(1) atomic adds; request latencies land in the registry's
+/// "serve.request_seconds" histogram (same single mutex the per-worker
+/// slots shared before).  ServeMetrics/metrics() is a point-in-time view
+/// over the registry.  When obs::Tracer is enabled every request emits a
+/// span (category "serve") annotated with the op, cache hit/miss and
+/// fallback kind.
 class Server {
  public:
   Server(SnapshotSource* source, QueryEngine* engine, ServerConfig config);
@@ -77,18 +85,24 @@ class Server {
   }
 
   [[nodiscard]] std::uint64_t requests_handled() const {
-    return requests_.load(std::memory_order_relaxed);
+    return c_requests_.value();
   }
 
   /// Point-in-time aggregate: server counters + engine cache stats +
-  /// snapshot reload stats + merged latency quantiles.
+  /// snapshot reload stats + latency quantiles + uptime since start().
   [[nodiscard]] ServeMetrics metrics() const;
+
+  /// The live metrics store behind metrics() — "serve.*" counters and the
+  /// "serve.request_seconds" histogram update as requests are handled.
+  [[nodiscard]] obs::MetricsRegistry& registry() { return registry_; }
 
  private:
   void accept_loop();
   void serve_connection(int fd);
-  /// Handle one parsed payload; returns the response JSON.
-  [[nodiscard]] std::string handle_payload(const std::string& payload);
+  /// Handle one parsed payload; returns the response JSON and annotates the
+  /// request span (op, cache hits, fallback kind) when tracing is on.
+  [[nodiscard]] std::string handle_payload(const std::string& payload,
+                                           obs::ScopedSpan& span);
 
   void register_client(int fd);
   void unregister_client(int fd);
@@ -104,20 +118,22 @@ class Server {
   std::atomic<bool> running_{false};
 
   std::atomic<std::size_t> inflight_{0};
-  std::atomic<std::uint64_t> connections_{0};
-  std::atomic<std::uint64_t> requests_{0};
-  std::atomic<std::uint64_t> predictions_{0};
-  std::atomic<std::uint64_t> errors_{0};
-  std::atomic<std::uint64_t> rejected_overload_{0};
-  std::atomic<std::uint64_t> malformed_frames_{0};
-  std::atomic<std::uint64_t> oversized_frames_{0};
 
-  /// Slot w < workers belongs to pool worker w; the last slot catches
-  /// off-pool threads.  All slots share latency_mutex_ (recording is a few
-  /// adds — cheaper than the JSON work around it — and metrics() may merge
-  /// concurrently).
-  std::vector<support::LatencyHistogram> latency_;
-  mutable std::mutex latency_mutex_;
+  /// Canonical metric store; the references below are the hot-path handles
+  /// (get-or-create once, O(1) relaxed atomics afterwards).  Declared after
+  /// registry_ so construction order is safe.
+  obs::MetricsRegistry registry_;
+  obs::Counter& c_connections_;
+  obs::Counter& c_requests_;
+  obs::Counter& c_predictions_;
+  obs::Counter& c_errors_;
+  obs::Counter& c_rejected_overload_;
+  obs::Counter& c_malformed_frames_;
+  obs::Counter& c_oversized_frames_;
+  obs::Histogram& h_latency_;
+
+  std::chrono::steady_clock::time_point start_time_{};
+  std::atomic<bool> started_{false};
 
   std::mutex clients_mutex_;
   std::vector<int> clients_;

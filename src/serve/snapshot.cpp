@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "coupling/analysis.hpp"
+#include "obs/trace.hpp"
 
 namespace kcoup::serve {
 
@@ -142,10 +143,17 @@ std::optional<SnapshotSource::FileProbe> SnapshotSource::probe() const {
 }
 
 void SnapshotSource::load_and_publish(const FileProbe& seen) {
+  obs::ScopedSpan span("snapshot_reload", "serve");
   coupling::CouplingDatabase db;
   db.load_csv_file(path_);
   auto snapshot = std::make_shared<const PredictorSnapshot>(
       std::move(db), next_version_, cell_fn_, options_);
+  if (span.active()) {
+    span.annotate("version", next_version_);
+    span.annotate("records",
+                  static_cast<std::uint64_t>(
+                      snapshot->database().records().size()));
+  }
   current_.store(std::move(snapshot), std::memory_order_release);
   ++next_version_;
   last_probe_ = seen;

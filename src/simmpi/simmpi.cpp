@@ -17,6 +17,8 @@
 #include <tuple>
 #include <utility>
 
+#include "obs/trace.hpp"
+
 namespace kcoup::simmpi {
 namespace detail {
 
@@ -220,29 +222,39 @@ void wait_all(std::span<Request> requests) {
   for (Request& r : requests) r.wait();
 }
 
+// Collectives are the simulated application's phase boundaries; each one
+// emits a span from rank 0 only (every rank synchronises on the same
+// collective, so one span per boundary is the whole story and the trace
+// stays proportional to phases, not ranks).
+
 void Comm::barrier() {
+  obs::ScopedSpan span("barrier", "simmpi", rank_ == 0);
   world_->collective(
       *this, 0.0, [](double a, double) { return a; }, 0.0);
 }
 
 double Comm::allreduce_sum(double value) {
+  obs::ScopedSpan span("allreduce_sum", "simmpi", rank_ == 0);
   return world_->collective(
       *this, value, [](double a, double b) { return a + b; }, 0.0);
 }
 
 double Comm::allreduce_max(double value) {
+  obs::ScopedSpan span("allreduce_max", "simmpi", rank_ == 0);
   return world_->collective(
       *this, value, [](double a, double b) { return std::max(a, b); },
       -std::numeric_limits<double>::infinity());
 }
 
 double Comm::allreduce_min(double value) {
+  obs::ScopedSpan span("allreduce_min", "simmpi", rank_ == 0);
   return world_->collective(
       *this, value, [](double a, double b) { return std::min(a, b); },
       std::numeric_limits<double>::infinity());
 }
 
 double Comm::broadcast(double value, int root) {
+  obs::ScopedSpan span("broadcast", "simmpi", rank_ == 0);
   // Implemented as a reduction that keeps only the root's contribution.
   // Every rank participates, so the synchronising semantics are identical
   // to a tree broadcast.
@@ -252,6 +264,7 @@ double Comm::broadcast(double value, int root) {
 }
 
 std::vector<double> Comm::allgather(double value) {
+  obs::ScopedSpan span("allgather", "simmpi", rank_ == 0);
   return world_->allgather(*this, value);
 }
 

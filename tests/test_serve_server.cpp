@@ -306,6 +306,15 @@ TEST_F(ServerTest, StatsOpReportsCountersAndLatency) {
   const auto p99 = serve::json_number_field(*stats, "latency_p99_s");
   ASSERT_TRUE(p99.has_value());
   EXPECT_GT(*p99, 0.0);
+  // The wire response carries the introspection fields `kcoup stats` renders:
+  // uptime and the snapshot reload/generation counters.
+  const auto uptime = serve::json_number_field(*stats, "uptime_s");
+  ASSERT_TRUE(uptime.has_value());
+  EXPECT_GT(*uptime, 0.0);
+  EXPECT_TRUE(serve::json_number_field(*stats, "snapshot_reloads"));
+  EXPECT_TRUE(
+      serve::json_number_field(*stats, "snapshot_reload_failures"));
+  EXPECT_TRUE(serve::json_number_field(*stats, "snapshot_version"));
 
   const serve::ServeMetrics metrics = server_->metrics();
   EXPECT_GE(metrics.requests, 2u);
@@ -317,7 +326,9 @@ TEST_F(ServerTest, StatsOpReportsCountersAndLatency) {
   const std::string jsonl = metrics.to_jsonl();
   EXPECT_NE(jsonl.find("\"predictions\":1"), std::string::npos);
   EXPECT_NE(metrics.to_csv().find("latency_p99_s"), std::string::npos);
-  EXPECT_FALSE(metrics.to_table().to_string().empty());
+  EXPECT_GT(metrics.uptime_s, 0.0);
+  EXPECT_NE(metrics.to_csv().find("uptime_s"), std::string::npos);
+  EXPECT_NE(metrics.to_table().to_string().find("uptime"), std::string::npos);
 }
 
 }  // namespace

@@ -16,6 +16,7 @@
 #include <chrono>
 #include <csignal>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
@@ -32,6 +33,7 @@
 #include "coupling/database.hpp"
 #include "coupling/study.hpp"
 #include "machine/config.hpp"
+#include "obs/trace.hpp"
 #include "serve/client.hpp"
 #include "serve/protocol.hpp"
 #include "serve/server.hpp"
@@ -42,6 +44,7 @@
 #include "npb/sp/sp_model.hpp"
 #include "npb/sp/sp_timed.hpp"
 #include "report/table.hpp"
+#include "support/atomic_file.hpp"
 #include "trace/stats.hpp"
 
 namespace {
@@ -202,6 +205,38 @@ npb::Benchmark parse_benchmark(const std::string& s) {
   if (s == "lu" || s == "LU") return npb::Benchmark::kLU;
   throw std::runtime_error("unknown app '" + s + "' (use bt/sp/lu)");
 }
+
+// Turns tracing on for the enclosing scope and writes the Chrome trace JSON
+// when the scope unwinds — normal return, partial-campaign exit code 3, or
+// an exception on its way to main's handler all flush the same way.  With
+// no path this is inert.
+class TraceGuard {
+ public:
+  explicit TraceGuard(std::optional<std::string> path)
+      : path_(std::move(path)) {
+    if (path_) obs::Tracer::instance().enable();
+  }
+
+  TraceGuard(const TraceGuard&) = delete;
+  TraceGuard& operator=(const TraceGuard&) = delete;
+
+  ~TraceGuard() {
+    if (!path_) return;
+    obs::Tracer& tracer = obs::Tracer::instance();
+    tracer.disable();
+    if (tracer.write_chrome_trace_file(*path_)) {
+      std::printf("wrote trace %s (%llu spans, %llu dropped)\n",
+                  path_->c_str(),
+                  static_cast<unsigned long long>(tracer.spans_recorded()),
+                  static_cast<unsigned long long>(tracer.spans_dropped()));
+    } else {
+      std::fprintf(stderr, "kcoup: cannot write trace %s\n", path_->c_str());
+    }
+  }
+
+ private:
+  std::optional<std::string> path_;
+};
 
 // --- Commands ---------------------------------------------------------------
 
@@ -460,6 +495,7 @@ int cmd_campaign(const Args& args) {
   const auto metrics_csv = args.maybe("metrics-csv");
   const auto metrics_jsonl = args.maybe("metrics-jsonl");
   const auto journal_path = args.maybe("journal");
+  const auto trace_out = args.maybe("trace-out");
   campaign::FaultPlan faults;
   if (const auto v = args.maybe("fault-seed")) {
     try {
@@ -534,6 +570,7 @@ int cmd_campaign(const Args& args) {
   }
 
   const std::size_t workers = serial ? 1 : text.workers;
+  const TraceGuard trace_guard(trace_out);
   const campaign::CampaignResult result =
       campaign::run_campaign(spec, workers, db_path ? &db : nullptr);
 
@@ -572,15 +609,11 @@ int cmd_campaign(const Args& args) {
 
   std::printf("%s\n", result.metrics.to_table().to_string().c_str());
   if (metrics_csv) {
-    std::ofstream out(*metrics_csv);
-    if (!out) throw std::runtime_error("cannot write " + *metrics_csv);
-    out << result.metrics.to_csv();
+    support::write_file_atomic(*metrics_csv, result.metrics.to_csv());
     std::printf("wrote %s\n", metrics_csv->c_str());
   }
   if (metrics_jsonl) {
-    std::ofstream out(*metrics_jsonl, std::ios::app);
-    if (!out) throw std::runtime_error("cannot write " + *metrics_jsonl);
-    out << result.metrics.to_jsonl();
+    support::append_file_atomic(*metrics_jsonl, result.metrics.to_jsonl());
     std::printf("appended %s\n", metrics_jsonl->c_str());
   }
 
@@ -626,6 +659,7 @@ int cmd_serve(const Args& args) {
   const auto port_file = args.maybe("port-file");
   const auto metrics_csv = args.maybe("metrics-csv");
   const auto metrics_jsonl = args.maybe("metrics-jsonl");
+  const auto trace_out = args.maybe("trace-out");
   args.check_all_used();
   if (workers < 1) throw std::runtime_error("--workers must be >= 1");
   if (poll_ms < 0) throw std::runtime_error("--poll-ms must be >= 0");
@@ -633,6 +667,7 @@ int cmd_serve(const Args& args) {
     throw std::runtime_error("--cache-capacity must be >= 0");
   }
 
+  const TraceGuard trace_guard(trace_out);
   serve::NpbWorkload workload(cfg);
   serve::EngineOptions engine_options;
   engine_options.cache_capacity = static_cast<std::size_t>(cache_capacity);
@@ -687,15 +722,11 @@ int cmd_serve(const Args& args) {
     std::printf("%s\n", metrics.to_table().to_string().c_str());
   }
   if (metrics_csv) {
-    std::ofstream out(*metrics_csv);
-    if (!out) throw std::runtime_error("cannot write " + *metrics_csv);
-    out << metrics.to_csv();
+    support::write_file_atomic(*metrics_csv, metrics.to_csv());
     if (!quiet) std::printf("wrote %s\n", metrics_csv->c_str());
   }
   if (metrics_jsonl) {
-    std::ofstream out(*metrics_jsonl, std::ios::app);
-    if (!out) throw std::runtime_error("cannot write " + *metrics_jsonl);
-    out << metrics.to_jsonl();
+    support::append_file_atomic(*metrics_jsonl, metrics.to_jsonl());
     if (!quiet) std::printf("appended %s\n", metrics_jsonl->c_str());
   }
   return 0;
@@ -770,6 +801,93 @@ int cmd_query(const Args& args) {
   return any_failed ? 1 : 0;
 }
 
+/// Pull every `"name":<number>` pair out of a flat JSON object — exactly
+/// the shape of the server's stats frame.  Non-numeric values are skipped.
+std::map<std::string, double> parse_flat_json_numbers(const std::string& s) {
+  std::map<std::string, double> out;
+  std::size_t i = 0;
+  while ((i = s.find('"', i)) != std::string::npos) {
+    const std::size_t end = s.find('"', i + 1);
+    if (end == std::string::npos) break;
+    const std::string key = s.substr(i + 1, end - i - 1);
+    std::size_t j = end + 1;
+    while (j < s.size() && s[j] == ' ') ++j;
+    if (j < s.size() && s[j] == ':') {
+      ++j;
+      while (j < s.size() && s[j] == ' ') ++j;
+      char* num_end = nullptr;
+      const double v = std::strtod(s.c_str() + j, &num_end);
+      if (num_end != s.c_str() + j) {
+        out[key] = v;
+        i = static_cast<std::size_t>(num_end - s.c_str());
+        continue;
+      }
+    }
+    i = end + 1;
+  }
+  return out;
+}
+
+// Fetch a live server's stats frame and render it as the ServeMetrics table
+// (or the raw JSON with --raw).  The frame is the extended wire response:
+// request/refusal counters, cache stats, snapshot generation + reload
+// success/failure counts, latency quantiles and uptime.
+int cmd_stats(const Args& args) {
+  const std::string host = args.get("host", "127.0.0.1");
+  const int port = parse_int_arg("port", args.get("port"));
+  const bool raw = args.flag("raw");
+  args.check_all_used();
+
+  serve::Client client;
+  client.connect(host, port);
+  const auto response = client.stats();
+  if (!response.has_value()) {
+    throw std::runtime_error("stats: no response from " + host + ":" +
+                             std::to_string(port));
+  }
+  if (raw) {
+    std::printf("%s\n", response->c_str());
+    return 0;
+  }
+
+  const std::map<std::string, double> fields =
+      parse_flat_json_numbers(*response);
+  auto u64 = [&fields](const char* key) -> std::uint64_t {
+    const auto it = fields.find(key);
+    return it == fields.end() ? 0 : static_cast<std::uint64_t>(it->second);
+  };
+  auto num = [&fields](const char* key) -> double {
+    const auto it = fields.find(key);
+    return it == fields.end() ? 0.0 : it->second;
+  };
+  serve::ServeMetrics m;
+  m.workers = static_cast<std::size_t>(u64("workers"));
+  m.connections = u64("connections");
+  m.requests = u64("requests");
+  m.predictions = u64("predictions");
+  m.errors = u64("errors");
+  m.rejected_overload = u64("rejected_overload");
+  m.malformed_frames = u64("malformed_frames");
+  m.oversized_frames = u64("oversized_frames");
+  m.cache_hits = u64("cache_hits");
+  m.cache_misses = u64("cache_misses");
+  m.cache_evictions = u64("cache_evictions");
+  m.cache_size = static_cast<std::size_t>(u64("cache_size"));
+  m.snapshot_reloads = u64("snapshot_reloads");
+  m.snapshot_reload_failures = u64("snapshot_reload_failures");
+  m.snapshot_version = u64("snapshot_version");
+  m.db_records = static_cast<std::size_t>(u64("db_records"));
+  m.latency_count = u64("latency_count");
+  m.latency_p50_s = num("latency_p50_s");
+  m.latency_p95_s = num("latency_p95_s");
+  m.latency_p99_s = num("latency_p99_s");
+  m.latency_mean_s = num("latency_mean_s");
+  m.latency_max_s = num("latency_max_s");
+  m.uptime_s = num("uptime_s");
+  std::printf("%s\n", m.to_table().to_string().c_str());
+  return 0;
+}
+
 int cmd_machines(const Args& args) {
   args.check_all_used();
   for (const machine::MachineConfig& c :
@@ -814,16 +932,19 @@ void usage() {
       "                    [--fault-seed N] [--fault-construct-rate F]\n"
       "                    [--fault-measure-rate F] [--fault-noise-rate F]\n"
       "                    [--fault-abort-after N]\n"
+      "                    [--trace-out trace.json]\n"
       "                    [--machine ibm-sp|generic-smp]\n"
       "  kcoup serve       --db store.csv [--port P] [--workers N]\n"
       "                    [--max-inflight N] [--poll-ms MS]\n"
       "                    [--cache-capacity N] [--no-models] [--quiet]\n"
       "                    [--max-requests N] [--port-file path]\n"
       "                    [--metrics-csv path] [--metrics-jsonl path]\n"
+      "                    [--trace-out trace.json]\n"
       "                    [--machine ibm-sp|generic-smp]\n"
       "  kcoup query       --port P [--host H] --app bt|sp|lu --class C\n"
       "                    [--procs 4,9] [--chains 2,3] [--raw]\n"
       "  kcoup query       --port P [--host H] --stats\n"
+      "  kcoup stats       --port P [--host H] [--raw]\n"
       "  kcoup machines\n"
       "  kcoup --version\n\n"
       "exit codes: 0 success; 1 runtime error (also: any served query\n"
@@ -853,6 +974,7 @@ int main(int argc, char** argv) {
     if (cmd == "campaign") bool_flags = {"serial", "quiet", "no-pool"};
     if (cmd == "serve") bool_flags = {"no-models", "quiet"};
     if (cmd == "query") bool_flags = {"stats", "raw"};
+    if (cmd == "stats") bool_flags = {"raw"};
     const Args args(argc, argv, std::move(bool_flags));
     if (cmd == "study") return cmd_study(args);
     if (cmd == "transitions") return cmd_transitions(args);
@@ -861,6 +983,7 @@ int main(int argc, char** argv) {
     if (cmd == "campaign") return cmd_campaign(args);
     if (cmd == "serve") return cmd_serve(args);
     if (cmd == "query") return cmd_query(args);
+    if (cmd == "stats") return cmd_stats(args);
     if (cmd == "machines") return cmd_machines(args);
     if (cmd == "help" || cmd == "--help" || cmd == "-h") {
       usage();
