@@ -1,0 +1,96 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "campaign/campaign.hpp"
+#include "campaign/executor.hpp"
+#include "campaign/shard.hpp"
+#include "campaign/task_key.hpp"
+#include "coupling/database.hpp"
+
+namespace kcoup::campaign {
+
+/// How the coordinator joins a shard campaign's journals.
+struct MergeOptions {
+  std::string journal_dir;  ///< the directory the shards journaled into
+  /// Total shards; 0 reads the directory's `shards` manifest, and a value
+  /// that contradicts an existing manifest is an error (wrong partitioning
+  /// would silently drop every task hashed to the missing shards).
+  std::size_t shards = 0;
+  /// Execute planned tasks no journal covers (dead shard, torn tail)
+  /// in-process instead of reporting them missing.  Stolen executions are
+  /// journaled to `coordinator.jsonl` in the same directory, so a killed
+  /// merge resumes exactly like a killed shard.
+  bool steal = false;
+  std::size_t workers = 0;  ///< worker threads for coordinator stealing
+};
+
+/// Per-journal accounting the merge reports: what each shard contributed and
+/// what state its journal was in.
+struct ShardJournalStats {
+  std::size_t shard = 0;
+  bool exists = false;
+  std::size_t completed = 0;        ///< distinct successful keys
+  std::size_t failed = 0;           ///< distinct failure-record keys
+  std::size_t malformed = 0;        ///< mid-stream unparseable lines
+  bool torn_tail = false;           ///< crash-truncated final record
+  std::size_t owned_completed = 0;  ///< successes for its own partition
+  std::size_t stolen_completed = 0; ///< successes for other shards' keys
+};
+
+/// The joined campaign: one CampaignResult bit-identical to what the serial
+/// executor would have produced from the same per-task values, plus the
+/// merge bookkeeping.
+struct MergeResult {
+  CampaignResult result;
+  std::size_t shards = 0;
+  std::vector<ShardJournalStats> shard_stats;  ///< one per shard, in order
+  std::size_t tasks_planned = 0;   ///< deduplicated plan size
+  std::size_t tasks_merged = 0;    ///< plan keys resolved from journals
+  std::size_t tasks_stolen = 0;    ///< plan keys the merge executed itself
+  std::size_t duplicates = 0;      ///< redundant success records dropped
+  std::size_t torn_tails = 0;      ///< journals ending in a truncated record
+  /// Planned keys with no success *and* no failure record anywhere: tasks
+  /// nobody ever finished (dead shard, lost journal).  Distinct from
+  /// result.failures, which are tasks that ran and exhausted retries.
+  std::vector<TaskKey> missing;
+
+  /// Every planned task resolved to a measured value.
+  [[nodiscard]] bool complete() const {
+    return missing.empty() && result.failures.empty();
+  }
+};
+
+/// Join an N-shard campaign's journals back into one campaign result.
+///
+/// The spec must be the same one the shards ran (the CLI persists it as
+/// `campaign.spec` in the journal directory for exactly this reason): the
+/// merge re-plans it, resolves every planned task from the journals, and
+/// assembles with the serial path's exact accumulation order — so when every
+/// task has a journaled value the result, and any database recorded from it
+/// via record_campaign(), is byte-identical to a single-process run.
+///
+/// Resolution is first-writer-wins with owner preference: a key's value
+/// comes from its shard_of() owner's journal when present, else from the
+/// first other journal (shard order, then `coordinator.jsonl`) holding it.
+/// Redundant records — stealing overlap — are counted in `duplicates` and
+/// dropped; since every record of a key holds the same deterministic
+/// measurement this never changes bits.
+///
+/// Failure records aggregate the same way: a planned key with no success
+/// anywhere but a failure record becomes a TaskFailure (owner's record
+/// preferred), so the merged failure table matches what a single process
+/// running the same tasks would have reported.  Keys with neither become
+/// `missing` — or, with MergeOptions::steal, are executed here.
+///
+/// Publishes "campaign.merge.*" counters into `registry` and emits
+/// "merge" / "merge_steal" spans.  Throws std::invalid_argument when the
+/// shard count is unknown (no option, no manifest) or contradicts the
+/// manifest, and std::runtime_error when no journal exists at all.
+[[nodiscard]] MergeResult merge_shards(const CampaignSpec& spec,
+                                       const MergeOptions& options,
+                                       obs::MetricsRegistry* registry = nullptr);
+
+}  // namespace kcoup::campaign

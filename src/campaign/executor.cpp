@@ -34,6 +34,7 @@ struct TaskOutcome {
   int attempts = 1;
   double measure_s = 0.0;  ///< wall-clock of this task, acquisition included
   bool ok = false;         ///< false until the task completes successfully
+  std::string error;       ///< final attempt's message when !ok
 };
 
 /// Failed tasks, collected across workers.  Failures also tick the live
@@ -188,6 +189,8 @@ TaskOutcome execute_task(const CampaignSpec& spec, const MeasurementTask& task,
         sink.record(task.key, attempts_spent, e.what());
         out = TaskOutcome{};
         out.attempts = attempts_spent;
+        out.error = e.what();
+        if (out.error.empty()) out.error = "task failed";
         break;
       }
     }
@@ -219,16 +222,14 @@ std::vector<const MeasurementTask*> cost_sorted(
 
 }  // namespace
 
-CampaignResult execute_plan(const CampaignSpec& spec, const CampaignPlan& plan,
-                            std::size_t workers, obs::MetricsRegistry* registry) {
-  const Clock::time_point wall0 = Clock::now();
-  if (plan.shapes.size() != spec.studies.size()) {
-    throw std::invalid_argument("execute_plan: plan does not match spec");
-  }
+TaskSetResult execute_tasks(const CampaignSpec& spec,
+                            const std::vector<MeasurementTask>& tasks,
+                            std::size_t workers, obs::MetricsRegistry* registry,
+                            TaskJournal* journal) {
   if (workers == 0) {
     workers = std::max<std::size_t>(1, std::thread::hardware_concurrency());
   }
-  workers = std::min(workers, std::max<std::size_t>(1, plan.tasks.size()));
+  workers = std::min(workers, std::max<std::size_t>(1, tasks.size()));
 
   obs::MetricsRegistry local_registry;
   obs::MetricsRegistry& reg = registry != nullptr ? *registry : local_registry;
@@ -237,8 +238,8 @@ CampaignResult execute_plan(const CampaignSpec& spec, const CampaignPlan& plan,
   obs::Histogram& h_task = reg.histogram("campaign.task_seconds");
   // Live per-task bookkeeping: counters tick as tasks finish so an external
   // registry sees progress mid-run; the final CampaignMetrics is read back
-  // out of the registry below and matches the old post-hoc accounting
-  // exactly (retried = sum over tasks of attempts - 1).
+  // out of the registry by the caller and matches the old post-hoc
+  // accounting exactly (retried = sum over tasks of attempts - 1).
   auto note_done = [&](const TaskOutcome& out) {
     c_executed.add(1);
     c_retried.add(static_cast<std::uint64_t>(out.attempts - 1));
@@ -249,13 +250,15 @@ CampaignResult execute_plan(const CampaignSpec& spec, const CampaignPlan& plan,
   FaultSimulator* faults = spec.faults.enabled() ? &fault_sim : nullptr;
   FailureSink sink;
   sink.failed_counter = &reg.counter("campaign.tasks_failed");
-  std::unique_ptr<TaskJournal> journal;
-  if (!spec.journal_path.empty()) {
-    journal = std::make_unique<TaskJournal>(spec.journal_path);
-  }
-  auto journal_done = [&journal](const TaskKey& key, const TaskOutcome& out) {
-    if (journal != nullptr && out.ok) {
+  auto journal_done = [journal](const TaskKey& key, const TaskOutcome& out) {
+    if (journal == nullptr) return;
+    if (out.ok) {
       journal->append(JournalEntry{key, out.value, out.attempts});
+    } else {
+      // Failure records let a merge coordinator account for the hole; the
+      // resume loader skips them, so the task is retried on the next run,
+      // exactly as when failures were not journaled.
+      journal->append(JournalEntry{key, 0.0, out.attempts, out.error});
     }
   };
 
@@ -263,15 +266,13 @@ CampaignResult execute_plan(const CampaignSpec& spec, const CampaignPlan& plan,
   // workers only ever write distinct, pre-existing mapped values — the map's
   // structure is never mutated while the pool runs.
   std::map<TaskKey, TaskOutcome> outcomes;
-  for (const MeasurementTask& t : plan.tasks) outcomes[t.key];
+  for (const MeasurementTask& t : tasks) outcomes[t.key];
 
-  const Clock::time_point measure0 = Clock::now();
   std::size_t handles_created = 0;
   std::size_t handles_reused = 0;
   if (workers <= 1) {
-    obs::ScopedSpan phase("measure_phase", "campaign");
     HandlePool handle_pool;
-    for (const MeasurementTask& t : plan.tasks) {
+    for (const MeasurementTask& t : tasks) {
       const TaskOutcome out = execute_task(spec, t, handle_pool, faults, sink);
       outcomes[t.key] = out;
       journal_done(t.key, out);
@@ -280,7 +281,6 @@ CampaignResult execute_plan(const CampaignSpec& spec, const CampaignPlan& plan,
     handles_created = handle_pool.created;
     handles_reused = handle_pool.reused;
   } else {
-    obs::ScopedSpan phase("measure_phase", "campaign");
     std::mutex error_mutex;
     std::exception_ptr first_error;
     // One handle pool per worker: a worker indexes its own pool through
@@ -290,7 +290,7 @@ CampaignResult execute_plan(const CampaignSpec& spec, const CampaignPlan& plan,
     std::vector<HandlePool> handle_pools(workers);
     {
       support::ThreadPool pool(workers);
-      for (const MeasurementTask* t : cost_sorted(plan.tasks)) {
+      for (const MeasurementTask* t : cost_sorted(tasks)) {
         TaskOutcome* slot = &outcomes.find(t->key)->second;
         pool.submit([&spec, t, slot, &handle_pools, &error_mutex, &first_error,
                      faults, &sink, &journal_done, &note_done] {
@@ -317,23 +317,24 @@ CampaignResult execute_plan(const CampaignSpec& spec, const CampaignPlan& plan,
     }
     if (first_error) std::rethrow_exception(first_error);
   }
-  const double measure_s = seconds_since(measure0);
 
-  const Clock::time_point assemble0 = Clock::now();
-  obs::ScopedSpan assemble_span("assemble_phase", "campaign");
-  // nullopt == the task ran and failed; its values become explicit missing
-  // markers.  A key absent from both stores is a plan inconsistency.
-  auto value_of = [&](const TaskKey& key) -> std::optional<double> {
-    const auto it = outcomes.find(key);
-    if (it != outcomes.end()) {
-      if (it->second.ok) return it->second.value;
-      return std::nullopt;
-    }
-    const auto cached = plan.cached.find(key);
-    if (cached != plan.cached.end()) return cached->second;
-    throw std::logic_error("execute_plan: no result for " + to_string(key));
-  };
+  TaskSetResult result;
+  for (const auto& [key, out] : outcomes) {
+    result.outcomes.emplace(
+        key, TaskExecution{out.value, out.attempts, out.measure_s, out.ok});
+  }
+  result.failures = std::move(sink.failures);
+  result.handles_created = handles_created;
+  result.handles_reused = handles_reused;
+  return result;
+}
 
+CampaignResult assemble_campaign(
+    const CampaignSpec& spec, const CampaignPlan& plan,
+    const std::function<std::optional<double>(const TaskKey&)>& value_of) {
+  if (plan.shapes.size() != spec.studies.size()) {
+    throw std::invalid_argument("assemble_campaign: plan does not match spec");
+  }
   CampaignResult result;
   result.studies.reserve(spec.studies.size());
   result.missing.resize(spec.studies.size());
@@ -401,18 +402,62 @@ CampaignResult execute_plan(const CampaignSpec& spec, const CampaignPlan& plan,
     }
     result.studies.push_back(std::move(r));
   }
+  return result;
+}
+
+CampaignResult execute_plan(const CampaignSpec& spec, const CampaignPlan& plan,
+                            std::size_t workers, obs::MetricsRegistry* registry) {
+  const Clock::time_point wall0 = Clock::now();
+  if (plan.shapes.size() != spec.studies.size()) {
+    throw std::invalid_argument("execute_plan: plan does not match spec");
+  }
+  if (workers == 0) {
+    workers = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  workers = std::min(workers, std::max<std::size_t>(1, plan.tasks.size()));
+
+  obs::MetricsRegistry local_registry;
+  obs::MetricsRegistry& reg = registry != nullptr ? *registry : local_registry;
+  std::unique_ptr<TaskJournal> journal;
+  if (!spec.journal_path.empty()) {
+    journal = std::make_unique<TaskJournal>(spec.journal_path);
+  }
+
+  const Clock::time_point measure0 = Clock::now();
+  TaskSetResult run;
+  {
+    obs::ScopedSpan phase("measure_phase", "campaign");
+    run = execute_tasks(spec, plan.tasks, workers, &reg, journal.get());
+  }
+  const double measure_s = seconds_since(measure0);
+
+  const Clock::time_point assemble0 = Clock::now();
+  obs::ScopedSpan assemble_span("assemble_phase", "campaign");
+  // nullopt == the task ran and failed; its values become explicit missing
+  // markers.  A key absent from both stores is a plan inconsistency.
+  auto value_of = [&](const TaskKey& key) -> std::optional<double> {
+    const auto it = run.outcomes.find(key);
+    if (it != run.outcomes.end()) {
+      if (it->second.ok) return it->second.value;
+      return std::nullopt;
+    }
+    const auto cached = plan.cached.find(key);
+    if (cached != plan.cached.end()) return cached->second;
+    throw std::logic_error("execute_plan: no result for " + to_string(key));
+  };
+  CampaignResult result = assemble_campaign(spec, plan, value_of);
   const double assemble_s = seconds_since(assemble0);
   assemble_span.finish();
 
-  result.failures = std::move(sink.failures);
+  result.failures = std::move(run.failures);
   std::sort(result.failures.begin(), result.failures.end(),
             [](const TaskFailure& a, const TaskFailure& b) {
               return a.key < b.key;
             });
 
   // Plan-shaped counters are only known once, here; task progress counters
-  // (executed / retried / failed) already ticked live via note_done() and
-  // the failure sink.  The gauges reuse the exact post-hoc RunningStats
+  // (executed / retried / failed) already ticked live inside
+  // execute_tasks().  The gauges reuse the exact post-hoc RunningStats
   // accounting, so the metrics read back below are bit-identical to the
   // pre-registry struct fill.
   auto count = [&reg](const char* name, std::size_t v) {
@@ -425,10 +470,10 @@ CampaignResult execute_plan(const CampaignSpec& spec, const CampaignPlan& plan,
   count("campaign.tasks_deduplicated", plan.tasks_deduplicated);
   count("campaign.cache_hits", plan.cache_hits);
   count("campaign.journal_hits", plan.journal_hits);
-  count("campaign.handles_created", handles_created);
-  count("campaign.handles_reused", handles_reused);
+  count("campaign.handles_created", run.handles_created);
+  count("campaign.handles_reused", run.handles_reused);
   trace::RunningStats task_times;
-  for (const auto& [k, o] : outcomes) task_times.add(o.measure_s);
+  for (const auto& [k, o] : run.outcomes) task_times.add(o.seconds);
   if (task_times.count() > 0) {
     reg.gauge("campaign.task_min_s").set(task_times.min());
     reg.gauge("campaign.task_max_s").set(task_times.max());
@@ -475,29 +520,32 @@ CampaignResult run_campaign(const CampaignSpec& spec, std::size_t workers,
   reg.gauge("campaign.plan_s").set(result.metrics.plan_s);
   reg.gauge("campaign.wall_s").set(result.metrics.wall_s);
 
-  if (db != nullptr) {
-    for (std::size_t s = 0; s < spec.studies.size(); ++s) {
-      const CampaignStudy& cell = spec.studies[s];
-      for (const coupling::ChainLengthResult& cl : result.studies[s].by_length) {
-        for (const coupling::ChainCoupling& c : cl.chains) {
-          // record() rejects degenerate values; skip them rather than lose
-          // the rest of the campaign's measurements.  NaN missing markers
-          // from failed tasks are skipped the same way.
-          if (!(std::isfinite(c.chain_time) && c.chain_time > 0.0 &&
-                std::isfinite(c.isolated_sum) && c.isolated_sum > 0.0)) {
-            continue;
-          }
-          coupling::CouplingRecord rec;
-          rec.key = coupling::CouplingKey{cell.application, cell.config,
-                                          cell.ranks, c.length, c.start};
-          rec.chain_time = c.chain_time;
-          rec.isolated_sum = c.isolated_sum;
-          db->record(std::move(rec));
+  if (db != nullptr) record_campaign(spec, result, *db);
+  return result;
+}
+
+void record_campaign(const CampaignSpec& spec, const CampaignResult& result,
+                     coupling::CouplingDatabase& db) {
+  for (std::size_t s = 0; s < spec.studies.size(); ++s) {
+    const CampaignStudy& cell = spec.studies[s];
+    for (const coupling::ChainLengthResult& cl : result.studies[s].by_length) {
+      for (const coupling::ChainCoupling& c : cl.chains) {
+        // record() rejects degenerate values; skip them rather than lose
+        // the rest of the campaign's measurements.  NaN missing markers
+        // from failed tasks are skipped the same way.
+        if (!(std::isfinite(c.chain_time) && c.chain_time > 0.0 &&
+              std::isfinite(c.isolated_sum) && c.isolated_sum > 0.0)) {
+          continue;
         }
+        coupling::CouplingRecord rec;
+        rec.key = coupling::CouplingKey{cell.application, cell.config,
+                                        cell.ranks, c.length, c.start};
+        rec.chain_time = c.chain_time;
+        rec.isolated_sum = c.isolated_sum;
+        db.record(std::move(rec));
       }
     }
   }
-  return result;
 }
 
 }  // namespace kcoup::campaign

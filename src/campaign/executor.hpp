@@ -1,10 +1,14 @@
 #pragma once
 
 #include <cstddef>
+#include <functional>
+#include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "campaign/campaign.hpp"
+#include "campaign/journal.hpp"
 #include "campaign/planner.hpp"
 #include "coupling/database.hpp"
 #include "coupling/study.hpp"
@@ -35,6 +39,58 @@ struct CampaignResult {
   /// True iff every task succeeded and every study is fully populated.
   [[nodiscard]] bool complete() const { return failures.empty(); }
 };
+
+/// How one task ended: its measured value (successes), the wall-clock it
+/// consumed, and the attempts it took.
+struct TaskExecution {
+  double value = 0.0;
+  int attempts = 1;
+  double seconds = 0.0;  ///< wall-clock, handle acquisition included
+  bool ok = false;
+};
+
+/// What executing a bare task set produced.  `outcomes` holds every task —
+/// failed ones with `ok == false` — keyed exactly like the plan.
+struct TaskSetResult {
+  std::map<TaskKey, TaskExecution> outcomes;
+  std::vector<TaskFailure> failures;  ///< unsorted (worker completion order)
+  std::size_t handles_created = 0;
+  std::size_t handles_reused = 0;
+};
+
+/// Raw task-set execution: run exactly `tasks` — no planning, no assembly —
+/// with the same worker pool, handle pooling, retry, fault-injection and
+/// failure-isolation semantics as execute_plan().  Task values are
+/// bit-identical to what execute_plan would measure for the same keys: every
+/// task starts from a reset application, so executing a subset (a shard's
+/// partition) changes nothing about any individual measurement.  When
+/// `journal` is non-null every finished task is appended — successes with
+/// their value, exhausted-retry failures as error records — and flushed.
+/// Ticks the live "campaign.tasks_executed/retried/failed" counters and the
+/// "campaign.task_seconds" histogram in `registry` (nullptr = run-local).
+/// Only CampaignAborted escapes, as in execute_plan.
+[[nodiscard]] TaskSetResult execute_tasks(
+    const CampaignSpec& spec, const std::vector<MeasurementTask>& tasks,
+    std::size_t workers = 0, obs::MetricsRegistry* registry = nullptr,
+    TaskJournal* journal = nullptr);
+
+/// Deterministic assembly of per-study results from resolved task values:
+/// the exact accumulation order of the serial measure_chains()/run_study()
+/// path, so wherever `value_of` returns the serial measurement the output
+/// is bit-identical to it.  `value_of` returns nullopt for a failed or
+/// missing task; every value derived from one becomes quiet-NaN and the key
+/// lands in the study's `missing` list.  Fills `studies` and `missing`
+/// only — failures and metrics are the caller's.
+[[nodiscard]] CampaignResult assemble_campaign(
+    const CampaignSpec& spec, const CampaignPlan& plan,
+    const std::function<std::optional<double>(const TaskKey&)>& value_of);
+
+/// Record every finite measured chain of `result` into `db`, in spec-study
+/// order — the single recording path run_campaign() and the shard-merge
+/// coordinator share, so both produce byte-identical stores for identical
+/// results.  NaN missing markers and degenerate values are skipped.
+void record_campaign(const CampaignSpec& spec, const CampaignResult& result,
+                     coupling::CouplingDatabase& db);
 
 /// Execute a plan with `workers` threads (0 = hardware concurrency, 1 =
 /// fully serial, no pool).  By default each worker keeps one application

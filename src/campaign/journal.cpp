@@ -69,6 +69,11 @@ std::string journal_line(const JournalEntry& entry) {
   out += ",\"length\":" + std::to_string(entry.key.length);
   out += ",\"value\":" + support::format_double(entry.value);
   out += ",\"attempts\":" + std::to_string(entry.attempts);
+  if (!entry.error.empty()) {
+    // Only failures carry the field, so success lines are byte-identical to
+    // the pre-failure-record format and old journals parse unchanged.
+    out += ",\"error\":\"" + escape_json(entry.error) + "\"";
+  }
   out += "}";
   return out;
 }
@@ -100,6 +105,7 @@ std::optional<JournalEntry> parse_journal_line(const std::string& line) {
   entry.key.length = static_cast<std::size_t>(*length);
   entry.value = *value;
   entry.attempts = static_cast<int>(*attempts);
+  if (const auto error = string_field(line, "error")) entry.error = *error;
   return entry;
 }
 
@@ -110,10 +116,48 @@ std::map<TaskKey, double> load_journal(std::istream& in) {
     if (!line.empty() && line.back() == '\r') line.pop_back();
     if (line.empty()) continue;
     if (const auto entry = parse_journal_line(line)) {
-      completed[entry->key] = entry->value;
+      if (entry->ok()) completed[entry->key] = entry->value;
     }
   }
   return completed;
+}
+
+JournalLoad load_journal_entries(std::istream& in) {
+  JournalLoad load;
+  bool last_parsed = true;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    ++load.lines;
+    const auto entry = parse_journal_line(line);
+    if (!entry.has_value()) {
+      // Provisionally the torn tail; reclassified as mid-stream garbage if
+      // any later line follows it.
+      if (!last_parsed) ++load.malformed;
+      last_parsed = false;
+      continue;
+    }
+    if (!last_parsed) {
+      ++load.malformed;  // the earlier bad line was not the tail after all
+      last_parsed = true;
+    }
+    if (entry->ok()) {
+      load.completed.insert_or_assign(entry->key, *entry);
+    } else {
+      load.failed.insert_or_assign(entry->key, *entry);
+    }
+  }
+  load.torn_tail = !last_parsed;
+  return load;
+}
+
+JournalLoad load_journal_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return JournalLoad{};
+  JournalLoad load = load_journal_entries(in);
+  load.exists = true;
+  return load;
 }
 
 TaskJournal::TaskJournal(const std::string& path)

@@ -11,11 +11,17 @@
 
 namespace kcoup::campaign {
 
-/// One completed measurement as persisted to the campaign journal.
+/// One finished task as persisted to the campaign journal.  A success
+/// carries the measured value; a failure (retry budget exhausted) carries
+/// the final error message instead, so a merge coordinator can account for
+/// holes without re-running the shard.
 struct JournalEntry {
   TaskKey key;
   double value = 0.0;
   int attempts = 1;
+  std::string error;  ///< empty == success; otherwise the failure message
+
+  [[nodiscard]] bool ok() const { return error.empty(); }
 };
 
 /// One self-contained JSON object (no trailing newline).  Doubles are
@@ -31,8 +37,32 @@ struct JournalEntry {
 /// Reads a whole journal stream into completed (key -> value) pairs.
 /// Malformed lines are skipped, not fatal: a killed campaign can only
 /// corrupt the tail of the file, and losing that one entry just means one
-/// task is re-measured on resume.  Duplicate keys keep the last value.
+/// task is re-measured on resume.  Failure records are skipped too — a
+/// resumed campaign retries failed tasks, exactly as if they had never been
+/// journaled.  Duplicate keys keep the last value.
 [[nodiscard]] std::map<TaskKey, double> load_journal(std::istream& in);
+
+/// Everything a journal stream holds, with the bookkeeping a merge
+/// coordinator reports: per-key success and failure records, plus how many
+/// lines could not be parsed.  A torn final record — the partial line a
+/// killed shard leaves behind — is expected, counted separately from
+/// mid-stream garbage, and never fatal.
+struct JournalLoad {
+  std::map<TaskKey, JournalEntry> completed;  ///< last success per key
+  std::map<TaskKey, JournalEntry> failed;     ///< last failure per key
+  std::size_t lines = 0;      ///< non-empty lines seen
+  std::size_t malformed = 0;  ///< unparseable lines before the final one
+  bool torn_tail = false;     ///< the final line failed to parse
+  bool exists = false;        ///< load_journal_file: the file was readable
+};
+
+/// Reads every record with full accounting (see JournalLoad).
+[[nodiscard]] JournalLoad load_journal_entries(std::istream& in);
+
+/// load_journal_entries over a file; a missing/unreadable file is an empty
+/// load with `exists == false`, not an error (the shard may not have
+/// started yet).
+[[nodiscard]] JournalLoad load_journal_file(const std::string& path);
 
 /// Append-only, crash-safe task journal: each completed task is written as
 /// one JSONL line and flushed before the executor moves on, so a killed

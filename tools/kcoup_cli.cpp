@@ -29,7 +29,9 @@
 #include <thread>
 #include <vector>
 
+#include "campaign/coordinator.hpp"
 #include "campaign/executor.hpp"
+#include "campaign/shard.hpp"
 #include "coupling/database.hpp"
 #include "coupling/study.hpp"
 #include "machine/config.hpp"
@@ -57,11 +59,18 @@ class Args {
  public:
   /// `bool_flags` names valueless flags (e.g. --serial): present means true,
   /// no value is consumed.  Every other --flag still requires a value.
-  Args(int argc, char** argv, std::set<std::string> bool_flags = {})
+  /// `allow_positional` lets bare arguments through (e.g. `kcoup merge DIR`);
+  /// commands without positionals keep rejecting them.
+  Args(int argc, char** argv, std::set<std::string> bool_flags = {},
+       bool allow_positional = false)
       : bool_flags_(std::move(bool_flags)) {
     for (int i = 2; i < argc; ++i) {
       std::string key = argv[i];
       if (key.rfind("--", 0) != 0) {
+        if (allow_positional) {
+          positionals_.push_back(key);
+          continue;
+        }
         throw std::runtime_error("expected --flag, got '" + key + "'");
       }
       key = key.substr(2);
@@ -104,6 +113,10 @@ class Args {
     return true;
   }
 
+  [[nodiscard]] const std::vector<std::string>& positionals() const {
+    return positionals_;
+  }
+
   void check_all_used() const {
     for (const auto& [k, v] : values_) {
       if (!used_.count(k)) {
@@ -115,25 +128,9 @@ class Args {
  private:
   std::set<std::string> bool_flags_;
   std::map<std::string, std::string> values_;
+  std::vector<std::string> positionals_;
   mutable std::set<std::string> used_;
 };
-
-std::vector<int> parse_int_list(const std::string& s) {
-  std::vector<int> out;
-  std::istringstream ss(s);
-  std::string item;
-  while (std::getline(ss, item, ',')) {
-    if (!item.empty()) out.push_back(std::stoi(item));
-  }
-  if (out.empty()) throw std::runtime_error("empty list: '" + s + "'");
-  return out;
-}
-
-std::vector<std::size_t> parse_size_list(const std::string& s) {
-  std::vector<std::size_t> out;
-  for (int v : parse_int_list(s)) out.push_back(static_cast<std::size_t>(v));
-  return out;
-}
 
 int parse_int_arg(const std::string& flag, const std::string& v) {
   try {
@@ -144,6 +141,45 @@ int parse_int_arg(const std::string& flag, const std::string& v) {
   } catch (const std::exception&) {
     throw std::runtime_error("bad integer for --" + flag + ": '" + v + "'");
   }
+}
+
+int require_min(const std::string& flag, int n, int min) {
+  if (n < min) {
+    throw std::runtime_error("--" + flag + " must be >= " +
+                             std::to_string(min) + ", got " +
+                             std::to_string(n));
+  }
+  return n;
+}
+
+/// Strict comma-separated integer list: every item must parse completely
+/// (no silent atoi truncation) and be >= `min_value`, and errors name the
+/// flag the list came from.
+std::vector<int> parse_int_list(const std::string& flag, const std::string& s,
+                                int min_value = 1) {
+  std::vector<int> out;
+  std::istringstream ss(s);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) {
+      out.push_back(require_min(flag, parse_int_arg(flag, item), min_value));
+    }
+  }
+  if (out.empty()) {
+    throw std::runtime_error("empty list for --" + flag + ": '" + s + "'");
+  }
+  return out;
+}
+
+/// As parse_int_list but for size lists (chain lengths): negative values are
+/// rejected here instead of wrapping to huge unsigned values.
+std::vector<std::size_t> parse_size_list(const std::string& flag,
+                                         const std::string& s) {
+  std::vector<std::size_t> out;
+  for (int v : parse_int_list(flag, s, 0)) {
+    out.push_back(static_cast<std::size_t>(v));
+  }
+  return out;
 }
 
 double parse_double_arg(const std::string& flag, const std::string& v) {
@@ -243,9 +279,10 @@ class TraceGuard {
 int cmd_study(const Args& args) {
   const std::string app_name = args.get("app");
   const npb::ProblemClass cls = parse_class(args.get("class"));
-  const std::vector<int> procs = parse_int_list(args.get("procs", "4,9,16"));
+  const std::vector<int> procs =
+      parse_int_list("procs", args.get("procs", "4,9,16"));
   const std::vector<std::size_t> chains =
-      parse_size_list(args.get("chains", "2"));
+      parse_size_list("chains", args.get("chains", "2"));
   const machine::MachineConfig cfg = parse_machine(args.get("machine", "ibm-sp"));
   const auto csv = args.maybe("csv");
   args.check_all_used();
@@ -320,9 +357,10 @@ int cmd_study(const Args& args) {
 
 int cmd_transitions(const Args& args) {
   const std::string app_name = args.get("app", "bt");
-  const int procs = std::stoi(args.get("procs", "4"));
+  const int procs =
+      require_min("procs", parse_int_arg("procs", args.get("procs", "4")), 1);
   const std::vector<int> sizes =
-      parse_int_list(args.get("sizes", "8,12,16,24,32,48,64,96,128"));
+      parse_int_list("sizes", args.get("sizes", "8,12,16,24,32,48,64,96,128"));
   const machine::MachineConfig cfg = parse_machine(args.get("machine", "ibm-sp"));
   const auto csv = args.maybe("csv");
   args.check_all_used();
@@ -350,9 +388,13 @@ int cmd_transitions(const Args& args) {
 int cmd_reuse(const Args& args) {
   const std::string app_name = args.get("app", "bt");
   const npb::ProblemClass cls = parse_class(args.get("class"));
-  const int donor = std::stoi(args.get("donor"));
-  const std::vector<int> targets = parse_int_list(args.get("targets"));
-  const std::size_t q = static_cast<std::size_t>(std::stoi(args.get("chains", "3")));
+  const int donor =
+      require_min("donor", parse_int_arg("donor", args.get("donor")), 1);
+  const std::vector<int> targets =
+      parse_int_list("targets", args.get("targets"));
+  const std::size_t q = static_cast<std::size_t>(
+      require_min("chains", parse_int_arg("chains", args.get("chains", "3")),
+                  1));
   const machine::MachineConfig cfg = parse_machine(args.get("machine", "ibm-sp"));
   args.check_all_used();
 
@@ -397,11 +439,13 @@ int cmd_reuse(const Args& args) {
 
 int cmd_parallel(const Args& args) {
   const std::string app_name = args.get("app");
-  const int n = std::stoi(args.get("n"));
-  const int iters = std::stoi(args.get("iters", "50"));
-  const int procs = std::stoi(args.get("procs", "4"));
+  const int n = require_min("n", parse_int_arg("n", args.get("n")), 1);
+  const int iters =
+      require_min("iters", parse_int_arg("iters", args.get("iters", "50")), 1);
+  const int procs =
+      require_min("procs", parse_int_arg("procs", args.get("procs", "4")), 1);
   const std::vector<std::size_t> chains =
-      parse_size_list(args.get("chains", "2"));
+      parse_size_list("chains", args.get("chains", "2"));
   const machine::MachineConfig cfg = parse_machine(args.get("machine", "ibm-sp"));
   args.check_all_used();
 
@@ -439,6 +483,104 @@ int cmd_parallel(const Args& args) {
   return 0;
 }
 
+// Resolve a text sweep into an executable spec: machine preset looked up,
+// one study cell with a modeled-app factory per valid (app, class, procs)
+// triple, invalid rank counts skipped (reported unless quiet).  Shared by
+// `campaign` (serial, concurrent and shard mode) and `merge`, which is what
+// guarantees a merge plans the exact task set the shards partitioned.
+campaign::CampaignSpec build_campaign_spec(
+    const campaign::CampaignTextSpec& text, const campaign::FaultPlan& faults,
+    bool quiet) {
+  const machine::MachineConfig cfg = parse_machine(text.machine);
+  campaign::CampaignSpec spec;
+  spec.chain_lengths = text.chain_lengths;
+  spec.measurement = text.measurement;
+  spec.retry = text.retry;
+  spec.pool_handles = text.pool_handles;
+  spec.faults = faults;
+  for (const std::string& app_name : text.applications) {
+    const npb::Benchmark bench = parse_benchmark(app_name);
+    for (const std::string& cls_name : text.configs) {
+      const npb::ProblemClass cls = parse_class(cls_name);
+      for (int p : text.ranks) {
+        if (!npb::valid_rank_count(bench, p)) {
+          if (!quiet) {
+            std::printf("skipping %s class %s P=%d (invalid rank count)\n",
+                        npb::to_string(bench).c_str(),
+                        npb::to_string(cls).c_str(), p);
+          }
+          continue;
+        }
+        campaign::CampaignStudy cell;
+        cell.application = npb::to_string(bench);
+        cell.config = npb::to_string(cls);
+        cell.ranks = p;
+        const std::string lower = app_name;
+        cell.factory = [lower, cls, p, cfg] {
+          return campaign::own_app(make_app(lower, cls, p, cfg));
+        };
+        spec.studies.push_back(std::move(cell));
+      }
+    }
+  }
+  if (spec.studies.empty()) {
+    throw std::runtime_error("campaign: no valid (app, class, procs) cells");
+  }
+  return spec;
+}
+
+/// Persist the sweep definition into the shard journal directory so
+/// `kcoup merge DIR` can re-plan it without the original command line.
+/// Every shard writes the same bytes; a shard launched with a *different*
+/// sweep is an error (its partition would not tile the same plan).  The
+/// temp name embeds the shard id because write_file_atomic's fixed ".tmp"
+/// suffix would let concurrent shard launches tear each other's writes.
+void persist_campaign_spec(const std::string& dir,
+                           const campaign::CampaignTextSpec& text,
+                           std::size_t shard_id) {
+  const std::string path = dir + "/campaign.spec";
+  const std::string content = campaign::to_text(text);
+  {
+    std::ifstream in(path, std::ios::binary);
+    if (in) {
+      std::ostringstream existing;
+      existing << in.rdbuf();
+      if (existing.str() != content) {
+        throw std::runtime_error(
+            "campaign spec mismatch: " + path +
+            " was written for a different sweep; every shard of a campaign "
+            "must be launched with identical spec flags");
+      }
+      return;
+    }
+  }
+  const std::string tmp = path + ".tmp." + std::to_string(shard_id);
+  {
+    std::ofstream out(tmp, std::ios::trunc | std::ios::binary);
+    if (!out) throw std::runtime_error("cannot write " + tmp);
+    out << content;
+    out.flush();
+    if (!out) {
+      std::remove(tmp.c_str());
+      throw std::runtime_error("write to " + tmp + " failed");
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw std::runtime_error("rename to " + path + " failed");
+  }
+}
+
+void print_failure_table(const std::vector<campaign::TaskFailure>& failures) {
+  report::Table t("Task failures (" + std::to_string(failures.size()) + ")");
+  t.set_header({"task", "attempts", "error"});
+  for (const campaign::TaskFailure& f : failures) {
+    t.add_row({campaign::to_string(f.key), std::to_string(f.attempts),
+               f.what});
+  }
+  std::fprintf(stderr, "%s\n", t.to_string().c_str());
+}
+
 // A whole sweep — apps x classes x processor counts x chain lengths — run
 // through the deduplicating planner and the concurrent executor.
 int cmd_campaign(const Args& args) {
@@ -450,20 +592,12 @@ int cmd_campaign(const Args& args) {
   } else {
     text.applications = parse_string_list(args.get("apps"));
     text.configs = parse_string_list(args.get("classes"));
-    text.ranks = parse_int_list(args.get("procs"));
+    text.ranks = parse_int_list("procs", args.get("procs"));
   }
   // Flags override spec-file values.
   if (const auto v = args.maybe("chains")) {
-    text.chain_lengths = parse_size_list(*v);
+    text.chain_lengths = parse_size_list("chains", *v);
   }
-  const auto require_min = [](const std::string& flag, int n, int min) {
-    if (n < min) {
-      throw std::runtime_error("--" + flag + " must be >= " +
-                               std::to_string(min) + ", got " +
-                               std::to_string(n));
-    }
-    return n;
-  };
   if (const auto v = args.maybe("reps")) {
     text.measurement.repetitions =
         require_min("reps", parse_int_arg("reps", *v), 1);
@@ -477,8 +611,11 @@ int cmd_campaign(const Args& args) {
         require_min("epilogue-reps", parse_int_arg("epilogue-reps", *v), 1);
   }
   if (const auto v = args.maybe("workers")) {
+    // 0 workers used to silently mean "hardware concurrency"; an explicit
+    // --workers 0 (or a negative count) is now rejected — omitting the flag
+    // is how you ask for the default.
     text.workers = static_cast<std::size_t>(
-        require_min("workers", parse_int_arg("workers", *v), 0));
+        require_min("workers", parse_int_arg("workers", *v), 1));
   }
   if (const auto v = args.maybe("machine")) text.machine = *v;
   if (const auto v = args.maybe("retry-rsd")) {
@@ -496,6 +633,11 @@ int cmd_campaign(const Args& args) {
   const auto metrics_jsonl = args.maybe("metrics-jsonl");
   const auto journal_path = args.maybe("journal");
   const auto trace_out = args.maybe("trace-out");
+  const auto shards_arg = args.maybe("shards");
+  const auto shard_id_arg = args.maybe("shard-id");
+  const auto journal_dir = args.maybe("journal-dir");
+  const bool steal = args.flag("steal");
+  const auto steal_after_arg = args.maybe("steal-after-s");
   campaign::FaultPlan faults;
   if (const auto v = args.maybe("fault-seed")) {
     try {
@@ -525,41 +667,94 @@ int cmd_campaign(const Args& args) {
   }
   args.check_all_used();
 
-  const machine::MachineConfig cfg = parse_machine(text.machine);
-  campaign::CampaignSpec spec;
-  spec.chain_lengths = text.chain_lengths;
-  spec.measurement = text.measurement;
-  spec.retry = text.retry;
-  spec.pool_handles = text.pool_handles;
-  spec.faults = faults;
-  if (journal_path) spec.journal_path = *journal_path;
-  for (const std::string& app_name : text.applications) {
-    const npb::Benchmark bench = parse_benchmark(app_name);
-    for (const std::string& cls_name : text.configs) {
-      const npb::ProblemClass cls = parse_class(cls_name);
-      for (int p : text.ranks) {
-        if (!npb::valid_rank_count(bench, p)) {
-          if (!quiet) {
-            std::printf("skipping %s class %s P=%d (invalid rank count)\n",
-                        npb::to_string(bench).c_str(),
-                        npb::to_string(cls).c_str(), p);
-          }
-          continue;
-        }
-        campaign::CampaignStudy cell;
-        cell.application = npb::to_string(bench);
-        cell.config = npb::to_string(cls);
-        cell.ranks = p;
-        const std::string lower = app_name;
-        cell.factory = [lower, cls, p, cfg] {
-          return campaign::own_app(make_app(lower, cls, p, cfg));
-        };
-        spec.studies.push_back(std::move(cell));
+  // Shard mode: this process is one of N cooperating `kcoup campaign`
+  // invocations over the same sweep.  It executes only its hash partition,
+  // journals into the shared directory, and `kcoup merge` joins the results
+  // — so the per-process flags that assume a whole-campaign view are
+  // rejected here rather than silently half-working.
+  campaign::ShardOptions shard_options;
+  const bool shard_mode = shards_arg.has_value() || shard_id_arg.has_value() ||
+                          journal_dir.has_value() || steal ||
+                          steal_after_arg.has_value();
+  if (shard_mode) {
+    if (!shards_arg || !shard_id_arg || !journal_dir) {
+      throw std::runtime_error(
+          "shard mode needs all of --shards, --shard-id and --journal-dir");
+    }
+    if (journal_dir->empty()) {
+      throw std::runtime_error("--journal-dir must not be empty");
+    }
+    shard_options.shards = static_cast<std::size_t>(
+        require_min("shards", parse_int_arg("shards", *shards_arg), 1));
+    const int shard_id = parse_int_arg("shard-id", *shard_id_arg);
+    if (shard_id < 0 ||
+        static_cast<std::size_t>(shard_id) >= shard_options.shards) {
+      throw std::runtime_error(
+          "--shard-id must be in [0, " + std::to_string(shard_options.shards) +
+          "), got " + *shard_id_arg);
+    }
+    shard_options.shard_id = static_cast<std::size_t>(shard_id);
+    shard_options.journal_dir = *journal_dir;
+    shard_options.steal = steal;
+    if (steal_after_arg) {
+      const double s = parse_double_arg("steal-after-s", *steal_after_arg);
+      if (s < 0.0) {
+        throw std::runtime_error("--steal-after-s must be >= 0, got " +
+                                 *steal_after_arg);
       }
+      shard_options.steal_after_s = s;
+    }
+    if (db_path) {
+      throw std::runtime_error(
+          "--db cannot be combined with --shards; `kcoup merge --out` "
+          "records the database once all shards are joined");
+    }
+    if (journal_path) {
+      throw std::runtime_error(
+          "--journal cannot be combined with --shards; each shard journals "
+          "to --journal-dir/shard-NNN.jsonl automatically");
     }
   }
-  if (spec.studies.empty()) {
-    throw std::runtime_error("campaign: no valid (app, class, procs) cells");
+
+  campaign::CampaignSpec spec = build_campaign_spec(text, faults, quiet);
+  if (journal_path) spec.journal_path = *journal_path;
+
+  if (shard_mode) {
+    std::filesystem::create_directories(shard_options.journal_dir);
+    persist_campaign_spec(shard_options.journal_dir, text,
+                          shard_options.shard_id);
+    const std::size_t shard_workers = serial ? 1 : text.workers;
+    const TraceGuard trace_guard(trace_out);
+    const campaign::ShardResult r =
+        campaign::run_shard(spec, shard_options, shard_workers);
+    if (!quiet) {
+      report::Table t("Shard " + std::to_string(r.shard_id) + " of " +
+                      std::to_string(r.shards));
+      t.set_header({"metric", "value"});
+      t.add_row({"tasks assigned", std::to_string(r.tasks_assigned)});
+      t.add_row({"tasks resumed", std::to_string(r.tasks_resumed)});
+      t.add_row({"tasks executed", std::to_string(r.tasks_executed)});
+      t.add_row({"tasks stolen", std::to_string(r.tasks_stolen)});
+      t.add_row({"steal scans", std::to_string(r.steal_scans)});
+      std::printf("%s\n", t.to_string().c_str());
+    }
+    if (metrics_csv) {
+      support::write_file_atomic(*metrics_csv, r.metrics.to_csv());
+      if (!quiet) std::printf("wrote %s\n", metrics_csv->c_str());
+    }
+    if (metrics_jsonl) {
+      support::append_file_atomic(*metrics_jsonl, r.metrics.to_jsonl());
+      if (!quiet) std::printf("appended %s\n", metrics_jsonl->c_str());
+    }
+    if (!r.complete()) {
+      print_failure_table(r.failures);
+      std::fprintf(stderr,
+                   "shard %zu incomplete: %zu tasks failed; `kcoup merge` "
+                   "reports the campaign-wide failure table\n",
+                   r.shard_id, r.failures.size());
+      return 3;
+    }
+    return 0;
   }
 
   coupling::CouplingDatabase db;
@@ -618,18 +813,150 @@ int cmd_campaign(const Args& args) {
   }
 
   if (!result.complete()) {
-    report::Table t("Task failures (" +
-                    std::to_string(result.failures.size()) + ")");
-    t.set_header({"task", "attempts", "error"});
-    for (const campaign::TaskFailure& f : result.failures) {
-      t.add_row({campaign::to_string(f.key), std::to_string(f.attempts),
-                 f.what});
-    }
-    std::fprintf(stderr, "%s\n", t.to_string().c_str());
+    print_failure_table(result.failures);
     std::fprintf(stderr,
                  "campaign incomplete: %zu of %zu tasks failed; affected "
                  "values are reported as nan\n",
                  result.failures.size(), result.metrics.tasks_executed);
+    return 3;
+  }
+  return 0;
+}
+
+// Join the journals of an N-shard campaign back into one result (and
+// optionally one coupling database).  The spec comes from the directory's
+// campaign.spec (written by the shards) or --spec; re-planning it here is
+// what lets the merge know the complete task set, so it can tell "failed"
+// (journaled failure record) from "missing" (no record anywhere).
+int cmd_merge(const Args& args) {
+  std::string dir;
+  if (!args.positionals().empty()) {
+    if (args.positionals().size() > 1) {
+      throw std::runtime_error("merge takes one journal directory, got " +
+                               std::to_string(args.positionals().size()));
+    }
+    dir = args.positionals().front();
+  }
+  if (const auto v = args.maybe("journal-dir")) dir = *v;
+  if (dir.empty()) {
+    throw std::runtime_error(
+        "merge: journal directory required (kcoup merge DIR)");
+  }
+  campaign::MergeOptions options;
+  options.journal_dir = dir;
+  if (const auto v = args.maybe("shards")) {
+    options.shards = static_cast<std::size_t>(
+        require_min("shards", parse_int_arg("shards", *v), 1));
+  }
+  options.steal = args.flag("steal");
+  if (const auto v = args.maybe("workers")) {
+    options.workers = static_cast<std::size_t>(
+        require_min("workers", parse_int_arg("workers", *v), 1));
+  }
+  const bool quiet = args.flag("quiet");
+  const auto out_path = args.maybe("out");
+  const auto spec_path = args.maybe("spec");
+  const auto metrics_csv = args.maybe("metrics-csv");
+  const auto metrics_jsonl = args.maybe("metrics-jsonl");
+  const auto trace_out = args.maybe("trace-out");
+  args.check_all_used();
+
+  const std::string spec_file = spec_path ? *spec_path : dir + "/campaign.spec";
+  std::ifstream in(spec_file);
+  if (!in) {
+    throw std::runtime_error("cannot read campaign spec " + spec_file +
+                             " (shards write it into the journal directory; "
+                             "or pass --spec)");
+  }
+  const campaign::CampaignTextSpec text = campaign::parse_campaign_text(in);
+  const campaign::CampaignSpec spec =
+      build_campaign_spec(text, campaign::FaultPlan{}, quiet);
+
+  const TraceGuard trace_guard(trace_out);
+  const campaign::MergeResult merged = campaign::merge_shards(spec, options);
+
+  if (!quiet) {
+    report::Table t("Shard journals (" + dir + ")");
+    t.set_header({"shard", "journal", "completed", "failed", "malformed",
+                  "torn tail", "owned", "stolen"});
+    for (const campaign::ShardJournalStats& s : merged.shard_stats) {
+      t.add_row({std::to_string(s.shard), s.exists ? "yes" : "missing",
+                 std::to_string(s.completed), std::to_string(s.failed),
+                 std::to_string(s.malformed), s.torn_tail ? "yes" : "no",
+                 std::to_string(s.owned_completed),
+                 std::to_string(s.stolen_completed)});
+    }
+    std::printf("%s\n", t.to_string().c_str());
+    std::printf(
+        "merge: %zu shards, %zu of %zu planned tasks from journals, "
+        "%zu stolen by coordinator, %zu duplicate records, %zu torn tails\n\n",
+        merged.shards, merged.tasks_merged, merged.tasks_planned,
+        merged.tasks_stolen, merged.duplicates, merged.torn_tails);
+
+    report::Table p("Merged campaign predictions");
+    std::vector<std::string> header{"app", "class", "P", "actual",
+                                    "summation"};
+    for (std::size_t q : spec.chain_lengths) {
+      header.push_back("coupling q=" + std::to_string(q));
+    }
+    p.set_header(std::move(header));
+    for (std::size_t s = 0; s < spec.studies.size(); ++s) {
+      const campaign::CampaignStudy& cell = spec.studies[s];
+      const coupling::StudyResult& r = merged.result.studies[s];
+      std::vector<std::string> row{cell.application, cell.config,
+                                   std::to_string(cell.ranks),
+                                   report::format_seconds(r.actual_s),
+                                   report::format_prediction(
+                                       r.summation_s, r.summation_error)};
+      for (const auto& cl : r.by_length) {
+        row.push_back(
+            report::format_prediction(cl.prediction_s, cl.relative_error));
+      }
+      p.add_row(std::move(row));
+    }
+    std::printf("%s\n", p.to_string().c_str());
+  }
+
+  if (out_path) {
+    coupling::CouplingDatabase db;
+    campaign::record_campaign(spec, merged.result, db);
+    db.save_csv_file(*out_path);
+    if (!quiet) {
+      std::printf("coupling database: %zu records -> %s\n", db.size(),
+                  out_path->c_str());
+    }
+  }
+  if (metrics_csv) {
+    support::write_file_atomic(*metrics_csv, merged.result.metrics.to_csv());
+    if (!quiet) std::printf("wrote %s\n", metrics_csv->c_str());
+  }
+  if (metrics_jsonl) {
+    support::append_file_atomic(*metrics_jsonl,
+                                merged.result.metrics.to_jsonl());
+    if (!quiet) std::printf("appended %s\n", metrics_jsonl->c_str());
+  }
+
+  if (!merged.missing.empty()) {
+    report::Table t("Unrecorded tasks (" +
+                    std::to_string(merged.missing.size()) + ")");
+    t.set_header({"task"});
+    for (const campaign::TaskKey& k : merged.missing) {
+      t.add_row({campaign::to_string(k)});
+    }
+    std::fprintf(stderr, "%s\n", t.to_string().c_str());
+    std::fprintf(stderr,
+                 "merge incomplete: %zu of %zu planned tasks have no journal "
+                 "record (dead shard?); re-run the shard, or re-merge with "
+                 "--steal to execute them here\n",
+                 merged.missing.size(), merged.tasks_planned);
+    return 5;
+  }
+  if (!merged.result.failures.empty()) {
+    print_failure_table(merged.result.failures);
+    std::fprintf(stderr,
+                 "merge completed with %zu failed tasks; affected values are "
+                 "reported as nan\n",
+                 merged.result.failures.size());
     return 3;
   }
   return 0;
@@ -753,9 +1080,10 @@ int cmd_query(const Args& args) {
 
   const std::string app_name = args.get("app");
   const std::string cls = args.get("class");
-  const std::vector<int> procs = parse_int_list(args.get("procs", "4"));
+  const std::vector<int> procs =
+      parse_int_list("procs", args.get("procs", "4"));
   const std::vector<std::size_t> chains =
-      parse_size_list(args.get("chains", "2"));
+      parse_size_list("chains", args.get("chains", "2"));
   args.check_all_used();
 
   std::vector<serve::QueryKey> queries;
@@ -929,11 +1257,17 @@ void usage() {
       "                    [--retry-rsd F] [--retry-max N] [--db store.csv]\n"
       "                    [--metrics-csv path] [--metrics-jsonl path]\n"
       "                    [--journal path.jsonl]\n"
+      "                    [--shards N --shard-id K --journal-dir DIR\n"
+      "                     [--steal] [--steal-after-s S]]\n"
       "                    [--fault-seed N] [--fault-construct-rate F]\n"
       "                    [--fault-measure-rate F] [--fault-noise-rate F]\n"
       "                    [--fault-abort-after N]\n"
       "                    [--trace-out trace.json]\n"
       "                    [--machine ibm-sp|generic-smp]\n"
+      "  kcoup merge       DIR [--shards N] [--out store.csv] [--spec file]\n"
+      "                    [--steal] [--workers N] [--quiet]\n"
+      "                    [--metrics-csv path] [--metrics-jsonl path]\n"
+      "                    [--trace-out trace.json]\n"
       "  kcoup serve       --db store.csv [--port P] [--workers N]\n"
       "                    [--max-inflight N] [--poll-ms MS]\n"
       "                    [--cache-capacity N] [--no-models] [--quiet]\n"
@@ -948,9 +1282,10 @@ void usage() {
       "  kcoup machines\n"
       "  kcoup --version\n\n"
       "exit codes: 0 success; 1 runtime error (also: any served query\n"
-      "failed); 2 usage error; 3 campaign completed with task failures\n"
-      "(partial results; failed values reported as nan); 4 serve could not\n"
-      "bind its listening socket.\n");
+      "failed); 2 usage error; 3 campaign or merge completed with task\n"
+      "failures (partial results; failed values reported as nan); 4 serve\n"
+      "could not bind its listening socket; 5 merge incomplete (planned\n"
+      "tasks with no journal record anywhere).\n");
 }
 
 }  // namespace
@@ -971,16 +1306,18 @@ int main(int argc, char** argv) {
   }
   try {
     std::set<std::string> bool_flags;
-    if (cmd == "campaign") bool_flags = {"serial", "quiet", "no-pool"};
+    if (cmd == "campaign") bool_flags = {"serial", "quiet", "no-pool", "steal"};
+    if (cmd == "merge") bool_flags = {"steal", "quiet"};
     if (cmd == "serve") bool_flags = {"no-models", "quiet"};
     if (cmd == "query") bool_flags = {"stats", "raw"};
     if (cmd == "stats") bool_flags = {"raw"};
-    const Args args(argc, argv, std::move(bool_flags));
+    const Args args(argc, argv, std::move(bool_flags), cmd == "merge");
     if (cmd == "study") return cmd_study(args);
     if (cmd == "transitions") return cmd_transitions(args);
     if (cmd == "reuse") return cmd_reuse(args);
     if (cmd == "parallel") return cmd_parallel(args);
     if (cmd == "campaign") return cmd_campaign(args);
+    if (cmd == "merge") return cmd_merge(args);
     if (cmd == "serve") return cmd_serve(args);
     if (cmd == "query") return cmd_query(args);
     if (cmd == "stats") return cmd_stats(args);
