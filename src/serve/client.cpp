@@ -10,6 +10,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "serve/framing.hpp"
 #include "serve/protocol.hpp"
 
 namespace kcoup::serve {
@@ -90,8 +91,11 @@ std::optional<std::string> Client::read_frame() {
       if (digits == 0) return std::nullopt;
       break;
     }
-    if (c < '0' || c > '9' || digits >= 20) return std::nullopt;
-    length = length * 10 + static_cast<std::size_t>(c - '0');
+    // Same hardened rule as the server's decoder: a length whose decimal
+    // value would wrap std::size_t is malformed, never silently small.
+    if (digits >= 20 || !accumulate_length_digit(&length, c)) {
+      return std::nullopt;
+    }
     ++digits;
   }
   std::string payload(length, '\0');
@@ -115,6 +119,11 @@ std::optional<std::string> Client::roundtrip_raw(const std::string& bytes) {
   if (fd_ < 0) return std::nullopt;
   if (!send_all(fd_, bytes)) return std::nullopt;
   return read_frame();
+}
+
+bool Client::send_request(const std::string& payload) {
+  if (fd_ < 0) return false;
+  return send_all(fd_, encode_frame(payload));
 }
 
 bool Client::ping() {

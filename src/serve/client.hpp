@@ -36,6 +36,15 @@ class Client {
   [[nodiscard]] std::optional<std::string> roundtrip_raw(
       const std::string& bytes);
 
+  /// Pipelining primitives: send one framed request without waiting for
+  /// its response, and read one framed response without sending anything.
+  /// The server answers strictly in request order, so K send_request()
+  /// calls followed by K read_response() calls pair up positionally.
+  [[nodiscard]] bool send_request(const std::string& payload);
+  [[nodiscard]] std::optional<std::string> read_response() {
+    return read_frame();
+  }
+
   [[nodiscard]] bool ping();
   [[nodiscard]] std::optional<Prediction> predict(const QueryKey& query);
   [[nodiscard]] std::optional<std::vector<Prediction>> predict_batch(

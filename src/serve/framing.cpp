@@ -1,0 +1,61 @@
+#include "serve/framing.hpp"
+
+#include <sys/socket.h>
+
+#include <cerrno>
+#include <limits>
+
+namespace kcoup::serve {
+
+namespace {
+
+constexpr std::size_t kMaxLengthDigits = 20;
+
+}  // namespace
+
+bool accumulate_length_digit(std::size_t* length, char c) {
+  if (c < '0' || c > '9') return false;
+  const auto digit = static_cast<std::size_t>(c - '0');
+  constexpr std::size_t kMax = std::numeric_limits<std::size_t>::max();
+  if (*length > (kMax - digit) / 10) return false;  // would wrap
+  *length = *length * 10 + digit;
+  return true;
+}
+
+FrameDecodeStatus decode_frame(const std::string& buf, std::size_t* pos,
+                               std::size_t max_payload, std::string* payload) {
+  std::size_t i = *pos;
+  std::size_t length = 0;
+  std::size_t digits = 0;
+  for (;; ++i) {
+    if (i >= buf.size()) return FrameDecodeStatus::kNeedMore;
+    const char c = buf[i];
+    if (c == '\n') {
+      if (digits == 0) return FrameDecodeStatus::kMalformed;
+      break;
+    }
+    if (digits >= kMaxLengthDigits || !accumulate_length_digit(&length, c)) {
+      return FrameDecodeStatus::kMalformed;
+    }
+    ++digits;
+  }
+  if (length > max_payload) return FrameDecodeStatus::kOversized;
+  const std::size_t body = i + 1;
+  if (buf.size() - body < length) return FrameDecodeStatus::kNeedMore;
+  payload->assign(buf, body, length);
+  *pos = body + length;
+  return FrameDecodeStatus::kFrame;
+}
+
+std::string encode_frame(const std::string& payload) {
+  return std::to_string(payload.size()) + "\n" + payload;
+}
+
+bool send_frame_best_effort(int fd, const std::string& payload) {
+  const std::string frame = encode_frame(payload);
+  const ssize_t n = ::send(fd, frame.data(), frame.size(),
+                           MSG_NOSIGNAL | MSG_DONTWAIT);
+  return n >= 0 && static_cast<std::size_t>(n) == frame.size();
+}
+
+}  // namespace kcoup::serve

@@ -1,0 +1,132 @@
+#include "serve/poller.hpp"
+
+#include <poll.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdint>
+
+#if KCOUP_HAVE_EPOLL
+#include <sys/epoll.h>
+#endif
+
+namespace kcoup::serve {
+
+Poller::Poller(bool force_poll) {
+#if KCOUP_HAVE_EPOLL
+  if (!force_poll) epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+#else
+  (void)force_poll;
+#endif
+}
+
+Poller::~Poller() {
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+}
+
+#if KCOUP_HAVE_EPOLL
+namespace {
+std::uint32_t epoll_mask(bool want_read, bool want_write) {
+  std::uint32_t mask = 0;
+  if (want_read) mask |= EPOLLIN;
+  if (want_write) mask |= EPOLLOUT;
+  return mask;
+}
+}  // namespace
+#endif
+
+void Poller::add(int fd, bool want_read, bool want_write) {
+#if KCOUP_HAVE_EPOLL
+  if (epoll_fd_ >= 0) {
+    epoll_event ev{};
+    ev.events = epoll_mask(want_read, want_write);
+    ev.data.fd = fd;
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev);
+    return;
+  }
+#endif
+  interests_.push_back({fd, want_read, want_write});
+}
+
+void Poller::modify(int fd, bool want_read, bool want_write) {
+#if KCOUP_HAVE_EPOLL
+  if (epoll_fd_ >= 0) {
+    epoll_event ev{};
+    ev.events = epoll_mask(want_read, want_write);
+    ev.data.fd = fd;
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev);
+    return;
+  }
+#endif
+  for (Interest& in : interests_) {
+    if (in.fd == fd) {
+      in.want_read = want_read;
+      in.want_write = want_write;
+      return;
+    }
+  }
+}
+
+void Poller::remove(int fd) {
+#if KCOUP_HAVE_EPOLL
+  if (epoll_fd_ >= 0) {
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+    return;
+  }
+#endif
+  for (std::size_t i = 0; i < interests_.size(); ++i) {
+    if (interests_[i].fd == fd) {
+      interests_[i] = interests_.back();
+      interests_.pop_back();
+      return;
+    }
+  }
+}
+
+std::size_t Poller::wait(std::vector<Event>* out, int timeout_ms) {
+  out->clear();
+#if KCOUP_HAVE_EPOLL
+  if (epoll_fd_ >= 0) {
+    epoll_event events[64];
+    int n;
+    do {
+      n = ::epoll_wait(epoll_fd_, events, 64, timeout_ms);
+    } while (n < 0 && errno == EINTR);
+    for (int i = 0; i < n; ++i) {
+      Event e;
+      e.fd = events[i].data.fd;
+      e.readable = (events[i].events & EPOLLIN) != 0;
+      e.writable = (events[i].events & EPOLLOUT) != 0;
+      e.hangup = (events[i].events & (EPOLLHUP | EPOLLERR)) != 0;
+      out->push_back(e);
+    }
+    return out->size();
+  }
+#endif
+  std::vector<pollfd> fds;
+  fds.reserve(interests_.size());
+  for (const Interest& in : interests_) {
+    pollfd p{};
+    p.fd = in.fd;
+    if (in.want_read) p.events |= POLLIN;
+    if (in.want_write) p.events |= POLLOUT;
+    fds.push_back(p);
+  }
+  int n;
+  do {
+    n = ::poll(fds.data(), fds.size(), timeout_ms);
+  } while (n < 0 && errno == EINTR);
+  if (n <= 0) return 0;
+  for (const pollfd& p : fds) {
+    if (p.revents == 0) continue;
+    Event e;
+    e.fd = p.fd;
+    e.readable = (p.revents & (POLLIN | POLLHUP)) != 0;
+    e.writable = (p.revents & POLLOUT) != 0;
+    e.hangup = (p.revents & (POLLHUP | POLLERR | POLLNVAL)) != 0;
+    out->push_back(e);
+  }
+  return out->size();
+}
+
+}  // namespace kcoup::serve

@@ -8,12 +8,68 @@ namespace kcoup::serve {
 
 namespace {
 
-/// Locates `"name":` and returns the offset just past the colon, or npos.
+[[nodiscard]] int hex_value(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+void append_utf8(std::string& out, unsigned code) {
+  if (code < 0x80) {
+    out += static_cast<char>(code);
+  } else if (code < 0x800) {
+    out += static_cast<char>(0xC0 | (code >> 6));
+    out += static_cast<char>(0x80 | (code & 0x3F));
+  } else {
+    out += static_cast<char>(0xE0 | (code >> 12));
+    out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+    out += static_cast<char>(0x80 | (code & 0x3F));
+  }
+}
+
+/// Locates the first key string whose raw bytes equal `name` and returns
+/// the offset just past its colon, or npos.  Scans string tokens properly
+/// (backslash consumes the next byte), so `name` occurring *inside a
+/// string value* — e.g. a config called `see "ranks": 7` — can never be
+/// mistaken for the field.  A string is a key only when the next
+/// non-whitespace byte after its closing quote is ':'.
 std::size_t field_offset(const std::string& json, const char* name) {
-  const std::string needle = std::string("\"") + name + "\":";
-  const std::size_t at = json.find(needle);
-  if (at == std::string::npos) return std::string::npos;
-  return at + needle.size();
+  const std::string want(name);
+  std::size_t i = 0;
+  while (i < json.size()) {
+    if (json[i] != '"') {
+      ++i;
+      continue;
+    }
+    const std::size_t start = ++i;  // first content byte
+    bool escaped = false;
+    while (i < json.size()) {
+      const char c = json[i];
+      if (escaped) {
+        escaped = false;
+      } else if (c == '\\') {
+        escaped = true;
+      } else if (c == '"') {
+        break;
+      }
+      ++i;
+    }
+    if (i >= json.size()) return std::string::npos;  // unterminated string
+    const std::size_t end = i;  // closing quote
+    ++i;
+    std::size_t j = i;
+    while (j < json.size() &&
+           (json[j] == ' ' || json[j] == '\t' || json[j] == '\n' ||
+            json[j] == '\r')) {
+      ++j;
+    }
+    if (j < json.size() && json[j] == ':') {
+      if (json.compare(start, end - start, want) == 0) return j + 1;
+      i = j + 1;  // non-matching key: resume at its value
+    }
+  }
+  return std::string::npos;
 }
 
 void append_number(std::string& out, const char* name, double v) {
@@ -58,11 +114,31 @@ std::optional<QueryKey> parse_query(const std::string& json) {
 }  // namespace
 
 std::string json_escape(const std::string& s) {
+  static const char* const kHex = "0123456789abcdef";
   std::string out;
   out.reserve(s.size());
   for (char c : s) {
-    if (c == '"' || c == '\\') out += '\\';
-    out += c;
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      default: {
+        const auto u = static_cast<unsigned char>(c);
+        if (u < 0x20) {
+          // Raw control bytes are invalid inside a JSON string.
+          out += "\\u00";
+          out += kHex[(u >> 4) & 0xF];
+          out += kHex[u & 0xF];
+        } else {
+          out += c;  // bytes >= 0x80 pass through (UTF-8 stays UTF-8)
+        }
+        break;
+      }
+    }
   }
   return out;
 }
@@ -75,13 +151,36 @@ std::optional<std::string> json_string_field(const std::string& json,
   }
   std::string out;
   for (++at; at < json.size(); ++at) {
-    if (json[at] == '\\') {
-      if (++at >= json.size()) return std::nullopt;
-      out += json[at];
-    } else if (json[at] == '"') {
-      return out;
-    } else {
-      out += json[at];
+    const char c = json[at];
+    if (c == '"') return out;
+    if (c != '\\') {
+      out += c;
+      continue;
+    }
+    if (++at >= json.size()) return std::nullopt;
+    switch (json[at]) {
+      case 'n': out += '\n'; break;
+      case 't': out += '\t'; break;
+      case 'r': out += '\r'; break;
+      case 'b': out += '\b'; break;
+      case 'f': out += '\f'; break;
+      case '"': out += '"'; break;
+      case '\\': out += '\\'; break;
+      case '/': out += '/'; break;
+      case 'u': {
+        if (at + 4 >= json.size()) return std::nullopt;
+        unsigned code = 0;
+        for (int k = 1; k <= 4; ++k) {
+          const int d = hex_value(json[at + k]);
+          if (d < 0) return std::nullopt;
+          code = code * 16 + static_cast<unsigned>(d);
+        }
+        at += 4;
+        // BMP only — json_escape never emits surrogate pairs.
+        append_utf8(out, code);
+        break;
+      }
+      default: out += json[at]; break;  // lenient: unknown escape is literal
     }
   }
   return std::nullopt;  // unterminated string

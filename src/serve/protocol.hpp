@@ -63,6 +63,12 @@ struct Request {
     const std::string& json, const char* name);
 [[nodiscard]] std::optional<double> json_number_field(const std::string& json,
                                                       const char* name);
+/// Escape a byte string for use inside a JSON string literal: quotes and
+/// backslashes, the named escapes (\n \t \r \b \f), and every other byte
+/// below 0x20 as \u00XX (raw control bytes are invalid JSON).  Bytes >=
+/// 0x80 pass through untouched, so UTF-8 stays UTF-8.  json_string_field
+/// decodes all of these, making escape→parse a lossless round trip for
+/// arbitrary byte strings.
 [[nodiscard]] std::string json_escape(const std::string& s);
 
 }  // namespace kcoup::serve

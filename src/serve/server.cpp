@@ -1,13 +1,17 @@
 #include "serve/server.hpp"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
 #include <cerrno>
 #include <chrono>
 #include <cstring>
+#include <optional>
 #include <utility>
 
 #include "serve/protocol.hpp"
@@ -16,69 +20,19 @@ namespace kcoup::serve {
 
 namespace {
 
-/// Send the whole buffer; false on any error (peer gone, etc.).
-bool send_all(int fd, const std::string& data) {
-  std::size_t sent = 0;
-  while (sent < data.size()) {
-    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
-                             MSG_NOSIGNAL);
-    if (n <= 0) {
-      if (n < 0 && errno == EINTR) continue;
-      return false;
-    }
-    sent += static_cast<std::size_t>(n);
-  }
-  return true;
+bool set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
 }
 
-bool send_frame(int fd, const std::string& payload) {
-  return send_all(fd, std::to_string(payload.size()) + "\n" + payload);
-}
-
-/// Read exactly n bytes; false on EOF or error.
-bool recv_exact(int fd, char* buf, std::size_t n) {
-  std::size_t got = 0;
-  while (got < n) {
-    const ssize_t r = ::recv(fd, buf + got, n - got, 0);
-    if (r <= 0) {
-      if (r < 0 && errno == EINTR) continue;
-      return false;
-    }
-    got += static_cast<std::size_t>(r);
-  }
-  return true;
-}
-
-enum class FrameStatus { kOk, kEof, kMalformed, kOversized };
-
-/// Read one length-prefixed frame.  kEof only when the connection closes
-/// cleanly before any length byte arrives.
-FrameStatus recv_frame(int fd, std::size_t max_bytes, std::string* payload) {
-  // Length line: ASCII digits then '\n', at most 20 chars.
-  std::size_t length = 0;
-  std::size_t digits = 0;
-  for (;;) {
-    char c = 0;
-    const ssize_t r = ::recv(fd, &c, 1, 0);
-    if (r <= 0) {
-      if (r < 0 && errno == EINTR) continue;
-      return digits == 0 ? FrameStatus::kEof : FrameStatus::kMalformed;
-    }
-    if (c == '\n') {
-      if (digits == 0) return FrameStatus::kMalformed;
-      break;
-    }
-    if (c < '0' || c > '9' || digits >= 20) return FrameStatus::kMalformed;
-    length = length * 10 + static_cast<std::size_t>(c - '0');
-    ++digits;
-  }
-  if (length > max_bytes) return FrameStatus::kOversized;
-  payload->resize(length);
-  if (length != 0 && !recv_exact(fd, payload->data(), length)) {
-    return FrameStatus::kMalformed;
-  }
-  return FrameStatus::kOk;
-}
+constexpr std::size_t kReadChunk = 64 * 1024;
+/// Fairness bound: one connection cannot monopolize its shard by streaming
+/// faster than the loop can process.  Level-triggered readiness re-fires
+/// for whatever is left in the socket buffer.
+constexpr std::size_t kMaxReadPerWakeup = 1 << 20;
+/// Backpressure: stop reading requests from a connection whose peer is not
+/// draining its responses.
+constexpr std::size_t kWriteHighWatermark = 4 << 20;
 
 }  // namespace
 
@@ -97,6 +51,7 @@ Server::Server(SnapshotSource* source, QueryEngine* engine,
       h_latency_(registry_.histogram("serve.request_seconds")) {
   if (config_.workers == 0) config_.workers = 1;
   if (config_.max_inflight == 0) config_.max_inflight = 2 * config_.workers;
+  if (config_.max_pipeline == 0) config_.max_pipeline = 1;
 }
 
 Server::~Server() { stop(); }
@@ -141,9 +96,34 @@ void Server::start() {
     throw BindError("serve: getsockname failed: " + why);
   }
   port_ = ntohs(bound.sin_port);
-  listen_fd_ = fd;
 
-  pool_ = std::make_unique<support::ThreadPool>(config_.workers);
+  next_shard_ = 0;
+  for (std::size_t i = 0; i < config_.workers; ++i) {
+    auto shard = std::make_unique<Shard>(config_.force_poll);
+    int pipefd[2] = {-1, -1};
+    if (::pipe(pipefd) != 0 || !set_nonblocking(pipefd[0]) ||
+        !set_nonblocking(pipefd[1])) {
+      const std::string why = std::strerror(errno);
+      if (pipefd[0] >= 0) ::close(pipefd[0]);
+      if (pipefd[1] >= 0) ::close(pipefd[1]);
+      for (auto& s : shards_) {
+        ::close(s->wake_rd);
+        ::close(s->wake_wr);
+      }
+      shards_.clear();
+      ::close(fd);
+      throw BindError("serve: cannot create wake pipe: " + why);
+    }
+    shard->wake_rd = pipefd[0];
+    shard->wake_wr = pipefd[1];
+    shard->poller.add(shard->wake_rd, true, false);
+    shards_.push_back(std::move(shard));
+  }
+  for (auto& shard : shards_) {
+    shard->thread = std::thread([this, s = shard.get()] { shard_loop(*s); });
+  }
+
+  listen_fd_ = fd;
   start_time_ = std::chrono::steady_clock::now();
   started_.store(true, std::memory_order_release);
   running_.store(true, std::memory_order_release);
@@ -156,28 +136,29 @@ void Server::stop() {
   ::shutdown(listen_fd_, SHUT_RDWR);
   ::close(listen_fd_);
   if (acceptor_.joinable()) acceptor_.join();
-  // Graceful drain: stop reading further requests from open connections;
-  // workers finish the requests already in flight and write their
-  // responses, then see EOF and close.
-  {
-    std::lock_guard<std::mutex> lock(clients_mutex_);
-    for (int fd : clients_) ::shutdown(fd, SHUT_RD);
+  // The acceptor is gone, so the shard inboxes are final.  Each shard
+  // drains on its own thread: one last read of already-arrived bytes,
+  // process every buffered complete frame, flush all responses, close.
+  for (auto& shard : shards_) {
+    {
+      std::lock_guard<std::mutex> lock(shard->mutex);
+      shard->stop = true;
+    }
+    wake(*shard);
   }
-  if (pool_) {
-    pool_->wait_idle();
-    pool_.reset();
+  for (auto& shard : shards_) {
+    if (shard->thread.joinable()) shard->thread.join();
+    ::close(shard->wake_rd);
+    ::close(shard->wake_wr);
   }
+  shards_.clear();
   listen_fd_ = -1;
 }
 
-void Server::register_client(int fd) {
-  std::lock_guard<std::mutex> lock(clients_mutex_);
-  clients_.push_back(fd);
-}
-
-void Server::unregister_client(int fd) {
-  std::lock_guard<std::mutex> lock(clients_mutex_);
-  std::erase(clients_, fd);
+void Server::wake(Shard& shard) {
+  const char byte = 1;
+  // EAGAIN means a wakeup is already pending, which is just as good.
+  [[maybe_unused]] const ssize_t n = ::write(shard.wake_wr, &byte, 1);
 }
 
 void Server::accept_loop() {
@@ -194,115 +175,320 @@ void Server::accept_loop() {
     c_connections_.add(1);
     if (inflight_.fetch_add(1, std::memory_order_acq_rel) >=
         config_.max_inflight) {
-      // Fast reject without touching the worker pool: one error frame,
-      // then close.  The client sees "overloaded" in bounded time no
-      // matter how deep the pool's backlog is.
+      // Fast reject without touching the shards: one best-effort error
+      // frame, then close.  The send is non-blocking, so a peer that never
+      // reads cannot stall the accept loop.
       inflight_.fetch_sub(1, std::memory_order_acq_rel);
       c_rejected_overload_.add(1);
-      send_frame(fd, error_json("server overloaded, retry later", 429));
+      (void)send_frame_best_effort(
+          fd, error_json("server overloaded, retry later", 429));
       ::close(fd);
       continue;
     }
-    register_client(fd);
-    pool_->submit([this, fd] {
-      serve_connection(fd);
-      unregister_client(fd);
-      ::close(fd);
+    if (!set_nonblocking(fd)) {
       inflight_.fetch_sub(1, std::memory_order_acq_rel);
-    });
+      ::close(fd);
+      continue;
+    }
+    const int yes = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &yes, sizeof(yes));
+    Shard& shard = *shards_[next_shard_++ % shards_.size()];
+    {
+      std::lock_guard<std::mutex> lock(shard.mutex);
+      shard.incoming.push_back(fd);
+    }
+    wake(shard);
   }
 }
 
-void Server::serve_connection(int fd) {
-  std::string payload;
+void Server::shard_loop(Shard& shard) {
+  std::vector<Poller::Event> events;
   for (;;) {
-    const FrameStatus status =
-        recv_frame(fd, config_.max_frame_bytes, &payload);
-    if (status == FrameStatus::kEof) return;
-    if (status == FrameStatus::kMalformed) {
-      c_malformed_frames_.add(1);
-      send_frame(fd, error_json("malformed frame", 400));
-      return;
+    shard.poller.wait(&events, -1);
+    bool wakeup = false;
+    for (const Poller::Event& event : events) {
+      if (event.fd == shard.wake_rd) {
+        wakeup = true;
+        continue;
+      }
+      auto it = shard.conns.find(event.fd);
+      if (it == shard.conns.end()) continue;
+      Conn& conn = it->second;
+      if ((event.readable || event.hangup) && !conn.close_after_flush) {
+        read_into(conn);
+        process_frames(conn);
+      }
+      if (!flush(conn)) {
+        close_conn(shard, event.fd);
+        continue;
+      }
+      const bool flushed = conn.wpos == conn.wbuf.size();
+      if (flushed && (conn.close_after_flush || conn.peer_eof)) {
+        // peer_eof: whatever remains in rbuf is a frame that can never
+        // complete, so there is nothing left to answer.
+        close_conn(shard, event.fd);
+        continue;
+      }
+      update_interest(shard, conn);
     }
-    if (status == FrameStatus::kOversized) {
-      c_oversized_frames_.add(1);
-      send_frame(fd, error_json("frame exceeds " +
-                                    std::to_string(config_.max_frame_bytes) +
-                                    " bytes",
-                                413));
-      return;
+    if (wakeup) {
+      char buf[256];
+      while (::read(shard.wake_rd, buf, sizeof(buf)) > 0) {
+      }
+      std::vector<int> fresh;
+      bool stop_requested = false;
+      {
+        std::lock_guard<std::mutex> lock(shard.mutex);
+        fresh.swap(shard.incoming);
+        stop_requested = shard.stop;
+      }
+      for (int fd : fresh) {
+        Conn conn;
+        conn.fd = fd;
+        shard.conns.emplace(fd, std::move(conn));
+        shard.poller.add(fd, true, false);
+      }
+      if (stop_requested) {
+        drain_shard(shard);
+        return;
+      }
     }
-
-    obs::ScopedSpan span("request", "serve");
-    const auto t0 = std::chrono::steady_clock::now();
-    const std::string response = handle_payload(payload, span);
-    const std::chrono::duration<double> elapsed =
-        std::chrono::steady_clock::now() - t0;
-    c_requests_.add(1);
-    h_latency_.record(elapsed.count());
-    const bool sent = send_frame(fd, response);
-    span.finish();
-    if (!sent) return;
   }
 }
 
-std::string Server::handle_payload(const std::string& payload,
-                                   obs::ScopedSpan& span) {
-  const auto request = parse_request(payload);
-  if (!request.has_value()) {
-    c_errors_.add(1);
-    if (span.active()) span.annotate("op", "malformed");
-    return error_json("malformed request", 400);
-  }
-  switch (request->op) {
-    case RequestOp::kPing:
-      if (span.active()) span.annotate("op", "ping");
-      return "{\"ok\":true,\"op\":\"ping\"}";
-    case RequestOp::kStats: {
-      if (span.active()) span.annotate("op", "stats");
-      std::string out = metrics().to_jsonl();
-      if (!out.empty() && out.back() == '\n') out.pop_back();
-      return out;
+void Server::read_into(Conn& conn) {
+  char buf[kReadChunk];
+  std::size_t total = 0;
+  while (total < kMaxReadPerWakeup) {
+    const ssize_t n = ::recv(conn.fd, buf, sizeof(buf), 0);
+    if (n > 0) {
+      conn.rbuf.append(buf, static_cast<std::size_t>(n));
+      total += static_cast<std::size_t>(n);
+      continue;
     }
-    case RequestOp::kPredict:
-    case RequestOp::kBatch: {
-      if (span.active()) {
-        span.annotate("op",
-                      request->op == RequestOp::kPredict ? "predict" : "batch");
-      }
-      const auto snapshot = source_->current();
-      if (snapshot == nullptr) {
-        c_errors_.add(1);
-        return error_json("no snapshot loaded", 503);
-      }
-      std::vector<Prediction> results =
-          engine_->predict_batch(*snapshot, request->queries);
+    if (n == 0) {
+      conn.peer_eof = true;
+      return;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+    conn.peer_eof = true;  // hard socket error: treat like a hangup
+    return;
+  }
+}
+
+void Server::process_frames(Conn& conn) {
+  std::vector<std::string> window;
+  for (;;) {
+    window.clear();
+    FrameDecodeStatus status = FrameDecodeStatus::kNeedMore;
+    while (window.size() < config_.max_pipeline) {
+      std::string payload;
+      status = decode_frame(conn.rbuf, &conn.rpos, config_.max_frame_bytes,
+                            &payload);
+      if (status != FrameDecodeStatus::kFrame) break;
+      window.push_back(std::move(payload));
+    }
+    // Frames ahead of a framing error still get their answers; the error
+    // frame goes out last and the connection closes once it is flushed
+    // (the length prefix cannot be trusted to resynchronize the stream).
+    if (!window.empty()) handle_window(conn, window);
+    if (status == FrameDecodeStatus::kMalformed) {
+      c_malformed_frames_.add(1);
+      conn.wbuf += encode_frame(error_json("malformed frame", 400));
+      conn.close_after_flush = true;
+      break;
+    }
+    if (status == FrameDecodeStatus::kOversized) {
+      c_oversized_frames_.add(1);
+      conn.wbuf += encode_frame(
+          error_json("frame exceeds " +
+                         std::to_string(config_.max_frame_bytes) + " bytes",
+                     413));
+      conn.close_after_flush = true;
+      break;
+    }
+    if (status != FrameDecodeStatus::kFrame) break;  // buffer exhausted
+    // Window filled to max_pipeline with bytes left over: go again.
+  }
+  if (conn.close_after_flush) {
+    conn.rbuf.clear();
+    conn.rpos = 0;
+  } else if (conn.rpos > 0) {
+    conn.rbuf.erase(0, conn.rpos);
+    conn.rpos = 0;
+  }
+}
+
+void Server::handle_window(Conn& conn,
+                           const std::vector<std::string>& payloads) {
+  const auto t0 = std::chrono::steady_clock::now();
+
+  // Parse every frame up front so the whole window's queries can share one
+  // snapshot acquisition and one engine call; each frame keeps a [offset,
+  // offset+count) view into the shared result vector.
+  struct Frame {
+    std::optional<Request> request;
+    std::size_t offset = 0;
+    std::size_t count = 0;
+  };
+  std::vector<Frame> frames(payloads.size());
+  std::vector<QueryKey> queries;
+  for (std::size_t i = 0; i < payloads.size(); ++i) {
+    frames[i].request = parse_request(payloads[i]);
+    const auto& request = frames[i].request;
+    if (request.has_value() && (request->op == RequestOp::kPredict ||
+                                request->op == RequestOp::kBatch)) {
+      frames[i].offset = queries.size();
+      frames[i].count = request->queries.size();
+      queries.insert(queries.end(), request->queries.begin(),
+                     request->queries.end());
+    }
+  }
+
+  std::shared_ptr<const PredictorSnapshot> snapshot;
+  std::vector<Prediction> results;
+  if (!queries.empty()) {
+    snapshot = source_->current();
+    if (snapshot != nullptr) {
+      results = engine_->predict_batch(*snapshot, queries);
       c_predictions_.add(results.size());
-      std::uint64_t failed = 0;
-      std::uint64_t cache_hits = 0;
-      for (const Prediction& p : results) {
-        if (!p.ok) ++failed;
-        if (p.cache_hit) ++cache_hits;
-      }
-      if (failed != 0) c_errors_.add(failed);
-      if (span.active()) {
-        span.annotate("cache_hits", cache_hits);
-        span.annotate("ok", failed == 0);
-        // Fallback kind of the first answer stands in for the request: a
-        // single predict has exactly one, a batch is usually homogeneous.
-        if (!results.front().alpha_source.empty()) {
-          span.annotate("alpha", results.front().alpha_source);
+    }
+  }
+
+  for (std::size_t i = 0; i < payloads.size(); ++i) {
+    obs::ScopedSpan span("request", "serve");
+    const Frame& frame = frames[i];
+    std::string response;
+    if (!frame.request.has_value()) {
+      c_errors_.add(1);
+      if (span.active()) span.annotate("op", "malformed");
+      response = error_json("malformed request", 400);
+    } else {
+      switch (frame.request->op) {
+        case RequestOp::kPing:
+          if (span.active()) span.annotate("op", "ping");
+          response = "{\"ok\":true,\"op\":\"ping\"}";
+          break;
+        case RequestOp::kStats: {
+          if (span.active()) span.annotate("op", "stats");
+          response = metrics().to_jsonl();
+          if (!response.empty() && response.back() == '\n') {
+            response.pop_back();
+          }
+          break;
+        }
+        case RequestOp::kPredict:
+        case RequestOp::kBatch: {
+          const bool single = frame.request->op == RequestOp::kPredict;
+          if (span.active()) span.annotate("op", single ? "predict" : "batch");
+          if (snapshot == nullptr) {
+            c_errors_.add(1);
+            response = error_json("no snapshot loaded", 503);
+            break;
+          }
+          const auto begin =
+              results.begin() + static_cast<std::ptrdiff_t>(frame.offset);
+          const std::vector<Prediction> slice(
+              begin, begin + static_cast<std::ptrdiff_t>(frame.count));
+          std::uint64_t failed = 0;
+          std::uint64_t cache_hits = 0;
+          for (const Prediction& p : slice) {
+            if (!p.ok) ++failed;
+            if (p.cache_hit) ++cache_hits;
+          }
+          if (failed != 0) c_errors_.add(failed);
+          if (span.active()) {
+            span.annotate("cache_hits", cache_hits);
+            span.annotate("ok", failed == 0);
+            // Fallback kind of the first answer stands in for the request:
+            // a single predict has exactly one, a batch is usually
+            // homogeneous.
+            if (!slice.empty() && !slice.front().alpha_source.empty()) {
+              span.annotate("alpha", slice.front().alpha_source);
+            }
+          }
+          if (single && !slice.empty()) {
+            response = prediction_json(slice.front());
+          } else {
+            response = batch_json(slice);
+          }
+          break;
         }
       }
-      if (request->op == RequestOp::kPredict) {
-        return prediction_json(results.front());
-      }
-      return batch_json(results);
     }
+    conn.wbuf += encode_frame(response);
+    c_requests_.add(1);
+    const std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - t0;
+    h_latency_.record(elapsed.count());
+    span.finish();
   }
-  c_errors_.add(1);
-  if (span.active()) span.annotate("op", "unhandled");
-  return error_json("unhandled request", 400);
+}
+
+bool Server::flush(Conn& conn) {
+  while (conn.wpos < conn.wbuf.size()) {
+    const ssize_t n = ::send(conn.fd, conn.wbuf.data() + conn.wpos,
+                             conn.wbuf.size() - conn.wpos, MSG_NOSIGNAL);
+    if (n > 0) {
+      conn.wpos += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return true;
+    return false;  // peer gone
+  }
+  if (conn.wpos != 0) {
+    conn.wbuf.clear();
+    conn.wpos = 0;
+  }
+  return true;
+}
+
+void Server::update_interest(Shard& shard, Conn& conn) {
+  const std::size_t pending = conn.wbuf.size() - conn.wpos;
+  const bool want_read = !conn.close_after_flush && !conn.peer_eof &&
+                         pending < kWriteHighWatermark;
+  const bool want_write = pending != 0;
+  if (want_read != conn.reads_enabled || want_write != conn.want_write) {
+    conn.reads_enabled = want_read;
+    conn.want_write = want_write;
+    shard.poller.modify(conn.fd, want_read, want_write);
+  }
+}
+
+void Server::close_conn(Shard& shard, int fd) {
+  shard.poller.remove(fd);
+  ::close(fd);
+  shard.conns.erase(fd);
+  inflight_.fetch_sub(1, std::memory_order_acq_rel);
+}
+
+void Server::drain_shard(Shard& shard) {
+  // Bytes that raced in just before the listener closed still count as
+  // in-flight: one final opportunistic read, then no more requests.
+  for (auto& [fd, conn] : shard.conns) {
+    if (conn.close_after_flush) continue;
+    read_into(conn);
+    ::shutdown(fd, SHUT_RD);
+    process_frames(conn);
+  }
+  for (auto& [fd, conn] : shard.conns) {
+    while (conn.wpos < conn.wbuf.size()) {
+      if (!flush(conn)) break;
+      if (conn.wpos < conn.wbuf.size()) {
+        pollfd p{};
+        p.fd = fd;
+        p.events = POLLOUT;
+        // A peer that accepts nothing for a full second is gone; dropping
+        // its responses is the only option left.
+        if (::poll(&p, 1, 1000) <= 0) break;
+      }
+    }
+    ::close(fd);
+    inflight_.fetch_sub(1, std::memory_order_acq_rel);
+  }
+  shard.conns.clear();
 }
 
 ServeMetrics Server::metrics() const {

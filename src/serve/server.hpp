@@ -9,27 +9,40 @@
 #include <stdexcept>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "serve/framing.hpp"
 #include "serve/metrics.hpp"
+#include "serve/poller.hpp"
 #include "serve/query_engine.hpp"
 #include "serve/snapshot.hpp"
-#include "support/thread_pool.hpp"
 
 namespace kcoup::serve {
 
 struct ServerConfig {
   std::string host = "127.0.0.1";  ///< loopback only by design
   int port = 0;                    ///< 0 = kernel-assigned ephemeral port
+  /// Event-loop shards (one thread each); connections are assigned
+  /// round-robin at accept and stay on their shard for life.
   std::size_t workers = 4;
-  /// Connections being handled concurrently before the accept loop starts
-  /// fast-rejecting with a code-429 frame; 0 = 2 * workers.
+  /// Open connections before the accept loop starts fast-rejecting with a
+  /// code-429 frame; 0 = 2 * workers.
   std::size_t max_inflight = 0;
   /// Largest accepted request payload; larger frames get a code-413 frame
   /// and the connection is closed.
   std::size_t max_frame_bytes = 64 * 1024;
+  /// Most complete frames decoded into one pipelined batch window: every
+  /// predict/batch query in a window shares one snapshot acquisition and
+  /// one QueryEngine::predict_batch call.  Also the fairness bound — a
+  /// connection with more buffered frames yields to the event loop between
+  /// windows.
+  std::size_t max_pipeline = 64;
+  /// Use the poll(2) backend even where epoll is available (tests keep the
+  /// fallback honest on Linux).
+  bool force_poll = false;
 };
 
 /// Thrown when the listening socket cannot be created/bound; the CLI maps
@@ -39,29 +52,34 @@ class BindError : public std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
-/// Loopback TCP front end for the query engine.  One accept thread hands
-/// connections to a fixed ThreadPool; each connection is served
-/// request-by-request (length-prefixed JSON frames, see protocol.hpp) until
-/// the peer closes.  Admission control is at accept: when max_inflight
-/// connections are already being handled, the new connection gets one
-/// error frame (code 429) and is closed without touching the pool, so an
-/// overloaded server still answers "try later" quickly.
+/// Loopback TCP front end for the query engine, built as a readiness-based
+/// event loop: one accept thread hands non-blocking connections round-robin
+/// to N event-loop shards (epoll on Linux, poll(2) fallback — see
+/// poller.hpp), each a single thread owning its connections' read/write
+/// buffers.  Frames are decoded incrementally from the read buffer
+/// (length-prefixed JSON, see protocol.hpp), so a connection may have many
+/// requests in flight: each wakeup drains up to max_pipeline complete
+/// frames into one batch window whose predict/batch queries share a single
+/// snapshot acquisition and one QueryEngine::predict_batch call.
+/// Responses are appended to a per-connection write buffer and flushed as
+/// the socket accepts them (EPOLLOUT when it doesn't), with responses
+/// always in request order.
 ///
-/// stop() is a graceful drain: the listener closes, every open client
-/// socket gets shutdown(SHUT_RD) — in-flight requests finish and their
-/// responses are written, but no further requests are read — and the pool
-/// is drained before stop() returns.  Combined with snapshot hot-reload
-/// this gives zero dropped in-flight requests across both reloads and
-/// shutdown.
+/// Admission control is at accept: when max_inflight connections are
+/// already open, the new connection gets one error frame (code 429) sent
+/// with a single non-blocking send — a stalled peer can never block the
+/// accept loop — and is closed.
+///
+/// stop() is a graceful drain: the listener closes, every connection's
+/// read side is shut down after one final drain of already-arrived bytes,
+/// buffered complete frames are processed, and write buffers are flushed
+/// before the shard threads exit — zero dropped in-flight requests.
 ///
 /// All server counters live in an obs::MetricsRegistry ("serve.*" names)
-/// with the hot-path references bound once at construction, so updates stay
-/// O(1) atomic adds; request latencies land in the registry's
-/// "serve.request_seconds" histogram (same single mutex the per-worker
-/// slots shared before).  ServeMetrics/metrics() is a point-in-time view
-/// over the registry.  When obs::Tracer is enabled every request emits a
-/// span (category "serve") annotated with the op, cache hit/miss and
-/// fallback kind.
+/// with the hot-path references bound once at construction; request
+/// latencies land in the "serve.request_seconds" histogram.  When
+/// obs::Tracer is enabled every request frame emits a span (category
+/// "serve") annotated with the op, cache hits and fallback kind.
 class Server {
  public:
   Server(SnapshotSource* source, QueryEngine* engine, ServerConfig config);
@@ -70,8 +88,8 @@ class Server {
   Server(const Server&) = delete;
   Server& operator=(const Server&) = delete;
 
-  /// Bind + listen + start the accept thread.  Throws BindError when the
-  /// socket cannot be bound.
+  /// Bind + listen + start the shard and accept threads.  Throws BindError
+  /// when the socket cannot be bound.
   void start();
 
   /// Graceful drain (see class comment).  Idempotent.
@@ -97,15 +115,56 @@ class Server {
   [[nodiscard]] obs::MetricsRegistry& registry() { return registry_; }
 
  private:
-  void accept_loop();
-  void serve_connection(int fd);
-  /// Handle one parsed payload; returns the response JSON and annotates the
-  /// request span (op, cache hits, fallback kind) when tracing is on.
-  [[nodiscard]] std::string handle_payload(const std::string& payload,
-                                           obs::ScopedSpan& span);
+  /// One connection owned by one shard thread: unconsumed request bytes in
+  /// rbuf (rpos = decode offset), unflushed response bytes in wbuf (wpos =
+  /// send offset).
+  struct Conn {
+    int fd = -1;
+    std::string rbuf;
+    std::size_t rpos = 0;
+    std::string wbuf;
+    std::size_t wpos = 0;
+    bool peer_eof = false;          ///< recv saw EOF; close once flushed
+    bool close_after_flush = false; ///< framing error: flush then close
+    bool reads_enabled = true;      ///< poller read interest
+    bool want_write = false;        ///< poller write interest
+  };
 
-  void register_client(int fd);
-  void unregister_client(int fd);
+  /// One event-loop shard: a poller, a wake pipe the acceptor pokes, and
+  /// the connections assigned to it.  All fields except the locked inbox
+  /// are touched only by the shard thread.
+  struct Shard {
+    explicit Shard(bool force_poll) : poller(force_poll) {}
+    Poller poller;
+    int wake_rd = -1;
+    int wake_wr = -1;
+    std::thread thread;
+    std::mutex mutex;
+    std::vector<int> incoming;  ///< accepted fds waiting to be adopted
+    bool stop = false;
+    std::unordered_map<int, Conn> conns;
+  };
+
+  void accept_loop();
+  void shard_loop(Shard& shard);
+  void wake(Shard& shard);
+
+  /// Non-blocking read into rbuf (bounded per wakeup); sets peer_eof on
+  /// EOF or a hard socket error.
+  void read_into(Conn& conn);
+  /// Decode + handle every complete frame currently buffered (in windows
+  /// of max_pipeline), appending responses to wbuf.
+  void process_frames(Conn& conn);
+  /// Handle one pipelined window: parse all payloads, run every query in
+  /// one predict_batch, serialize responses in request order.
+  void handle_window(Conn& conn, const std::vector<std::string>& payloads);
+  /// Non-blocking flush of wbuf; returns false when the connection died.
+  [[nodiscard]] bool flush(Conn& conn);
+  void update_interest(Shard& shard, Conn& conn);
+  void close_conn(Shard& shard, int fd);
+  /// stop() path: final read drain, process buffered frames, flush
+  /// everything, close all connections.
+  void drain_shard(Shard& shard);
 
   SnapshotSource* source_;
   QueryEngine* engine_;
@@ -114,10 +173,11 @@ class Server {
   int listen_fd_ = -1;
   int port_ = 0;
   std::thread acceptor_;
-  std::unique_ptr<support::ThreadPool> pool_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::size_t next_shard_ = 0;  ///< acceptor-thread only
   std::atomic<bool> running_{false};
 
-  std::atomic<std::size_t> inflight_{0};
+  std::atomic<std::size_t> inflight_{0};  ///< open connections
 
   /// Canonical metric store; the references below are the hot-path handles
   /// (get-or-create once, O(1) relaxed atomics afterwards).  Declared after
@@ -134,9 +194,6 @@ class Server {
 
   std::chrono::steady_clock::time_point start_time_{};
   std::atomic<bool> started_{false};
-
-  std::mutex clients_mutex_;
-  std::vector<int> clients_;
 };
 
 }  // namespace kcoup::serve

@@ -1,5 +1,7 @@
 #include "serve/snapshot.hpp"
 
+#include <sys/stat.h>
+
 #include <algorithm>
 #include <set>
 #include <stdexcept>
@@ -133,12 +135,14 @@ SnapshotSource::SnapshotSource(std::string path, CellFn cell_fn,
 SnapshotSource::~SnapshotSource() { stop_polling(); }
 
 std::optional<SnapshotSource::FileProbe> SnapshotSource::probe() const {
-  std::error_code ec;
+  struct stat st{};
+  if (::stat(path_.c_str(), &st) != 0) return std::nullopt;
   FileProbe p;
-  p.mtime = std::filesystem::last_write_time(path_, ec);
-  if (ec) return std::nullopt;
-  p.size = std::filesystem::file_size(path_, ec);
-  if (ec) return std::nullopt;
+  p.mtime_sec = static_cast<std::int64_t>(st.st_mtim.tv_sec);
+  p.mtime_nsec = static_cast<std::int64_t>(st.st_mtim.tv_nsec);
+  p.inode = static_cast<std::uint64_t>(st.st_ino);
+  p.device = static_cast<std::uint64_t>(st.st_dev);
+  p.size = static_cast<std::uint64_t>(st.st_size);
   return p;
 }
 

@@ -94,7 +94,9 @@ class PredictorSnapshot {
 };
 
 /// Owns the current snapshot and hot-reloads it when the database file
-/// changes on disk.  The probe is mtime + size; save_csv_file()'s
+/// changes on disk.  The probe is stat(2): nanosecond mtime + inode +
+/// device + size, so even a same-size rewrite inside one mtime granule is
+/// seen (rename lands on a new inode); save_csv_file()'s
 /// temp-write-then-rename means a probe can never observe a half-written
 /// database.  Readers call current() — a lock-free atomic shared_ptr load —
 /// once per request; a failed reload keeps the previous snapshot serving.
@@ -133,9 +135,17 @@ class SnapshotSource {
   }
 
  private:
+  /// Change fingerprint from stat(2).  Nanosecond mtime plus inode and
+  /// device: save_csv_file() writes a temp file and rename(2)s it into
+  /// place, so every rewrite lands on a fresh inode — a same-size rewrite
+  /// within one mtime granule (coarse-timestamp filesystems) still probes
+  /// as changed.
   struct FileProbe {
-    std::filesystem::file_time_type mtime;
-    std::uintmax_t size = 0;
+    std::int64_t mtime_sec = 0;
+    std::int64_t mtime_nsec = 0;
+    std::uint64_t inode = 0;
+    std::uint64_t device = 0;
+    std::uint64_t size = 0;
     [[nodiscard]] bool operator==(const FileProbe&) const = default;
   };
 

@@ -593,6 +593,38 @@ TEST_F(SnapshotSourceTest, PollReloadsOnFileChangeOnly) {
   EXPECT_EQ(before->database().size(), FakeWorkload::kLoop);
 }
 
+TEST_F(SnapshotSourceTest, PollSeesSameSizeRewriteWithinOneMtimeGranule) {
+  const auto write_value = [&](double chain_time) {
+    coupling::CouplingDatabase db;
+    for (std::size_t start = 0; start < FakeWorkload::kLoop; ++start) {
+      coupling::CouplingRecord r;
+      r.key = {"APP", "X", 4, 2, start};
+      r.chain_time = chain_time;
+      r.isolated_sum = 1.0;
+      db.record(r);
+    }
+    db.save_csv_file(path_.string());
+  };
+  write_value(1.5);
+  serve::SnapshotSource source(path_.string(), {}, {false});
+  source.load();
+  const auto size_before = std::filesystem::file_size(path_);
+  const auto mtime_before = std::filesystem::last_write_time(path_);
+
+  write_value(2.5);
+  // Same byte count by construction ("1.5" and "2.5" format identically) —
+  // the old mtime+size probe had nothing else to look at.
+  ASSERT_EQ(std::filesystem::file_size(path_), size_before);
+  // Pin the mtime back to simulate a rewrite inside one timestamp granule
+  // on a coarse-mtime filesystem.
+  std::filesystem::last_write_time(path_, mtime_before);
+  // save_csv_file writes a temp file and renames it into place, so the
+  // rewrite landed on a fresh inode — the probe must still see the change.
+  EXPECT_TRUE(source.poll());
+  ASSERT_NE(source.current(), nullptr);
+  EXPECT_EQ(source.current()->version(), 2u);
+}
+
 TEST_F(SnapshotSourceTest, BrokenReloadKeepsServingOldSnapshot) {
   write_db({4});
   serve::SnapshotSource source(path_.string(), {}, {false});

@@ -1,0 +1,559 @@
+// Wire-level tests for the event-driven serve path: the hardened frame
+// decoder (length overflow, incremental feeding), the best-effort
+// non-blocking reject send, JSON escaping of control characters and the
+// string-aware field scanner, request pipelining order, mid-pipeline
+// framing errors, and the poll(2) fallback backend.
+
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdint>
+#include <filesystem>
+#include <limits>
+#include <memory>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "coupling/analysis.hpp"
+#include "coupling/database.hpp"
+#include "serve/client.hpp"
+#include "serve/framing.hpp"
+#include "serve/poller.hpp"
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
+#include "serve/workload.hpp"
+
+namespace kcoup {
+namespace {
+
+// --- Frame decoder ----------------------------------------------------------
+
+serve::FrameDecodeStatus decode(const std::string& buf, std::size_t* pos,
+                                std::string* payload,
+                                std::size_t max_payload = 1024) {
+  return serve::decode_frame(buf, pos, max_payload, payload);
+}
+
+TEST(FramingTest, DecodesFramesIncrementally) {
+  std::string buf;
+  std::size_t pos = 0;
+  std::string payload;
+
+  EXPECT_EQ(decode(buf, &pos, &payload), serve::FrameDecodeStatus::kNeedMore);
+  buf += "13";
+  EXPECT_EQ(decode(buf, &pos, &payload), serve::FrameDecodeStatus::kNeedMore);
+  buf += "\n{\"op\":\"pi";
+  EXPECT_EQ(decode(buf, &pos, &payload), serve::FrameDecodeStatus::kNeedMore);
+  EXPECT_EQ(pos, 0u);  // nothing consumed until a whole frame is there
+  buf += "ng\"}";
+  ASSERT_EQ(decode(buf, &pos, &payload), serve::FrameDecodeStatus::kFrame);
+  EXPECT_EQ(payload, "{\"op\":\"ping\"}");
+  EXPECT_EQ(pos, buf.size());
+
+  // Two complete frames plus a partial third, back to back.
+  buf += "2\nab0\n5\nhel";
+  ASSERT_EQ(decode(buf, &pos, &payload), serve::FrameDecodeStatus::kFrame);
+  EXPECT_EQ(payload, "ab");
+  ASSERT_EQ(decode(buf, &pos, &payload), serve::FrameDecodeStatus::kFrame);
+  EXPECT_EQ(payload, "");  // zero-length payload is a valid frame
+  EXPECT_EQ(decode(buf, &pos, &payload), serve::FrameDecodeStatus::kNeedMore);
+  buf += "lo";
+  ASSERT_EQ(decode(buf, &pos, &payload), serve::FrameDecodeStatus::kFrame);
+  EXPECT_EQ(payload, "hello");
+}
+
+TEST(FramingTest, OverflowingLengthIsMalformedNotWrapped) {
+  std::size_t pos = 0;
+  std::string payload;
+  // 20 nines = 10^20 - 1: wraps std::uint64_t if accumulated naively.  The
+  // unhardened parser computed a small garbage length, passed the
+  // max_bytes check, and desynchronized the stream.
+  EXPECT_EQ(decode("99999999999999999999\nx", &pos, &payload),
+            serve::FrameDecodeStatus::kMalformed);
+  pos = 0;
+  // Exactly 2^64: still 20 digits, still wraps.
+  EXPECT_EQ(decode("18446744073709551616\nx", &pos, &payload),
+            serve::FrameDecodeStatus::kMalformed);
+  pos = 0;
+  // 2^64 - 1 does fit in 20 digits: it must parse as a number and then be
+  // rejected as oversized, not malformed.
+  EXPECT_EQ(decode("18446744073709551615\nx", &pos, &payload),
+            serve::FrameDecodeStatus::kOversized);
+  pos = 0;
+  // 21 digits can never be a sane length.
+  EXPECT_EQ(decode("100000000000000000000\nx", &pos, &payload),
+            serve::FrameDecodeStatus::kMalformed);
+}
+
+TEST(FramingTest, RejectsEmptyAndNonDigitLengths) {
+  std::size_t pos = 0;
+  std::string payload;
+  EXPECT_EQ(decode("\n", &pos, &payload),
+            serve::FrameDecodeStatus::kMalformed);
+  pos = 0;
+  EXPECT_EQ(decode("12a\n", &pos, &payload),
+            serve::FrameDecodeStatus::kMalformed);
+  pos = 0;
+  EXPECT_EQ(decode("banana\n", &pos, &payload),
+            serve::FrameDecodeStatus::kMalformed);
+  pos = 0;
+  EXPECT_EQ(decode("-1\n", &pos, &payload),
+            serve::FrameDecodeStatus::kMalformed);
+}
+
+TEST(FramingTest, OversizedLengthReportsBeforePayloadArrives) {
+  std::size_t pos = 0;
+  std::string payload;
+  // The length alone is enough to reject: no need to wait for 4096 bytes.
+  EXPECT_EQ(serve::decode_frame("4096\n", &pos, 128, &payload),
+            serve::FrameDecodeStatus::kOversized);
+}
+
+TEST(FramingTest, AccumulateLengthDigitSharedRule) {
+  std::size_t length = 0;
+  for (char c : std::string("1234")) {
+    EXPECT_TRUE(serve::accumulate_length_digit(&length, c));
+  }
+  EXPECT_EQ(length, 1234u);
+  EXPECT_FALSE(serve::accumulate_length_digit(&length, 'x'));
+
+  length = std::numeric_limits<std::size_t>::max() / 10;
+  EXPECT_TRUE(serve::accumulate_length_digit(&length, '5'));  // == max
+  EXPECT_FALSE(serve::accumulate_length_digit(&length, '0'));  // wraps
+}
+
+// --- Best-effort reject send ------------------------------------------------
+
+TEST(SendFrameBestEffortTest, DeliversFrameToAReadingPeer) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  const std::string payload = serve::error_json("overloaded", 429);
+  EXPECT_TRUE(serve::send_frame_best_effort(fds[0], payload));
+  const std::string expect = serve::encode_frame(payload);
+  std::string got(expect.size(), '\0');
+  ASSERT_EQ(::recv(fds[1], got.data(), got.size(), 0),
+            static_cast<ssize_t>(got.size()));
+  EXPECT_EQ(got, expect);
+  ::close(fds[0]);
+  ::close(fds[1]);
+}
+
+TEST(SendFrameBestEffortTest, GivesUpInsteadOfBlockingOnAFullBuffer) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  const int small = 4096;
+  ::setsockopt(fds[0], SOL_SOCKET, SO_SNDBUF, &small, sizeof(small));
+  // Fill the send buffer without ever blocking ourselves.
+  const std::string junk(4096, 'x');
+  for (;;) {
+    const ssize_t n =
+        ::send(fds[0], junk.data(), junk.size(), MSG_DONTWAIT | MSG_NOSIGNAL);
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    ASSERT_GE(n, 0);
+  }
+  // A blocking send here would hang forever — the peer never reads.  The
+  // best-effort variant must return promptly and report failure.
+  EXPECT_FALSE(
+      serve::send_frame_best_effort(fds[0], std::string(8192, 'y')));
+  ::close(fds[0]);
+  ::close(fds[1]);
+}
+
+// --- JSON escaping ----------------------------------------------------------
+
+TEST(JsonEscapeTest, ControlCharactersBecomeValidJsonEscapes) {
+  EXPECT_EQ(serve::json_escape("a\"b\\c"), "a\\\"b\\\\c");
+  EXPECT_EQ(serve::json_escape("line1\nline2\ttab"),
+            "line1\\nline2\\ttab");
+  EXPECT_EQ(serve::json_escape(std::string("\x01\x1f", 2)),
+            "\\u0001\\u001f");
+  // No raw control byte may survive into the output.
+  const std::string all = [] {
+    std::string s;
+    for (int c = 0; c < 0x20; ++c) s += static_cast<char>(c);
+    return s;
+  }();
+  for (char c : serve::json_escape(all)) {
+    EXPECT_GE(static_cast<unsigned char>(c), 0x20u);
+  }
+}
+
+TEST(JsonEscapeTest, NamedEscapesDecodeBackToBytes) {
+  // The old decoder collapsed \n to a literal 'n'; a config string with a
+  // newline came back as "line1nline2".
+  const std::string json = "{\"v\":\"line1\\nline2\\ttab\\u0001\"}";
+  const auto v = serve::json_string_field(json, "v");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, std::string("line1\nline2\ttab\x01"));
+}
+
+TEST(JsonEscapeTest, UnicodeEscapesDecodeToUtf8) {
+  const auto a = serve::json_string_field("{\"v\":\"\\u0041\"}", "v");
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(*a, "A");
+  const auto e = serve::json_string_field("{\"v\":\"\\u00e9\"}", "v");
+  ASSERT_TRUE(e.has_value());
+  EXPECT_EQ(*e, "\xc3\xa9");  // é as UTF-8
+  const auto cjk = serve::json_string_field("{\"v\":\"\\u4e2d\"}", "v");
+  ASSERT_TRUE(cjk.has_value());
+  EXPECT_EQ(*cjk, "\xe4\xb8\xad");  // 中 as UTF-8
+  // Truncated or non-hex \u escapes are malformed, not silently mangled.
+  EXPECT_FALSE(serve::json_string_field("{\"v\":\"\\u12\"}", "v").has_value());
+  EXPECT_FALSE(
+      serve::json_string_field("{\"v\":\"\\uzzzz\"}", "v").has_value());
+}
+
+TEST(JsonEscapeTest, RoundTripsAdversarialStrings) {
+  // Deterministic xorshift so the property test is reproducible.
+  std::uint64_t state = 0x9e3779b97f4a7c15ull;
+  const auto next = [&state] {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+  };
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string s;
+    const std::size_t len = next() % 64;
+    for (std::size_t i = 0; i < len; ++i) {
+      s += static_cast<char>(next() % 256);  // every byte value, incl. NUL
+    }
+    const std::string json = "{\"v\":\"" + serve::json_escape(s) + "\"}";
+    const auto back = serve::json_string_field(json, "v");
+    ASSERT_TRUE(back.has_value()) << "trial " << trial;
+    EXPECT_EQ(*back, s) << "trial " << trial;
+  }
+}
+
+TEST(JsonEscapeTest, PredictionWithHostileStringsRoundTrips) {
+  serve::Prediction p;
+  p.ok = false;
+  p.error = "bad \"config\"\nwith \\ control \x02 bytes";
+  p.key.application = "BT\ttabbed";
+  p.key.config = "see \"ranks\": 7, oops";
+  p.key.ranks = 4;
+  p.key.chain_length = 2;
+  const auto back = serve::parse_prediction(serve::prediction_json(p));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->error, p.error);
+  EXPECT_EQ(back->key.application, p.key.application);
+  EXPECT_EQ(back->key.config, p.key.config);
+  EXPECT_EQ(back->key.ranks, 4);
+}
+
+// --- String-aware field scanner ---------------------------------------------
+
+TEST(JsonFieldTest, FieldNameInsideStringValueIsNotMatched) {
+  // Adversarial payload with raw quotes inside a "string": the flat
+  // substring search used to find the decoy "ranks": 7 inside the config
+  // value and answer the wrong query.
+  const std::string payload =
+      "{\"op\":\"predict\",\"app\":\"BT\","
+      "\"config\":\"see \"ranks\": 7, oops\",\"ranks\":4,\"chain\":2}";
+  const auto request = serve::parse_request(payload);
+  ASSERT_TRUE(request.has_value());
+  ASSERT_EQ(request->queries.size(), 1u);
+  EXPECT_EQ(request->queries[0].ranks, 4);
+  EXPECT_EQ(request->queries[0].chain_length, 2u);
+}
+
+TEST(JsonFieldTest, EscapedQuotesInValuesDoNotHideLaterFields) {
+  const std::string payload =
+      "{\"config\":\"tricky \\\"chain\\\": 9 value\",\"chain\":3}";
+  const auto chain = serve::json_number_field(payload, "chain");
+  ASSERT_TRUE(chain.has_value());
+  EXPECT_EQ(*chain, 3.0);
+  const auto config = serve::json_string_field(payload, "config");
+  ASSERT_TRUE(config.has_value());
+  EXPECT_EQ(*config, "tricky \"chain\": 9 value");
+}
+
+TEST(JsonFieldTest, MissingFieldAndUnterminatedStringAreRejected) {
+  EXPECT_FALSE(serve::json_number_field("{\"a\":1}", "b").has_value());
+  EXPECT_FALSE(serve::json_string_field("{\"a\":\"unterminated", "a")
+                   .has_value());
+}
+
+// --- Server wire behaviour --------------------------------------------------
+
+/// Deterministic 3-kernel workload (mirror of test_serve.cpp's): means are
+/// closed-form in ranks, so server predictions are instant and
+/// reproducible.
+class WireWorkload final : public serve::Workload {
+ public:
+  static constexpr std::size_t kLoop = 3;
+
+  bool valid_cell(const std::string& application, const std::string& config,
+                  int ranks) const override {
+    return application == "APP" && config == "X" && ranks >= 1;
+  }
+
+  serve::CellInputs measure_cell(const std::string& application,
+                                 const std::string& config,
+                                 int ranks) const override {
+    if (!valid_cell(application, config, ranks)) {
+      throw std::invalid_argument("WireWorkload: invalid cell");
+    }
+    serve::CellInputs cell;
+    for (std::size_t k = 0; k < kLoop; ++k) {
+      cell.inputs.isolated_means.push_back(mean(k, ranks));
+    }
+    cell.inputs.prologue_s = 0.001;
+    cell.inputs.epilogue_s = 0.002;
+    cell.inputs.iterations = 10;
+    cell.loop_size = kLoop;
+    cell.grid_extent = 12.0;
+    cell.summation_s = coupling::summation_prediction(cell.inputs);
+    cell.actual_s = cell.summation_s * 1.1;
+    return cell;
+  }
+
+  std::optional<serve::CellShape> shape(
+      const std::string& application,
+      const std::string& config) const override {
+    if (application != "APP" || config != "X") return std::nullopt;
+    return serve::CellShape{12.0, 10};
+  }
+
+  static double mean(std::size_t k, int ranks) {
+    return 0.01 * static_cast<double>(k + 1) / static_cast<double>(ranks);
+  }
+};
+
+class WireServerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = std::filesystem::path(::testing::TempDir()) /
+            ("kcoup_wire_db_" + std::to_string(::getpid()) + "_" +
+             ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+             ".csv");
+    coupling::CouplingDatabase db;
+    add_group(&db, 4);
+    add_group(&db, 16);
+    db.save_csv_file(path_.string());
+    workload_ = std::make_unique<WireWorkload>();
+    engine_ = std::make_unique<serve::QueryEngine>(workload_.get());
+    source_ = std::make_unique<serve::SnapshotSource>(
+        path_.string(), serve::CellFn{}, serve::SnapshotOptions{false});
+    source_->load();
+  }
+
+  void TearDown() override {
+    server_.reset();
+    source_.reset();
+    std::filesystem::remove(path_);
+  }
+
+  /// One complete q=2 chain group for (APP, X, ranks).
+  static void add_group(coupling::CouplingDatabase* db, int ranks) {
+    for (std::size_t start = 0; start < WireWorkload::kLoop; ++start) {
+      coupling::CouplingRecord r;
+      r.key = {"APP", "X", ranks, 2, start};
+      r.isolated_sum =
+          WireWorkload::mean(start, ranks) +
+          WireWorkload::mean((start + 1) % WireWorkload::kLoop, ranks);
+      r.chain_time =
+          r.isolated_sum * (1.05 + 0.01 * static_cast<double>(start));
+      db->record(r);
+    }
+  }
+
+  void start_server(serve::ServerConfig config = {}) {
+    server_ = std::make_unique<serve::Server>(source_.get(), engine_.get(),
+                                              config);
+    server_->start();
+  }
+
+  serve::Client connect() {
+    serve::Client client;
+    client.connect("127.0.0.1", server_->port());
+    return client;
+  }
+
+  std::filesystem::path path_;
+  std::unique_ptr<WireWorkload> workload_;
+  std::unique_ptr<serve::QueryEngine> engine_;
+  std::unique_ptr<serve::SnapshotSource> source_;
+  std::unique_ptr<serve::Server> server_;
+};
+
+TEST_F(WireServerTest, OverflowingLengthPrefixGets400AndCloses) {
+  start_server();
+  serve::Client client = connect();
+  // The 20-nines length wraps 64-bit accumulation; the unhardened server
+  // computed a tiny garbage length, answered the "frame", and then read the
+  // rest of the digits as the next frame's length — a desynchronized
+  // stream.  Now it is one clean 400 and a close.
+  const auto response =
+      client.roundtrip_raw("99999999999999999999\n{\"op\":\"ping\"}");
+  ASSERT_TRUE(response.has_value());
+  EXPECT_NE(response->find("\"code\":400"), std::string::npos);
+  EXPECT_EQ(server_->metrics().malformed_frames, 1u);
+  EXPECT_FALSE(client.ping());  // connection closed after the error frame
+}
+
+TEST_F(WireServerTest, PipelinedRequestsAnswerInOrder) {
+  start_server();
+  serve::Client client = connect();
+  // 12 requests in flight at once, with distinguishable answers: predicts
+  // alternate between ranks 4 and 16, every third request is a ping.
+  std::vector<std::string> expects;
+  for (int i = 0; i < 12; ++i) {
+    if (i % 3 == 2) {
+      ASSERT_TRUE(client.send_request(serve::ping_request()));
+      expects.push_back("\"op\":\"ping\"");
+    } else {
+      const int ranks = (i % 2 == 0) ? 4 : 16;
+      ASSERT_TRUE(client.send_request(
+          serve::predict_request({"APP", "X", ranks, 2})));
+      expects.push_back("\"ranks\":" + std::to_string(ranks) + ",");
+    }
+  }
+  for (std::size_t i = 0; i < expects.size(); ++i) {
+    const auto response = client.read_response();
+    ASSERT_TRUE(response.has_value()) << "response " << i;
+    EXPECT_NE(response->find(expects[i]), std::string::npos)
+        << "response " << i << " out of order: " << *response;
+    EXPECT_NE(response->find("\"ok\":true"), std::string::npos)
+        << *response;
+  }
+  EXPECT_EQ(server_->requests_handled(), 12u);
+}
+
+TEST_F(WireServerTest, PipelinedAnswersMatchBlockingAnswersBitForBit) {
+  start_server();
+  serve::Client blocking = connect();
+  const auto reference = blocking.predict({"APP", "X", 4, 2});
+  ASSERT_TRUE(reference.has_value());
+  ASSERT_TRUE(reference->ok);
+
+  serve::Client pipelined = connect();
+  const std::string payload = serve::predict_request({"APP", "X", 4, 2});
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(pipelined.send_request(payload));
+  }
+  for (int i = 0; i < 8; ++i) {
+    const auto response = pipelined.read_response();
+    ASSERT_TRUE(response.has_value());
+    const auto p = serve::parse_prediction(*response);
+    ASSERT_TRUE(p.has_value());
+    EXPECT_EQ(p->coupling_s, reference->coupling_s);
+    EXPECT_EQ(p->summation_s, reference->summation_s);
+    EXPECT_EQ(p->actual_s, reference->actual_s);
+  }
+}
+
+TEST_F(WireServerTest, MalformedJsonPayloadMidPipelineKeepsConnection) {
+  start_server();
+  serve::Client client = connect();
+  ASSERT_TRUE(client.send_request(serve::predict_request({"APP", "X", 4, 2})));
+  ASSERT_TRUE(client.send_request("{\"op\":\"nonsense\"}"));
+  ASSERT_TRUE(client.send_request(serve::predict_request({"APP", "X", 4, 2})));
+  const auto first = client.read_response();
+  ASSERT_TRUE(first.has_value());
+  EXPECT_NE(first->find("\"ok\":true"), std::string::npos);
+  const auto second = client.read_response();
+  ASSERT_TRUE(second.has_value());
+  EXPECT_NE(second->find("\"code\":400"), std::string::npos);
+  const auto third = client.read_response();
+  ASSERT_TRUE(third.has_value());
+  EXPECT_NE(third->find("\"ok\":true"), std::string::npos);
+  EXPECT_TRUE(client.ping());  // bad payloads do not cost the connection
+}
+
+TEST_F(WireServerTest, MalformedFrameMidPipelineAnswersEarlierFramesFirst) {
+  start_server();
+  serve::Client client = connect();
+  // Two good frames, then garbage where a length should be: both answers
+  // must arrive before the 400, then the connection closes.
+  ASSERT_TRUE(client.send_request(serve::predict_request({"APP", "X", 4, 2})));
+  ASSERT_TRUE(client.send_request(serve::predict_request({"APP", "X", 16, 2})));
+  const auto last = client.roundtrip_raw("banana\n");
+  ASSERT_TRUE(last.has_value());
+  // roundtrip_raw reads the FIRST queued response — the first predict.
+  EXPECT_NE(last->find("\"ranks\":4,"), std::string::npos);
+  const auto second = client.read_response();
+  ASSERT_TRUE(second.has_value());
+  EXPECT_NE(second->find("\"ranks\":16,"), std::string::npos);
+  const auto error = client.read_response();
+  ASSERT_TRUE(error.has_value());
+  EXPECT_NE(error->find("\"code\":400"), std::string::npos);
+  EXPECT_FALSE(client.read_response().has_value());  // closed
+  EXPECT_EQ(server_->metrics().malformed_frames, 1u);
+}
+
+TEST_F(WireServerTest, PollBackendServesIdentically) {
+  serve::ServerConfig config;
+  config.force_poll = true;  // exercise the poll(2) fallback on Linux too
+  start_server(config);
+  serve::Client client = connect();
+  EXPECT_TRUE(client.ping());
+  const std::string payload = serve::predict_request({"APP", "X", 4, 2});
+  for (int i = 0; i < 6; ++i) ASSERT_TRUE(client.send_request(payload));
+  for (int i = 0; i < 6; ++i) {
+    const auto response = client.read_response();
+    ASSERT_TRUE(response.has_value());
+    EXPECT_NE(response->find("\"ok\":true"), std::string::npos);
+  }
+}
+
+TEST_F(WireServerTest, MaxPipelineOneStillAnswersBackToBackFrames) {
+  serve::ServerConfig config;
+  config.max_pipeline = 1;  // every frame is its own window
+  start_server(config);
+  serve::Client client = connect();
+  const std::string payload = serve::predict_request({"APP", "X", 4, 2});
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE(client.send_request(payload));
+  for (int i = 0; i < 5; ++i) {
+    const auto response = client.read_response();
+    ASSERT_TRUE(response.has_value());
+    EXPECT_NE(response->find("\"ok\":true"), std::string::npos);
+  }
+  EXPECT_EQ(server_->requests_handled(), 5u);
+}
+
+TEST_F(WireServerTest, AcceptLoopSurvivesNonReadingRejectedPeers) {
+  serve::ServerConfig config;
+  config.workers = 1;
+  config.max_inflight = 1;
+  start_server(config);
+  serve::Client first = connect();
+  ASSERT_TRUE(first.ping());
+  // A burst of rejected connections whose owners never read the 429 frame.
+  // The reject send is a single non-blocking best-effort write, so none of
+  // them can stall the accept loop.
+  std::vector<serve::Client> rejected;
+  for (int i = 0; i < 8; ++i) rejected.push_back(connect());
+  // connect() returns on the TCP handshake (listen backlog), before the
+  // acceptor has processed — and rejected — the connection; give it time.
+  const auto reject_deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (server_->metrics().rejected_overload < 8u &&
+         std::chrono::steady_clock::now() < reject_deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_GE(server_->metrics().rejected_overload, 8u);
+  first.close();
+  // Accepts must still be live: a retry gets through once capacity frees.
+  bool accepted = false;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (std::chrono::steady_clock::now() < deadline) {
+    serve::Client retry = connect();
+    if (retry.ping()) {
+      accepted = true;
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_TRUE(accepted);
+}
+
+}  // namespace
+}  // namespace kcoup

@@ -5,7 +5,7 @@
 //   kcoup transitions --app bt --procs 4 --sizes 8,12,16,24,32,48,64
 //   kcoup reuse --app bt --class A --donor 9 --targets 16,25 --chains 4
 //   kcoup parallel --app lu --n 33 --iters 300 --procs 8 --chains 3
-//   kcoup serve --db store.csv --port 7070 --workers 4
+//   kcoup serve --db store.csv --port 7070 --shards 4
 //   kcoup query --port 7070 --app bt --class W --procs 4,9 --chains 2
 //   kcoup machines
 //
@@ -971,9 +971,14 @@ void serve_signal_handler(int) { g_serve_stop.store(true); }
 int cmd_serve(const Args& args) {
   const std::string db_path = args.get("db");
   const int port = parse_int_arg("port", args.get("port", "0"));
-  const int workers = parse_int_arg("workers", args.get("workers", "4"));
+  // --shards is the event-loop-native name; --workers stays as an alias so
+  // existing invocations keep meaning "shard count".
+  const int workers = parse_int_arg(
+      "shards", args.get("shards", args.get("workers", "4")));
   const int max_inflight =
       parse_int_arg("max-inflight", args.get("max-inflight", "0"));
+  const int max_pipeline =
+      parse_int_arg("max-pipeline", args.get("max-pipeline", "64"));
   const int poll_ms = parse_int_arg("poll-ms", args.get("poll-ms", "500"));
   const int cache_capacity =
       parse_int_arg("cache-capacity", args.get("cache-capacity", "1024"));
@@ -983,12 +988,16 @@ int cmd_serve(const Args& args) {
       parse_machine(args.get("machine", "ibm-sp"));
   const bool no_models = args.flag("no-models");
   const bool quiet = args.flag("quiet");
+  const bool force_poll = args.flag("force-poll");
   const auto port_file = args.maybe("port-file");
   const auto metrics_csv = args.maybe("metrics-csv");
   const auto metrics_jsonl = args.maybe("metrics-jsonl");
   const auto trace_out = args.maybe("trace-out");
   args.check_all_used();
-  if (workers < 1) throw std::runtime_error("--workers must be >= 1");
+  if (workers < 1) throw std::runtime_error("--shards/--workers must be >= 1");
+  if (max_pipeline < 1) {
+    throw std::runtime_error("--max-pipeline must be >= 1");
+  }
   if (poll_ms < 0) throw std::runtime_error("--poll-ms must be >= 0");
   if (cache_capacity < 0) {
     throw std::runtime_error("--cache-capacity must be >= 0");
@@ -1013,6 +1022,8 @@ int cmd_serve(const Args& args) {
   config.port = port;
   config.workers = static_cast<std::size_t>(workers);
   config.max_inflight = static_cast<std::size_t>(max_inflight);
+  config.max_pipeline = static_cast<std::size_t>(max_pipeline);
+  config.force_poll = force_poll;
   serve::Server server(&source, &engine, config);
   server.start();  // throws serve::BindError -> exit code 4 (see main)
   if (poll_ms > 0) source.start_polling(std::chrono::milliseconds(poll_ms));
@@ -1023,7 +1034,7 @@ int cmd_serve(const Args& args) {
     out << server.port() << '\n';
   }
   if (!quiet) {
-    std::printf("kcoup serve: listening on %s:%d (%d workers, db %s)\n",
+    std::printf("kcoup serve: listening on %s:%d (%d shards, db %s)\n",
                 config.host.c_str(), server.port(), workers, db_path.c_str());
   }
 
@@ -1268,8 +1279,9 @@ void usage() {
       "                    [--steal] [--workers N] [--quiet]\n"
       "                    [--metrics-csv path] [--metrics-jsonl path]\n"
       "                    [--trace-out trace.json]\n"
-      "  kcoup serve       --db store.csv [--port P] [--workers N]\n"
-      "                    [--max-inflight N] [--poll-ms MS]\n"
+      "  kcoup serve       --db store.csv [--port P] [--shards N]\n"
+      "                    [--max-inflight N] [--max-pipeline N]\n"
+      "                    [--force-poll] [--poll-ms MS]\n"
       "                    [--cache-capacity N] [--no-models] [--quiet]\n"
       "                    [--max-requests N] [--port-file path]\n"
       "                    [--metrics-csv path] [--metrics-jsonl path]\n"
@@ -1308,7 +1320,7 @@ int main(int argc, char** argv) {
     std::set<std::string> bool_flags;
     if (cmd == "campaign") bool_flags = {"serial", "quiet", "no-pool", "steal"};
     if (cmd == "merge") bool_flags = {"steal", "quiet"};
-    if (cmd == "serve") bool_flags = {"no-models", "quiet"};
+    if (cmd == "serve") bool_flags = {"no-models", "quiet", "force-poll"};
     if (cmd == "query") bool_flags = {"stats", "raw"};
     if (cmd == "stats") bool_flags = {"raw"};
     const Args args(argc, argv, std::move(bool_flags), cmd == "merge");
