@@ -41,12 +41,15 @@
 #include <thread>
 #include <vector>
 
+#include <algorithm>
+
 #include "coupling/database.hpp"
 #include "coupling/study.hpp"
 #include "machine/config.hpp"
 #include "npb/bt/bt_model.hpp"
 #include "report/table.hpp"
 #include "serve/client.hpp"
+#include "serve/pack.hpp"
 #include "serve/protocol.hpp"
 #include "serve/query_engine.hpp"
 #include "serve/server.hpp"
@@ -172,6 +175,145 @@ std::string fmt(const char* f, double v) {
   return buf;
 }
 
+// --- Reload latency: CSV parse vs mmap --------------------------------------
+
+struct ReloadStats {
+  std::size_t db_records = 0;
+  double csv_ms = 0.0;
+  double kcs_ms = 0.0;
+  double speedup = 0.0;
+  double cold_p99_csv_s = 0.0;
+  double cold_p99_kcs_s = 0.0;
+  bool bit_identical = true;
+};
+
+/// A reload-sized database: the real BT study records plus a synthetic bulk
+/// of complete alpha groups (fake applications never served), so the CSV
+/// path pays realistic parse + dedup + alpha-precompute cost and the packed
+/// path a realistic decode.
+coupling::CouplingDatabase make_reload_db(const coupling::StudyResult& study,
+                                          int synth_apps) {
+  coupling::CouplingDatabase db;
+  for (const auto& cl : study.by_length) db.record("BT", "S", 4, cl.chains);
+  constexpr std::size_t kLoop = 5;
+  const char* configs[] = {"S", "W", "A", "B"};
+  const int ranks_list[] = {1, 2, 4, 8, 16, 32};
+  for (int a = 0; a < synth_apps; ++a) {
+    char name[8];
+    std::snprintf(name, sizeof name, "ZZ%02d", a);
+    for (const char* config : configs) {
+      for (const int ranks : ranks_list) {
+        for (std::size_t q = 2; q <= 3; ++q) {
+          for (std::size_t start = 0; start < kLoop; ++start) {
+            coupling::CouplingRecord r;
+            r.key = coupling::CouplingKey{name, config, ranks, q, start};
+            r.isolated_sum = 0.001 * static_cast<double>(q) +
+                             0.0001 * static_cast<double>(ranks) +
+                             0.00001 * static_cast<double>(start + 1);
+            r.chain_time = r.isolated_sum * 1.05;
+            db.record(std::move(r));
+          }
+        }
+      }
+    }
+  }
+  return db;
+}
+
+double best_reload_ms(const std::string& path, int iters) {
+  double best = 1e300;
+  for (int i = 0; i < iters; ++i) {
+    serve::SnapshotSource source(path, serve::CellFn{},
+                                 serve::SnapshotOptions{false});
+    const auto t0 = std::chrono::steady_clock::now();
+    source.load();
+    best = std::min(best, seconds_since(t0) * 1e3);
+  }
+  return best;
+}
+
+/// p99 of per-query latency on a freshly loaded snapshot + cold engine —
+/// the first-window cost a hot reload imposes on live traffic.
+double cold_query_p99(const serve::PredictorSnapshot& snapshot,
+                      const serve::Workload& workload,
+                      const std::vector<serve::QueryKey>& queries) {
+  serve::QueryEngine engine(&workload);
+  std::vector<double> lat;
+  lat.reserve(queries.size());
+  for (const serve::QueryKey& q : queries) {
+    const auto t0 = std::chrono::steady_clock::now();
+    (void)engine.predict(snapshot, q);
+    lat.push_back(seconds_since(t0));
+  }
+  std::sort(lat.begin(), lat.end());
+  const std::size_t idx =
+      lat.empty() ? 0 : (lat.size() * 99 + 99) / 100 - 1;
+  return lat.empty() ? 0.0 : lat[std::min(idx, lat.size() - 1)];
+}
+
+ReloadStats run_reload_bench(const coupling::StudyResult& study,
+                             const serve::NpbWorkload& workload, bool smoke) {
+  const int synth_apps = smoke ? 2 : 12;
+  const int iters = smoke ? 2 : 5;
+  const auto dir = std::filesystem::temp_directory_path();
+  const std::string csv_path = (dir / "kcoup_bench_reload_db.csv").string();
+  const std::string kcs_path = (dir / "kcoup_bench_reload_db.kcs").string();
+
+  const coupling::CouplingDatabase db = make_reload_db(study, synth_apps);
+  ReloadStats stats;
+  stats.db_records = db.records().size();
+  db.save_csv_file(csv_path);
+  {
+    // Pack exactly what a CSV reload would build, so the two serving paths
+    // start from the same snapshot contents.
+    serve::SnapshotSource source(csv_path, serve::CellFn{},
+                                 serve::SnapshotOptions{false});
+    source.load();
+    serve::pack_snapshot_file(*source.current(), kcs_path);
+  }
+
+  stats.csv_ms = best_reload_ms(csv_path, iters);
+  stats.kcs_ms = best_reload_ms(kcs_path, iters);
+  stats.speedup = stats.kcs_ms > 0.0 ? stats.csv_ms / stats.kcs_ms : 0.0;
+
+  // Exact / nearest-ranks / error paths, repeated so the cold-engine p99
+  // has a population; every response must match across formats byte-wise.
+  std::vector<serve::QueryKey> queries;
+  for (int rep = 0; rep < (smoke ? 2 : 20); ++rep) {
+    queries.push_back({"BT", "S", 4, 2});
+    queries.push_back({"BT", "S", 4, 3});
+    queries.push_back({"BT", "S", 9, 2});   // nearest-ranks donor
+    queries.push_back({"ZZ00", "S", 4, 2});  // unknown to the workload
+  }
+  serve::SnapshotSource csv_source(csv_path, serve::CellFn{},
+                                   serve::SnapshotOptions{false});
+  csv_source.load();
+  serve::SnapshotSource kcs_source(kcs_path, serve::CellFn{},
+                                   serve::SnapshotOptions{false});
+  kcs_source.load();
+  const auto csv_snap = csv_source.current();
+  const auto kcs_snap = kcs_source.current();
+
+  serve::EngineOptions uncached;
+  uncached.cache_capacity = 0;
+  serve::QueryEngine csv_engine(&workload, uncached);
+  serve::QueryEngine kcs_engine(&workload, uncached);
+  for (const serve::QueryKey& q : queries) {
+    const std::string a =
+        serve::prediction_json(csv_engine.predict(*csv_snap, q));
+    const std::string b =
+        serve::prediction_json(kcs_engine.predict(*kcs_snap, q));
+    if (a != b) stats.bit_identical = false;
+  }
+
+  stats.cold_p99_csv_s = cold_query_p99(*csv_snap, workload, queries);
+  stats.cold_p99_kcs_s = cold_query_p99(*kcs_snap, workload, queries);
+
+  std::filesystem::remove(csv_path);
+  std::filesystem::remove(kcs_path);
+  return stats;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -259,6 +401,9 @@ int main(int argc, char** argv) {
   }
   std::filesystem::remove(db_path);
 
+  // Reload latency: how long a hot reload stalls on each snapshot format.
+  const ReloadStats reload = run_reload_bench(study, workload, smoke);
+
   report::Table t(
       "Prediction service throughput: memoized serving vs "
       "recompute-per-request (BT class S, P=4, loopback TCP)");
@@ -312,10 +457,28 @@ int main(int argc, char** argv) {
       "served responses: %s\n",
       speedup, total_mismatches == 0 ? "BIT-IDENTICAL" : "MISMATCH");
 
+  report::Table rt("Snapshot reload latency: CSV parse vs mmap'd .kcs (" +
+                   std::to_string(reload.db_records) + " records)");
+  rt.set_header({"format", "reload", "cold query p99", "bit-identical"});
+  rt.add_row({"CSV (parse + precompute)", fmt("%.3f ms", reload.csv_ms),
+              fmt("%.6f s", reload.cold_p99_csv_s),
+              reload.bit_identical ? "yes" : "NO"});
+  rt.add_row({".kcs (mmap, zero parse)", fmt("%.3f ms", reload.kcs_ms),
+              fmt("%.6f s", reload.cold_p99_kcs_s),
+              reload.bit_identical ? "yes" : "NO"});
+  std::printf("%s\n", rt.to_string().c_str());
+  std::printf(
+      "mmap reload speedup (csv ms / kcs ms): %.1fx (floor 10x)\n"
+      "cross-format responses: %s\n",
+      reload.speedup, reload.bit_identical ? "BIT-IDENTICAL" : "MISMATCH");
+
+  ok = ok && reload.bit_identical;
+  if (!smoke) ok = ok && reload.speedup >= 10.0;
+
   // The perf-trajectory baseline: one self-contained JSON object.
   if (!smoke) {
     std::ofstream out("BENCH_serve.json");
-    char buf[2048];
+    char buf[3072];
     std::snprintf(
         buf, sizeof buf,
         "{\"bench\":\"serve_throughput\",\"hw_concurrency\":%u,"
@@ -328,13 +491,20 @@ int main(int argc, char** argv) {
         "\"pipelined_rps_w1\":%.1f,\"pipelined_p99_s_w1\":%.6f,"
         "\"pipelined_rps_w4\":%.1f,\"pipelined_p99_s_w4\":%.6f,"
         "\"pipelined_rps_w8\":%.1f,\"pipelined_p99_s_w8\":%.6f,"
-        "\"speedup_vs_naive\":%.1f,\"bit_identical\":%s}\n",
+        "\"speedup_vs_naive\":%.1f,\"bit_identical\":%s,"
+        "\"reload_db_records\":%zu,"
+        "\"reload_csv_ms\":%.3f,\"reload_kcs_ms\":%.3f,"
+        "\"reload_speedup\":%.1f,"
+        "\"cold_p99_csv_s\":%.6f,\"cold_p99_kcs_s\":%.6f,"
+        "\"reload_bit_identical\":%s}\n",
         hw, kClientThreads, requests_per_client, kPipelineDepth,
         pipelined_per_client, naive_rps, runs[0].rps, runs[0].p99_s,
         runs[1].rps, runs[1].p99_s, runs[2].rps, runs[2].p99_s,
         pipelined[0].rps, pipelined[0].p99_s, pipelined[1].rps,
         pipelined[1].p99_s, pipelined[2].rps, pipelined[2].p99_s, speedup,
-        total_mismatches == 0 ? "true" : "false");
+        total_mismatches == 0 ? "true" : "false", reload.db_records,
+        reload.csv_ms, reload.kcs_ms, reload.speedup, reload.cold_p99_csv_s,
+        reload.cold_p99_kcs_s, reload.bit_identical ? "true" : "false");
     out << buf;
     std::printf("wrote BENCH_serve.json\n");
   }

@@ -42,6 +42,18 @@ void CouplingDatabase::record(CouplingRecord rec) {
   records_.push_back(std::move(rec));
 }
 
+void CouplingDatabase::adopt(std::vector<CouplingRecord> records) {
+  for (const CouplingRecord& r : records) {
+    if (!std::isfinite(r.chain_time) || r.chain_time <= 0.0 ||
+        !std::isfinite(r.isolated_sum) || r.isolated_sum <= 0.0) {
+      throw std::invalid_argument(
+          "CouplingDatabase::adopt: chain_time and isolated_sum must be "
+          "finite and positive");
+    }
+  }
+  records_ = std::move(records);
+}
+
 std::optional<CouplingRecord> CouplingDatabase::find(
     const CouplingKey& key) const {
   for (const CouplingRecord& r : records_) {
@@ -51,6 +63,13 @@ std::optional<CouplingRecord> CouplingDatabase::find(
 }
 
 std::optional<CouplingRecord> CouplingDatabase::find_nearest_ranks(
+    const CouplingKey& key) const {
+  const CouplingRecord* best = find_nearest_ranks_ref(key);
+  if (best == nullptr) return std::nullopt;
+  return *best;
+}
+
+const CouplingRecord* CouplingDatabase::find_nearest_ranks_ref(
     const CouplingKey& key) const {
   // Log-scale distance |log p - log t| orders candidates exactly like the
   // ratio max(p,t)/min(p,t), which integer cross-multiplication compares
@@ -77,8 +96,7 @@ std::optional<CouplingRecord> CouplingDatabase::find_nearest_ranks(
       best = &r;
     }
   }
-  if (best == nullptr) return std::nullopt;
-  return *best;
+  return best;
 }
 
 std::optional<CouplingRecord> CouplingDatabase::find_other_config(
@@ -102,22 +120,44 @@ std::vector<ChainCoupling> CouplingDatabase::reuse_chains_for(
     const std::string& application, const std::string& config, int ranks,
     std::size_t chain_length, std::size_t loop_size) const {
   std::vector<ChainCoupling> chains;
+  if (!reuse_chains_into(application, config, ranks, chain_length, loop_size,
+                         &chains)) {
+    return {};
+  }
+  return chains;
+}
+
+bool CouplingDatabase::reuse_chains_into(const std::string& application,
+                                         const std::string& config, int ranks,
+                                         std::size_t chain_length,
+                                         std::size_t loop_size,
+                                         std::vector<ChainCoupling>* out) const {
+  // resize() + element-wise assignment keeps every chain's members and
+  // label buffers alive between calls, so a warm scratch vector fills with
+  // zero allocations.
+  out->resize(loop_size);
+  CouplingKey probe{application, config, ranks, chain_length, 0};
   for (std::size_t start = 0; start < loop_size; ++start) {
-    const auto donor = find_nearest_ranks(
-        CouplingKey{application, config, ranks, chain_length, start});
-    if (!donor.has_value()) return {};
-    ChainCoupling c;
+    probe.chain_start = start;
+    const CouplingRecord* donor = find_nearest_ranks_ref(probe);
+    if (donor == nullptr) {
+      out->clear();
+      return false;
+    }
+    ChainCoupling& c = (*out)[start];
     c.start = start;
     c.length = chain_length;
+    c.members.clear();
     for (std::size_t i = 0; i < chain_length; ++i) {
       c.members.push_back((start + i) % loop_size);
     }
-    c.label = "reused(P=" + std::to_string(donor->key.ranks) + ")";
+    c.label = "reused(P=";
+    c.label += std::to_string(donor->key.ranks);
+    c.label += ')';
     c.chain_time = donor->chain_time;
     c.isolated_sum = donor->isolated_sum;
-    chains.push_back(std::move(c));
   }
-  return chains;
+  return true;
 }
 
 void CouplingDatabase::save_csv(std::ostream& out) const {

@@ -61,6 +61,13 @@ class CouplingDatabase {
   /// corrupt every campaign that reuses the store.
   void record(CouplingRecord record);
 
+  /// Bulk-install records that are already deduplicated (e.g. decoded from
+  /// a packed snapshot that was itself built from this class).  Values are
+  /// still validated like record(), but the per-record replace scan —
+  /// quadratic over the whole store — is skipped.  Replaces the current
+  /// contents.
+  void adopt(std::vector<CouplingRecord> records);
+
   [[nodiscard]] std::size_t size() const { return records_.size(); }
 
   /// Exact lookup.
@@ -72,6 +79,11 @@ class CouplingDatabase {
   /// independent of insertion order.  Returns nullopt if no candidate
   /// exists.
   [[nodiscard]] std::optional<CouplingRecord> find_nearest_ranks(
+      const CouplingKey& key) const;
+
+  /// find_nearest_ranks without the value copy: a pointer into the store,
+  /// valid until the next mutation.  The hot query path uses this form.
+  [[nodiscard]] const CouplingRecord* find_nearest_ranks_ref(
       const CouplingKey& key) const;
 
   /// Reuse lookup across configurations: the record for the same
@@ -87,6 +99,15 @@ class CouplingDatabase {
   [[nodiscard]] std::vector<ChainCoupling> reuse_chains_for(
       const std::string& application, const std::string& config, int ranks,
       std::size_t chain_length, std::size_t loop_size) const;
+
+  /// reuse_chains_for into a caller-owned vector whose element capacity
+  /// (members/label buffers) is reused across calls — the allocation-free
+  /// form the query engine's per-thread scratch uses.  Returns false (and
+  /// clears *out) if any chain has no donor.
+  bool reuse_chains_into(const std::string& application,
+                         const std::string& config, int ranks,
+                         std::size_t chain_length, std::size_t loop_size,
+                         std::vector<ChainCoupling>* out) const;
 
   /// CSV round-trip (header + one record per line).
   void save_csv(std::ostream& out) const;

@@ -47,6 +47,14 @@ class KernelScalingModel {
   [[nodiscard]] static KernelScalingModel fit(
       ScalingBasis basis, std::span<const ScalingSample> samples);
 
+  /// Reassemble a previously fitted model from its serialized parts (the
+  /// packed-snapshot loader stores coefficients, not samples — refitting
+  /// would need the original measurements).  Throws std::invalid_argument
+  /// when the coefficient count does not match the basis size.
+  [[nodiscard]] static KernelScalingModel from_parts(
+      ScalingBasis basis, std::vector<double> coefficients,
+      double fit_rms_relative_error);
+
   [[nodiscard]] double evaluate(double n, double p) const;
 
   [[nodiscard]] const std::vector<double>& coefficients() const {

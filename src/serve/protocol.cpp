@@ -318,7 +318,7 @@ std::string prediction_json(const Prediction& p) {
   return out;
 }
 
-std::string batch_json(const std::vector<Prediction>& results) {
+std::string batch_json(std::span<const Prediction> results) {
   std::string out = "{\"ok\":true,\"results\":[";
   for (std::size_t i = 0; i < results.size(); ++i) {
     if (i != 0) out += ',';

@@ -2,6 +2,7 @@
 
 #include <cstddef>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -43,8 +44,10 @@ struct Request {
 /// {"ok":true,...} for one prediction (error predictions serialize with
 /// "ok":false and "error").
 [[nodiscard]] std::string prediction_json(const Prediction& p);
-/// {"ok":true,"results":[...]} for a batch.
-[[nodiscard]] std::string batch_json(const std::vector<Prediction>& results);
+/// {"ok":true,"results":[...]} for a batch.  Takes a span so the server
+/// can serialize a frame's sub-range of the window's shared result vector
+/// without copying the predictions first.
+[[nodiscard]] std::string batch_json(std::span<const Prediction> results);
 /// {"ok":false,"error":...,"code":N} server-level refusal (overload,
 /// malformed frame, bad request).
 [[nodiscard]] std::string error_json(const std::string& error, int code);

@@ -15,16 +15,26 @@ QueryEngine::QueryEngine(const Workload* workload, EngineOptions options)
 std::optional<CellInputs> QueryEngine::cell(const std::string& application,
                                             const std::string& config,
                                             int ranks, bool* was_hit) {
-  if (was_hit != nullptr) *was_hit = false;
-  const CellKey key{application, config, ranks};
-  if (auto cached = cells_.get(key)) {
-    if (was_hit != nullptr) *was_hit = true;
-    return cached;
+  CellInputs out;
+  if (!cell_into(CellKey{application, config, ranks}, &out, was_hit)) {
+    return std::nullopt;
   }
-  if (!workload_->valid_cell(application, config, ranks)) return std::nullopt;
-  CellInputs measured = workload_->measure_cell(application, config, ranks);
-  cells_.put(key, measured);
-  return measured;
+  return out;
+}
+
+bool QueryEngine::cell_into(const CellKey& key, CellInputs* out,
+                            bool* was_hit) {
+  if (was_hit != nullptr) *was_hit = false;
+  if (cells_.get_into(key, out)) {
+    if (was_hit != nullptr) *was_hit = true;
+    return true;
+  }
+  if (!workload_->valid_cell(key.application, key.config, key.ranks)) {
+    return false;
+  }
+  *out = workload_->measure_cell(key.application, key.config, key.ranks);
+  cells_.put(key, *out);
+  return true;
 }
 
 Prediction QueryEngine::predict(const PredictorSnapshot& snapshot,
@@ -51,17 +61,21 @@ Prediction QueryEngine::predict(const PredictorSnapshot& snapshot,
     return p;
   }
 
+  thread_local RequestScratch scratch;
+
   // 1. Cell inputs: memoized measurement, or scaling-model extrapolation
-  //    for configurations that cannot run.
-  coupling::PredictionInputs inputs;
+  //    for configurations that cannot run.  Both land in the per-thread
+  //    scratch; string/vector assignment reuses its warm buffers.
+  scratch.cell_key.application = p.key.application;
+  scratch.cell_key.config = p.key.config;
+  scratch.cell_key.ranks = p.key.ranks;
+  const coupling::PredictionInputs* inputs = nullptr;
   std::size_t loop_size = 0;
-  const auto measured =
-      cell(p.key.application, p.key.config, p.key.ranks, &p.cache_hit);
-  if (measured.has_value()) {
-    inputs = measured->inputs;
-    loop_size = measured->loop_size;
-    p.actual_s = measured->actual_s;
-    p.summation_s = measured->summation_s;
+  if (cell_into(scratch.cell_key, &scratch.cell, &p.cache_hit)) {
+    inputs = &scratch.cell.inputs;
+    loop_size = scratch.cell.loop_size;
+    p.actual_s = scratch.cell.actual_s;
+    p.summation_s = scratch.cell.summation_s;
     p.inputs_source = "measured";
   } else {
     const auto* models = snapshot.models_for(p.key.application);
@@ -72,15 +86,23 @@ Prediction QueryEngine::predict(const PredictorSnapshot& snapshot,
                 " cannot be measured and no scaling models are fitted";
       return p;
     }
+    coupling::PredictionInputs& mi = scratch.model_inputs;
+    // The scratch persists across queries, so every field a fresh local
+    // would zero-initialize must be reset here — stale prologue/epilogue
+    // seconds from an earlier measured query would otherwise leak in.
+    mi.isolated_means.clear();
+    mi.prologue_s = 0.0;
+    mi.epilogue_s = 0.0;
     loop_size = models->size();
-    inputs.iterations = shape->iterations;
-    inputs.isolated_means.reserve(loop_size);
+    mi.iterations = shape->iterations;
+    mi.isolated_means.reserve(loop_size);
     for (const coupling::KernelScalingModel& m : *models) {
-      inputs.isolated_means.push_back(
+      mi.isolated_means.push_back(
           m.evaluate(shape->grid_extent, static_cast<double>(p.key.ranks)));
     }
-    p.summation_s = coupling::summation_prediction(inputs);
+    p.summation_s = coupling::summation_prediction(mi);
     p.inputs_source = "model";
+    inputs = &mi;
   }
   if (query.chain_length > loop_size) {
     p.error = "chain length " + std::to_string(query.chain_length) +
@@ -93,18 +115,17 @@ Prediction QueryEngine::predict(const PredictorSnapshot& snapshot,
   const AlphaGroup* group = snapshot.find_alpha(
       p.key.application, p.key.config, p.key.ranks, query.chain_length);
   if (group != nullptr && group->loop_size == loop_size) {
-    p.coupling_s = coupling::alpha_prediction(inputs, group->alpha);
+    p.coupling_s = coupling::alpha_prediction(*inputs, group->alpha);
     p.alpha_source = "exact";
   } else {
-    const auto donor = snapshot.database().reuse_chains_for(
-        p.key.application, p.key.config, p.key.ranks, query.chain_length,
-        loop_size);
-    if (donor.empty()) {
+    if (!snapshot.database().reuse_chains_into(
+            p.key.application, p.key.config, p.key.ranks, query.chain_length,
+            loop_size, &scratch.donor)) {
       p.error = "no coupling data for " + p.key.application + "/" +
                 p.key.config + " q=" + std::to_string(query.chain_length);
       return p;
     }
-    p.coupling_s = coupling::coupling_prediction(inputs, donor);
+    p.coupling_s = coupling::coupling_prediction(*inputs, scratch.donor);
     p.alpha_source = "nearest";
   }
 

@@ -97,6 +97,20 @@ class QueryEngine {
     }
   };
 
+  /// Per-thread request state, reused across predict() calls so a warm
+  /// query allocates nothing: the LRU hit assigns into `cell`'s existing
+  /// buffers, the fallback paths fill `model_inputs`/`donor` in place.
+  /// Every field is (re)written before it is read within one call — stale
+  /// values can never leak into a later query.
+  struct RequestScratch {
+    CellKey cell_key;
+    CellInputs cell;
+    coupling::PredictionInputs model_inputs;
+    std::vector<coupling::ChainCoupling> donor;
+  };
+
+  bool cell_into(const CellKey& key, CellInputs* out, bool* was_hit);
+
   const Workload* workload_;
   ShardedLruCache<CellKey, CellInputs, CellKeyHash> cells_;
 };

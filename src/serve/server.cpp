@@ -12,9 +12,11 @@
 #include <chrono>
 #include <cstring>
 #include <optional>
+#include <span>
 #include <utility>
 
 #include "serve/protocol.hpp"
+#include "support/arena.hpp"
 
 namespace kcoup::serve {
 
@@ -324,6 +326,14 @@ void Server::handle_window(Conn& conn,
                            const std::vector<std::string>& payloads) {
   const auto t0 = std::chrono::steady_clock::now();
 
+  // Per-shard-thread arena backing the window's frame/query vectors: after
+  // a few windows the arena settles at the high-water size and the window
+  // setup stops allocating.  reset() at entry recycles the previous
+  // window's blocks — its vectors were destroyed when the previous call
+  // returned (deallocate is a no-op, so destruction order is free).
+  thread_local support::MonotonicArena window_arena;
+  window_arena.reset();
+
   // Parse every frame up front so the whole window's queries can share one
   // snapshot acquisition and one engine call; each frame keeps a [offset,
   // offset+count) view into the shared result vector.
@@ -332,8 +342,11 @@ void Server::handle_window(Conn& conn,
     std::size_t offset = 0;
     std::size_t count = 0;
   };
-  std::vector<Frame> frames(payloads.size());
-  std::vector<QueryKey> queries;
+  std::vector<Frame, support::ArenaAllocator<Frame>> frames(
+      payloads.size(), support::ArenaAllocator<Frame>(&window_arena));
+  std::vector<QueryKey, support::ArenaAllocator<QueryKey>> queries{
+      support::ArenaAllocator<QueryKey>(&window_arena)};
+  queries.reserve(payloads.size());
   for (std::size_t i = 0; i < payloads.size(); ++i) {
     frames[i].request = parse_request(payloads[i]);
     const auto& request = frames[i].request;
@@ -387,10 +400,11 @@ void Server::handle_window(Conn& conn,
             response = error_json("no snapshot loaded", 503);
             break;
           }
-          const auto begin =
-              results.begin() + static_cast<std::ptrdiff_t>(frame.offset);
-          const std::vector<Prediction> slice(
-              begin, begin + static_cast<std::ptrdiff_t>(frame.count));
+          // A view, not a copy: Prediction carries four strings, and the
+          // old deep copy of every batch slice was pure serialization
+          // overhead.
+          const std::span<const Prediction> slice(
+              results.data() + frame.offset, frame.count);
           std::uint64_t failed = 0;
           std::uint64_t cache_hits = 0;
           for (const Prediction& p : slice) {

@@ -62,6 +62,28 @@ class ShardedLruCache {
     return it->second->second;
   }
 
+  /// get() into a caller-owned value: a hit assigns (reusing whatever
+  /// buffers *out already holds — the allocation-free form the query
+  /// engine's per-thread scratch uses), a miss leaves *out untouched.
+  /// Accounting and LRU movement match get() exactly.
+  bool get_into(const Key& key, Value* out) {
+    if (!enabled()) {
+      misses_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    Shard& s = shard_for(key);
+    std::lock_guard<std::mutex> lock(s.mutex);
+    const auto it = s.index.find(key);
+    if (it == s.index.end()) {
+      misses_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    s.lru.splice(s.lru.begin(), s.lru, it->second);  // move to front (MRU)
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    *out = it->second->second;
+    return true;
+  }
+
   void put(const Key& key, Value value) {
     if (!enabled()) return;
     Shard& s = shard_for(key);

@@ -3,16 +3,32 @@
 #include <sys/stat.h>
 
 #include <algorithm>
+#include <map>
 #include <set>
 #include <stdexcept>
 #include <utility>
 
 #include "coupling/analysis.hpp"
 #include "obs/trace.hpp"
+#include "serve/pack.hpp"
 
 namespace kcoup::serve {
 
 namespace {
+
+/// Component-wise (key < probe) without materializing a GroupKey — the
+/// lookup path would otherwise copy two strings per query.
+bool group_key_before(const PredictorSnapshot::GroupKey& key,
+                      const std::string& application,
+                      const std::string& config, int ranks,
+                      std::size_t chain_length) {
+  if (const int c = std::get<0>(key).compare(application); c != 0) {
+    return c < 0;
+  }
+  if (const int c = std::get<1>(key).compare(config); c != 0) return c < 0;
+  if (std::get<2>(key) != ranks) return std::get<2>(key) < ranks;
+  return std::get<3>(key) < chain_length;
+}
 
 /// Reconstruct the full chain set of one complete group, in start order,
 /// with the exact members/isolated_sum/chain_time the campaign assembly
@@ -67,7 +83,9 @@ PredictorSnapshot::PredictorSnapshot(coupling::CouplingDatabase db,
     group.loop_size = chains->size();
     group.alpha = coupling::coupling_coefficients(group.loop_size, *chains);
     group.chains = std::move(*chains);
-    groups_.emplace(key, std::move(group));
+    // by_group is a std::map, so emplace_back lands in sorted key order —
+    // the invariant find_alpha's binary search relies on.
+    groups_.emplace_back(key, std::move(group));
   }
 
   if (!options.fit_scaling_models || !cell_fn) return;
@@ -105,24 +123,45 @@ PredictorSnapshot::PredictorSnapshot(coupling::CouplingDatabase db,
     } catch (const std::invalid_argument&) {
       continue;  // singular fit (e.g. all samples identical): no models
     }
-    models_.emplace(application, std::move(models));
+    // cells_by_app is a std::map: sorted application order, as above.
+    models_.emplace_back(application, std::move(models));
   }
 }
+
+PredictorSnapshot::PredictorSnapshot(coupling::CouplingDatabase db,
+                                     std::uint64_t version,
+                                     Precomputed precomputed)
+    : db_(std::move(db)),
+      version_(version),
+      groups_(std::move(precomputed.groups)),
+      models_(std::move(precomputed.models)) {}
 
 const AlphaGroup* PredictorSnapshot::find_alpha(const std::string& application,
                                                 const std::string& config,
                                                 int ranks,
                                                 std::size_t chain_length) const {
-  const auto it =
-      groups_.find(GroupKey{application, config, ranks, chain_length});
-  if (it == groups_.end()) return nullptr;
+  const auto it = std::lower_bound(
+      groups_.begin(), groups_.end(), 0,
+      [&](const std::pair<GroupKey, AlphaGroup>& entry, int) {
+        return group_key_before(entry.first, application, config, ranks,
+                                chain_length);
+      });
+  if (it == groups_.end() || std::get<0>(it->first) != application ||
+      std::get<1>(it->first) != config || std::get<2>(it->first) != ranks ||
+      std::get<3>(it->first) != chain_length) {
+    return nullptr;
+  }
   return &it->second;
 }
 
 const std::vector<coupling::KernelScalingModel>* PredictorSnapshot::models_for(
     const std::string& application) const {
-  const auto it = models_.find(application);
-  if (it == models_.end()) return nullptr;
+  const auto it = std::lower_bound(
+      models_.begin(), models_.end(), application,
+      [](const auto& entry, const std::string& app) {
+        return entry.first < app;
+      });
+  if (it == models_.end() || it->first != application) return nullptr;
   return &it->second;
 }
 
@@ -148,10 +187,18 @@ std::optional<SnapshotSource::FileProbe> SnapshotSource::probe() const {
 
 void SnapshotSource::load_and_publish(const FileProbe& seen) {
   obs::ScopedSpan span("snapshot_reload", "serve");
-  coupling::CouplingDatabase db;
-  db.load_csv_file(path_);
-  auto snapshot = std::make_shared<const PredictorSnapshot>(
-      std::move(db), next_version_, cell_fn_, options_);
+  // The format is sniffed from the file, not the path: an operator can
+  // atomically swap a CSV database for a packed one (or back) under the
+  // same serving path, and the next poll() picks the right loader.
+  std::shared_ptr<const PredictorSnapshot> snapshot;
+  if (is_packed_snapshot_file(path_)) {
+    snapshot = load_packed_snapshot(path_, next_version_);
+  } else {
+    coupling::CouplingDatabase db;
+    db.load_csv_file(path_);
+    snapshot = std::make_shared<const PredictorSnapshot>(
+        std::move(db), next_version_, cell_fn_, options_);
+  }
   if (span.active()) {
     span.annotate("version", next_version_);
     span.annotate("records",

@@ -7,7 +7,6 @@
 #include <cstdint>
 #include <filesystem>
 #include <functional>
-#include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -57,8 +56,27 @@ struct SnapshotOptions {
 /// reference once per request and never observe a half-reloaded state.
 class PredictorSnapshot {
  public:
+  /// Sort key of a precomputed group: (application, config, ranks,
+  /// chain_length).  Public so the snapshot packer can serialize groups in
+  /// their canonical order.
+  using GroupKey = std::tuple<std::string, std::string, int, std::size_t>;
+
+  /// Already-derived tables, e.g. decoded from a packed snapshot.  Both
+  /// vectors must be strictly sorted by key — the order alpha_groups() and
+  /// scaling_models() expose, which is also the order the packer writes.
+  struct Precomputed {
+    std::vector<std::pair<GroupKey, AlphaGroup>> groups;
+    std::vector<std::pair<std::string, std::vector<coupling::KernelScalingModel>>>
+        models;
+  };
+
+  /// Derive alpha groups (and optionally scaling models) from the database.
   PredictorSnapshot(coupling::CouplingDatabase db, std::uint64_t version,
                     const CellFn& cell_fn, const SnapshotOptions& options);
+
+  /// Install precomputed tables verbatim — the zero-recompute load path.
+  PredictorSnapshot(coupling::CouplingDatabase db, std::uint64_t version,
+                    Precomputed precomputed);
 
   [[nodiscard]] const coupling::CouplingDatabase& database() const {
     return db_;
@@ -84,13 +102,27 @@ class PredictorSnapshot {
     return models_.size();
   }
 
- private:
-  using GroupKey = std::tuple<std::string, std::string, int, std::size_t>;
+  /// All precomputed groups / models, sorted by key — the serialization
+  /// order of the packed-snapshot format.
+  [[nodiscard]] const std::vector<std::pair<GroupKey, AlphaGroup>>&
+  alpha_groups() const {
+    return groups_;
+  }
+  [[nodiscard]] const std::vector<
+      std::pair<std::string, std::vector<coupling::KernelScalingModel>>>&
+  scaling_models() const {
+    return models_;
+  }
 
+ private:
   coupling::CouplingDatabase db_;
   std::uint64_t version_ = 0;
-  std::map<GroupKey, AlphaGroup> groups_;
-  std::map<std::string, std::vector<coupling::KernelScalingModel>> models_;
+  // Flat sorted arrays, not maps: a cold lookup is a branchless-ish binary
+  // search over contiguous pairs instead of a pointer chase per tree level,
+  // and the layout is what the packer serializes byte-for-byte.
+  std::vector<std::pair<GroupKey, AlphaGroup>> groups_;
+  std::vector<std::pair<std::string, std::vector<coupling::KernelScalingModel>>>
+      models_;
 };
 
 /// Owns the current snapshot and hot-reloads it when the database file

@@ -1,0 +1,139 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <vector>
+
+namespace kcoup::support {
+
+/// A bump-pointer arena for per-request/per-window scratch: allocation is a
+/// pointer increment, deallocation is a no-op, and reset() recycles every
+/// block for the next request without returning memory to the system.
+/// Not thread-safe — intended as a thread_local in each server shard.
+///
+/// Blocks grow geometrically, so a steady-state workload settles into one
+/// block sized for its largest window and reset() becomes O(1).
+class MonotonicArena {
+ public:
+  explicit MonotonicArena(std::size_t first_block_bytes = 4096)
+      : next_block_bytes_(first_block_bytes < 64 ? 64 : first_block_bytes) {}
+
+  MonotonicArena(const MonotonicArena&) = delete;
+  MonotonicArena& operator=(const MonotonicArena&) = delete;
+
+  [[nodiscard]] void* allocate(std::size_t bytes, std::size_t alignment) {
+    if (bytes == 0) bytes = 1;
+    const std::uintptr_t base =
+        reinterpret_cast<std::uintptr_t>(cursor_);
+    const std::uintptr_t aligned =
+        (base + (alignment - 1)) & ~std::uintptr_t{alignment - 1};
+    const std::size_t padding = aligned - base;
+    if (block_ < blocks_.size() &&
+        padding + bytes <= remaining_in_block()) {
+      cursor_ = reinterpret_cast<char*>(aligned) + bytes;
+      return reinterpret_cast<void*>(aligned);
+    }
+    return allocate_slow(bytes, alignment);
+  }
+
+  /// Recycle every block.  Outstanding allocations become invalid; callers
+  /// (the server window loop) must have dropped all arena-backed containers
+  /// first.
+  void reset() {
+    block_ = 0;
+    if (!blocks_.empty()) {
+      cursor_ = blocks_.front().data.get();
+      block_end_ = cursor_ + blocks_.front().bytes;
+    }
+  }
+
+  /// Bytes currently held across all blocks (monitoring/tests).
+  [[nodiscard]] std::size_t capacity() const {
+    std::size_t total = 0;
+    for (const Block& b : blocks_) total += b.bytes;
+    return total;
+  }
+  [[nodiscard]] std::size_t block_count() const { return blocks_.size(); }
+
+ private:
+  struct Block {
+    std::unique_ptr<char[]> data;
+    std::size_t bytes = 0;
+  };
+
+  [[nodiscard]] std::size_t remaining_in_block() const {
+    return static_cast<std::size_t>(block_end_ - cursor_);
+  }
+
+  [[nodiscard]] void* allocate_slow(std::size_t bytes, std::size_t alignment) {
+    // Advance through already-reserved blocks before growing.
+    while (block_ + 1 < blocks_.size()) {
+      ++block_;
+      cursor_ = blocks_[block_].data.get();
+      block_end_ = cursor_ + blocks_[block_].bytes;
+      void* p = try_bump(bytes, alignment);
+      if (p != nullptr) return p;
+    }
+    std::size_t want = next_block_bytes_;
+    // Worst case the aligned allocation needs bytes + alignment - 1.
+    while (want < bytes + alignment) want *= 2;
+    next_block_bytes_ = want * 2;
+    Block b;
+    b.data = std::make_unique<char[]>(want);
+    b.bytes = want;
+    blocks_.push_back(std::move(b));
+    block_ = blocks_.size() - 1;
+    cursor_ = blocks_[block_].data.get();
+    block_end_ = cursor_ + blocks_[block_].bytes;
+    void* p = try_bump(bytes, alignment);
+    return p != nullptr ? p : throw std::bad_alloc{};
+  }
+
+  [[nodiscard]] void* try_bump(std::size_t bytes, std::size_t alignment) {
+    const std::uintptr_t base = reinterpret_cast<std::uintptr_t>(cursor_);
+    const std::uintptr_t aligned =
+        (base + (alignment - 1)) & ~std::uintptr_t{alignment - 1};
+    const std::size_t padding = aligned - base;
+    if (padding + bytes > remaining_in_block()) return nullptr;
+    cursor_ = reinterpret_cast<char*>(aligned) + bytes;
+    return reinterpret_cast<void*>(aligned);
+  }
+
+  std::vector<Block> blocks_;
+  std::size_t block_ = 0;
+  char* cursor_ = nullptr;
+  char* block_end_ = nullptr;
+  std::size_t next_block_bytes_;
+};
+
+/// Minimal std-conforming allocator over a MonotonicArena, for scoping a
+/// std::vector's backing store to one request window.  deallocate() is a
+/// no-op; the arena's reset() reclaims everything at once.
+template <typename T>
+class ArenaAllocator {
+ public:
+  using value_type = T;
+
+  explicit ArenaAllocator(MonotonicArena* arena) : arena_(arena) {}
+  template <typename U>
+  ArenaAllocator(const ArenaAllocator<U>& other) : arena_(other.arena()) {}
+
+  [[nodiscard]] T* allocate(std::size_t n) {
+    return static_cast<T*>(arena_->allocate(n * sizeof(T), alignof(T)));
+  }
+  void deallocate(T*, std::size_t) {}
+
+  [[nodiscard]] MonotonicArena* arena() const { return arena_; }
+
+  template <typename U>
+  [[nodiscard]] bool operator==(const ArenaAllocator<U>& other) const {
+    return arena_ == other.arena();
+  }
+
+ private:
+  MonotonicArena* arena_;
+};
+
+}  // namespace kcoup::support

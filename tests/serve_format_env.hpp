@@ -1,0 +1,38 @@
+#pragma once
+
+// Shared serve-test helper: persist a coupling database in the snapshot
+// format selected by the KCOUP_SNAPSHOT_FORMAT environment variable —
+// "csv" (or unset) writes the interchange CSV, "kcs" packs the binary
+// snapshot.  SnapshotSource sniffs the format from the file contents, so
+// the same test fixtures run unchanged against either format; CI exercises
+// both by re-running the serve suites with KCOUP_SNAPSHOT_FORMAT=kcs.
+
+#include <cstdlib>
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "coupling/database.hpp"
+#include "serve/pack.hpp"
+#include "serve/snapshot.hpp"
+
+namespace kcoup::test {
+
+inline bool packed_snapshot_format() {
+  const char* format = std::getenv("KCOUP_SNAPSHOT_FORMAT");
+  return format != nullptr && std::string_view(format) == "kcs";
+}
+
+inline void save_db_in_env_format(coupling::CouplingDatabase db,
+                                  const std::string& path) {
+  if (packed_snapshot_format()) {
+    serve::pack_snapshot_file(
+        serve::PredictorSnapshot(std::move(db), 0, serve::CellFn{},
+                                 serve::SnapshotOptions{false}),
+        path);
+  } else {
+    db.save_csv_file(path);
+  }
+}
+
+}  // namespace kcoup::test

@@ -1,0 +1,108 @@
+// Tests for the monotonic request arena backing the server's per-window
+// allocations: alignment, block growth, reset-with-retained-capacity, and
+// standard-container use through ArenaAllocator.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "support/arena.hpp"
+
+namespace kcoup {
+namespace {
+
+TEST(MonotonicArena, AllocationsAreAlignedAndDisjoint) {
+  support::MonotonicArena arena(256);
+  void* a = arena.allocate(3, 1);
+  void* b = arena.allocate(8, 8);
+  void* c = arena.allocate(16, 16);
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(b) % 8, 0u);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(c) % 16, 0u);
+  // Writing each allocation fully must not clobber the others.
+  std::memset(a, 0xAA, 3);
+  std::memset(b, 0xBB, 8);
+  std::memset(c, 0xCC, 16);
+  EXPECT_EQ(static_cast<unsigned char*>(a)[0], 0xAA);
+  EXPECT_EQ(static_cast<unsigned char*>(b)[7], 0xBB);
+  EXPECT_EQ(static_cast<unsigned char*>(c)[15], 0xCC);
+}
+
+TEST(MonotonicArena, GrowsBeyondFirstBlock) {
+  support::MonotonicArena arena(64);
+  // Far more than one block's worth of allocations.
+  for (int i = 0; i < 100; ++i) {
+    void* p = arena.allocate(32, 8);
+    ASSERT_NE(p, nullptr);
+    std::memset(p, i, 32);
+  }
+  EXPECT_GT(arena.block_count(), 1u);
+  EXPECT_GE(arena.capacity(), 100u * 32u);
+}
+
+TEST(MonotonicArena, OversizedSingleAllocationSucceeds) {
+  support::MonotonicArena arena(64);
+  void* p = arena.allocate(4096, 64);
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % 64, 0u);
+  std::memset(p, 0x5A, 4096);
+}
+
+TEST(MonotonicArena, ResetRetainsCapacityAndReusesBlocks) {
+  support::MonotonicArena arena(128);
+  for (int i = 0; i < 50; ++i) (void)arena.allocate(64, 8);
+  const std::size_t capacity = arena.capacity();
+  const std::size_t blocks = arena.block_count();
+  arena.reset();
+  EXPECT_EQ(arena.capacity(), capacity);
+  EXPECT_EQ(arena.block_count(), blocks);
+  // The same allocation pattern after reset must not grow the arena: the
+  // steady-state promise is zero allocations per window.
+  for (int i = 0; i < 50; ++i) (void)arena.allocate(64, 8);
+  EXPECT_EQ(arena.capacity(), capacity);
+  EXPECT_EQ(arena.block_count(), blocks);
+}
+
+TEST(ArenaAllocator, BacksAStandardVector) {
+  support::MonotonicArena arena(256);
+  std::vector<int, support::ArenaAllocator<int>> v{
+      support::ArenaAllocator<int>(&arena)};
+  for (int i = 0; i < 1000; ++i) v.push_back(i);
+  for (int i = 0; i < 1000; ++i) ASSERT_EQ(v[i], i);
+}
+
+TEST(ArenaAllocator, RebindsAcrossValueTypes) {
+  support::MonotonicArena arena(256);
+  const support::ArenaAllocator<int> a(&arena);
+  const support::ArenaAllocator<double> b(a);  // converting constructor
+  EXPECT_TRUE(a == support::ArenaAllocator<int>(b));
+  std::vector<std::string, support::ArenaAllocator<std::string>> names{
+      support::ArenaAllocator<std::string>(&arena)};
+  names.emplace_back("a long enough string to defeat SSO in most libraries");
+  names.emplace_back("second");
+  EXPECT_EQ(names.size(), 2u);
+}
+
+TEST(ArenaAllocator, WindowPatternResetAndRefill) {
+  // The server's per-window pattern: build containers, drop them, reset,
+  // repeat.  After the first window no new blocks may appear.
+  support::MonotonicArena arena(1024);
+  for (int window = 0; window < 10; ++window) {
+    arena.reset();
+    std::vector<int, support::ArenaAllocator<int>> frame{
+        support::ArenaAllocator<int>(&arena)};
+    frame.reserve(64);
+    for (int i = 0; i < 64; ++i) frame.push_back(window * i);
+    ASSERT_EQ(frame.back(), window * 63);
+    if (window == 0) continue;
+    EXPECT_LE(arena.block_count(), 2u) << "window " << window;
+  }
+}
+
+}  // namespace
+}  // namespace kcoup

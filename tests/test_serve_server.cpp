@@ -10,6 +10,7 @@
 #include <chrono>
 #include <cmath>
 #include <filesystem>
+#include <fstream>
 #include <memory>
 #include <thread>
 #include <vector>
@@ -19,8 +20,11 @@
 #include "machine/config.hpp"
 #include "npb/bt/bt_model.hpp"
 #include "serve/client.hpp"
+#include "serve/pack.hpp"
 #include "serve/protocol.hpp"
 #include "serve/server.hpp"
+
+#include "serve_format_env.hpp"
 
 namespace kcoup {
 namespace {
@@ -81,7 +85,32 @@ class ServerTest : public ::testing::Test {
         db.record(r);
       }
     }
-    db.save_csv_file(path_.string());
+    test::save_db_in_env_format(std::move(db), path_.string());
+  }
+
+  /// Rewrite the database at `path_` in an explicit format, regardless of
+  /// KCOUP_SNAPSHOT_FORMAT — the cross-format hot-reload test swaps
+  /// formats live under the same path.
+  void write_db_as(double scale, bool packed) {
+    coupling::CouplingDatabase db;
+    for (const auto& cl : study_->by_length) {
+      for (coupling::ChainCoupling chain : cl.chains) {
+        chain.chain_time *= scale;
+        coupling::CouplingRecord r;
+        r.key = {"BT", "S", 4, chain.length, chain.start};
+        r.chain_time = chain.chain_time;
+        r.isolated_sum = chain.isolated_sum;
+        db.record(r);
+      }
+    }
+    if (packed) {
+      serve::pack_snapshot_file(
+          serve::PredictorSnapshot(std::move(db), 0, serve::CellFn{},
+                                   serve::SnapshotOptions{false}),
+          path_.string());
+    } else {
+      db.save_csv_file(path_.string());
+    }
   }
 
   void start_server(serve::ServerConfig config = {}) {
@@ -292,6 +321,63 @@ TEST_F(ServerTest, HotReloadServesNewValuesWithoutRestart) {
   EXPECT_TRUE(after->cache_hit);
   EXPECT_EQ(after->actual_s, before->actual_s);
   EXPECT_EQ(server_->metrics().snapshot_version, 2u);
+}
+
+/// The snapshot source sniffs the format per reload, so an operator can
+/// swap a live server between CSV and packed snapshots under the same
+/// path — the served values must be bit-identical across the swap, and a
+/// corrupt packed file must leave the old snapshot serving.
+TEST_F(ServerTest, HotReloadSwapsBetweenCsvAndPackedFormats) {
+  start_server();
+  serve::Client client = connect();
+  const auto baseline = client.predict({"BT", "S", 4, 2});
+  ASSERT_TRUE(baseline.has_value());
+  ASSERT_TRUE(baseline->ok);
+  EXPECT_EQ(baseline->snapshot_version, 1u);
+
+  // CSV -> packed, with new content (doubled chain times).
+  write_db_as(2.0, /*packed=*/true);
+  ASSERT_TRUE(source_->poll());
+  const auto packed = client.predict({"BT", "S", 4, 2});
+  ASSERT_TRUE(packed.has_value());
+  ASSERT_TRUE(packed->ok) << packed->error;
+  EXPECT_EQ(packed->snapshot_version, 2u);
+  EXPECT_NE(packed->coupling_s, baseline->coupling_s);
+
+  // packed -> CSV with the same content: a format change only.  The served
+  // prediction must not move by a single bit.
+  write_db_as(2.0, /*packed=*/false);
+  ASSERT_TRUE(source_->poll());
+  const auto csv = client.predict({"BT", "S", 4, 2});
+  ASSERT_TRUE(csv.has_value());
+  ASSERT_TRUE(csv->ok) << csv->error;
+  EXPECT_EQ(csv->snapshot_version, 3u);
+  EXPECT_EQ(csv->coupling_s, packed->coupling_s);
+  EXPECT_EQ(csv->summation_s, packed->summation_s);
+  EXPECT_EQ(csv->actual_s, packed->actual_s);
+
+  // A corrupt packed file (valid magic, truncated body) must fail the
+  // reload and keep the CSV snapshot serving.
+  {
+    std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+    out << "KCOUPKCS garbage";
+  }
+  EXPECT_FALSE(source_->poll());
+  EXPECT_GE(source_->reload_failures(), 1u);
+  const auto still = client.predict({"BT", "S", 4, 2});
+  ASSERT_TRUE(still.has_value());
+  ASSERT_TRUE(still->ok) << still->error;
+  EXPECT_EQ(still->snapshot_version, 3u);
+  EXPECT_EQ(still->coupling_s, csv->coupling_s);
+
+  // A fixed packed file retriggers the reload.
+  write_db_as(3.0, /*packed=*/true);
+  ASSERT_TRUE(source_->poll());
+  const auto fixed = client.predict({"BT", "S", 4, 2});
+  ASSERT_TRUE(fixed.has_value());
+  ASSERT_TRUE(fixed->ok) << fixed->error;
+  EXPECT_EQ(fixed->snapshot_version, 4u);
+  EXPECT_NE(fixed->coupling_s, csv->coupling_s);
 }
 
 TEST_F(ServerTest, StatsOpReportsCountersAndLatency) {

@@ -29,6 +29,8 @@
 #include "serve/server.hpp"
 #include "serve/workload.hpp"
 
+#include "serve_format_env.hpp"
+
 namespace kcoup {
 namespace {
 
@@ -336,7 +338,7 @@ class WireServerTest : public ::testing::Test {
     coupling::CouplingDatabase db;
     add_group(&db, 4);
     add_group(&db, 16);
-    db.save_csv_file(path_.string());
+    test::save_db_in_env_format(std::move(db), path_.string());
     workload_ = std::make_unique<WireWorkload>();
     engine_ = std::make_unique<serve::QueryEngine>(workload_.get());
     source_ = std::make_unique<serve::SnapshotSource>(

@@ -37,6 +37,7 @@
 #include "machine/config.hpp"
 #include "obs/trace.hpp"
 #include "serve/client.hpp"
+#include "serve/pack.hpp"
 #include "serve/protocol.hpp"
 #include "serve/server.hpp"
 #include "npb/bt/bt_model.hpp"
@@ -1070,6 +1071,79 @@ int cmd_serve(const Args& args) {
   return 0;
 }
 
+// --- Snapshot packing -------------------------------------------------------
+
+int cmd_pack(const Args& args) {
+  const bool quiet = args.flag("quiet");
+
+  if (args.flag("verify")) {
+    // kcoup pack --verify db.kcs: decode the whole file — every checksum,
+    // every table — and report what it holds.  Any defect exits 1 with the
+    // loader's named error.
+    if (args.positionals().size() != 1) {
+      throw std::runtime_error("pack --verify: expected exactly one .kcs path");
+    }
+    const std::string path = args.positionals().front();
+    args.check_all_used();
+    const serve::PackStats stats = serve::verify_packed_snapshot(path);
+    if (!quiet) {
+      std::printf(
+          "kcoup pack: %s ok (format v%u, %zu bytes, %zu records, "
+          "%zu alpha groups, %zu modeled apps)\n",
+          path.c_str(), stats.format_version, stats.bytes, stats.records,
+          stats.alpha_groups, stats.modeled_applications);
+    }
+    return 0;
+  }
+
+  // kcoup pack db.csv -o db.kcs: CSV stays the interchange format; the
+  // packed snapshot is the serving artifact.  The snapshot is built exactly
+  // as `kcoup serve` would build it from the CSV (same workload, same
+  // machine model, same scaling-model fit), so a server loading either file
+  // answers bit-identically — as long as --machine/--no-models match.
+  if (args.positionals().size() != 1) {
+    throw std::runtime_error("pack: expected exactly one input CSV path");
+  }
+  const std::string in_path = args.positionals().front();
+  std::string default_out = in_path;
+  if (default_out.size() > 4 && default_out.ends_with(".csv")) {
+    default_out.resize(default_out.size() - 4);
+  }
+  default_out += ".kcs";
+  const std::string out_path = args.get("out", default_out);
+  const machine::MachineConfig cfg =
+      parse_machine(args.get("machine", "ibm-sp"));
+  const bool no_models = args.flag("no-models");
+  args.check_all_used();
+
+  if (serve::is_packed_snapshot_file(in_path)) {
+    throw std::runtime_error("pack: " + in_path +
+                             " is already a packed snapshot");
+  }
+  coupling::CouplingDatabase db;
+  db.load_csv_file(in_path);
+
+  serve::NpbWorkload workload(cfg);
+  serve::QueryEngine engine(&workload);
+  serve::SnapshotOptions snapshot_options;
+  snapshot_options.fit_scaling_models = !no_models;
+  const serve::PredictorSnapshot snapshot(
+      std::move(db), 0,
+      [&engine](const std::string& a, const std::string& c, int p) {
+        return engine.cell(a, c, p);
+      },
+      snapshot_options);
+  const serve::PackStats stats = serve::pack_snapshot_file(snapshot, out_path);
+  if (!quiet) {
+    std::printf(
+        "kcoup pack: %s -> %s (format v%u, %zu bytes, %zu records, "
+        "%zu alpha groups, %zu modeled apps)\n",
+        in_path.c_str(), out_path.c_str(), stats.format_version, stats.bytes,
+        stats.records, stats.alpha_groups, stats.modeled_applications);
+  }
+  return 0;
+}
+
 int cmd_query(const Args& args) {
   const std::string host = args.get("host", "127.0.0.1");
   const int port = parse_int_arg("port", args.get("port"));
@@ -1287,6 +1361,9 @@ void usage() {
       "                    [--metrics-csv path] [--metrics-jsonl path]\n"
       "                    [--trace-out trace.json]\n"
       "                    [--machine ibm-sp|generic-smp]\n"
+      "  kcoup pack        db.csv [-o db.kcs] [--no-models] [--quiet]\n"
+      "                    [--machine ibm-sp|generic-smp]\n"
+      "  kcoup pack        --verify db.kcs [--quiet]\n"
       "  kcoup query       --port P [--host H] --app bt|sp|lu --class C\n"
       "                    [--procs 4,9] [--chains 2,3] [--raw]\n"
       "  kcoup query       --port P [--host H] --stats\n"
@@ -1323,7 +1400,18 @@ int main(int argc, char** argv) {
     if (cmd == "serve") bool_flags = {"no-models", "quiet", "force-poll"};
     if (cmd == "query") bool_flags = {"stats", "raw"};
     if (cmd == "stats") bool_flags = {"raw"};
-    const Args args(argc, argv, std::move(bool_flags), cmd == "merge");
+    if (cmd == "pack") {
+      bool_flags = {"verify", "quiet", "no-models"};
+      // -o is the conventional short spelling for the converter's output;
+      // the flag parser only speaks --flags, so rewrite it up front.
+      for (int i = 2; i < argc; ++i) {
+        if (std::strcmp(argv[i], "-o") == 0) {
+          argv[i] = const_cast<char*>("--out");
+        }
+      }
+    }
+    const Args args(argc, argv, std::move(bool_flags),
+                    cmd == "merge" || cmd == "pack");
     if (cmd == "study") return cmd_study(args);
     if (cmd == "transitions") return cmd_transitions(args);
     if (cmd == "reuse") return cmd_reuse(args);
@@ -1331,6 +1419,7 @@ int main(int argc, char** argv) {
     if (cmd == "campaign") return cmd_campaign(args);
     if (cmd == "merge") return cmd_merge(args);
     if (cmd == "serve") return cmd_serve(args);
+    if (cmd == "pack") return cmd_pack(args);
     if (cmd == "query") return cmd_query(args);
     if (cmd == "stats") return cmd_stats(args);
     if (cmd == "machines") return cmd_machines(args);
