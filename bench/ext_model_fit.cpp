@@ -1,0 +1,224 @@
+// Extension bench: the src/model/ fitting subsystem vs the legacy
+// fixed-basis LSQ fit.
+//
+// Ground truth is a synthetic two-regime workload — volume-bound n^3/P
+// scaling up to P = 8, latency-dominated constant + log2(P) from P = 16 on
+// — the shape the paper attributes to crossing a memory-hierarchy
+// boundary.  Both model families fit the same training grid with the
+// largest processor count held out, then extrapolate to it:
+//
+//   - legacy: one KernelScalingModel (fixed npb_default basis, global LSQ)
+//   - selected: fit_piecewise (LOO-CV term selection + changepoint split)
+//
+// The bench reports held-out relative error for both, the improvement
+// factor, fit throughput, and changepoint-detection throughput, and writes
+// the `BENCH_model.json` baseline.  The full run asserts the improvement
+// floor and that the located breakpoint is within one grid step of the
+// truth; `--smoke` only checks the pipeline end to end.
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "coupling/scaling_model.hpp"
+#include "model/piecewise.hpp"
+#include "model/select.hpp"
+#include "model/transitions.hpp"
+#include "report/table.hpp"
+
+using namespace kcoup;
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+/// Two-regime truth for kernel k: n^3/P work below the break, constant +
+/// log2(P) latency above it.  The break sits between P = 8 and P = 16.
+double truth(std::size_t k, double n, double p) {
+  const double a = 1e-6 * static_cast<double>(k + 1);
+  if (p <= 8.0) return a * n * n * n / p;
+  const double c = 2e-3 * static_cast<double>(k + 1);
+  return c + 1e-4 * std::log2(p);
+}
+
+struct KernelErrors {
+  double lsq = 0.0;       // mean |rel err| of the legacy LSQ extrapolation
+  double selected = 0.0;  // mean |rel err| of the piecewise model
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  const std::size_t kernels = smoke ? 2 : 8;
+  const int fit_reps = smoke ? 2 : 50;
+
+  const std::vector<double> train_p{1, 2, 4, 8, 16, 32, 64};
+  const double heldout_p = 128.0;  // largest P: extrapolation target
+  const std::vector<double> sizes{12, 24, 36, 64};
+
+  // --- Held-out extrapolation: legacy LSQ vs selected piecewise ------------
+  std::vector<KernelErrors> errors(kernels);
+  std::vector<model::PiecewiseModel> fitted(kernels);
+  for (std::size_t k = 0; k < kernels; ++k) {
+    std::vector<coupling::ScalingSample> lsq_samples;
+    std::vector<model::ModelSample> samples;
+    for (double n : sizes) {
+      for (double p : train_p) {
+        lsq_samples.push_back({n, p, truth(k, n, p)});
+        samples.push_back({n, p, truth(k, n, p)});
+      }
+    }
+    const coupling::KernelScalingModel lsq =
+        coupling::KernelScalingModel::fit_or_constant(
+            coupling::ScalingBasis::npb_default(), lsq_samples);
+    fitted[k] = model::fit_piecewise(samples);
+    double lsq_err = 0.0;
+    double sel_err = 0.0;
+    for (double n : sizes) {
+      const double want = truth(k, n, heldout_p);
+      lsq_err += std::fabs(lsq.evaluate(n, heldout_p) - want) / want;
+      sel_err += std::fabs(fitted[k].evaluate(n, heldout_p) - want) / want;
+    }
+    errors[k].lsq = lsq_err / static_cast<double>(sizes.size());
+    errors[k].selected = sel_err / static_cast<double>(sizes.size());
+  }
+  double lsq_mean = 0.0;
+  double selected_mean = 0.0;
+  for (const KernelErrors& e : errors) {
+    lsq_mean += e.lsq;
+    selected_mean += e.selected;
+  }
+  lsq_mean /= static_cast<double>(kernels);
+  selected_mean /= static_cast<double>(kernels);
+  const double improvement =
+      selected_mean > 0.0 ? lsq_mean / selected_mean : 0.0;
+
+  // Breakpoint recovery: every kernel's split must land between the grid
+  // points straddling the true regime change.
+  bool breakpoints_ok = true;
+  for (const model::PiecewiseModel& pw : fitted) {
+    if (pw.breakpoints.size() != 1 || pw.breakpoints[0] <= 8.0 ||
+        pw.breakpoints[0] >= 16.0) {
+      breakpoints_ok = false;
+    }
+  }
+
+  // --- Fit throughput ------------------------------------------------------
+  std::vector<model::ModelSample> timing_samples;
+  for (double n : sizes) {
+    for (double p : train_p) timing_samples.push_back({n, p, truth(0, n, p)});
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int rep = 0; rep < fit_reps; ++rep) {
+    const model::PiecewiseModel pw = model::fit_piecewise(timing_samples);
+    if (pw.segments.empty()) return 1;  // keep the optimizer honest
+  }
+  const double fit_wall = seconds_since(t0);
+  const double fit_ms =
+      fit_reps > 0 ? 1e3 * fit_wall / static_cast<double>(fit_reps) : 0.0;
+
+  const auto t1 = std::chrono::steady_clock::now();
+  for (int rep = 0; rep < fit_reps; ++rep) {
+    const coupling::KernelScalingModel lsq =
+        coupling::KernelScalingModel::fit_or_constant(
+            coupling::ScalingBasis::npb_default(),
+            [&] {
+              std::vector<coupling::ScalingSample> s;
+              for (const model::ModelSample& m : timing_samples) {
+                s.push_back({m.n, m.p, m.seconds});
+              }
+              return s;
+            }());
+    if (lsq.coefficients().empty()) return 1;
+  }
+  const double lsq_wall = seconds_since(t1);
+  const double lsq_ms =
+      fit_reps > 0 ? 1e3 * lsq_wall / static_cast<double>(fit_reps) : 0.0;
+
+  // --- Changepoint-detection throughput ------------------------------------
+  coupling::CouplingDatabase db;
+  const int series = smoke ? 4 : 64;
+  for (int s = 0; s < series; ++s) {
+    for (int p : {1, 2, 4, 8, 16, 32, 64}) {
+      const double c = p <= 8 ? 1.03 : 1.4;
+      db.record({{"APP" + std::to_string(s), "S", p, 2, 0}, c, 1.0});
+    }
+  }
+  const auto t2 = std::chrono::steady_clock::now();
+  const auto transitions = model::detect_coupling_transitions(db);
+  const double detect_wall = seconds_since(t2);
+  const bool transitions_ok =
+      transitions.size() == static_cast<std::size_t>(series);
+
+  // --- Report ---------------------------------------------------------------
+  report::Table t("Model fitting: selected piecewise vs legacy LSQ (" +
+                  std::to_string(kernels) + " kernels, held-out P=" +
+                  std::to_string(static_cast<int>(heldout_p)) + ")");
+  t.set_header({"metric", "value"});
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.4g", lsq_mean);
+  t.add_row({"LSQ held-out rel err", buf});
+  std::snprintf(buf, sizeof buf, "%.4g", selected_mean);
+  t.add_row({"selected held-out rel err", buf});
+  std::snprintf(buf, sizeof buf, "%.1fx", improvement);
+  t.add_row({"improvement", buf});
+  t.add_row({"breakpoints within one grid step",
+             breakpoints_ok ? "yes" : "NO"});
+  std::snprintf(buf, sizeof buf, "%.3f ms", fit_ms);
+  t.add_row({"piecewise fit per kernel", buf});
+  std::snprintf(buf, sizeof buf, "%.3f ms", lsq_ms);
+  t.add_row({"LSQ fit per kernel", buf});
+  std::snprintf(buf, sizeof buf, "%zu in %.3f ms", transitions.size(),
+                1e3 * detect_wall);
+  t.add_row({"transitions detected", buf});
+  std::printf("%s\n", t.to_string().c_str());
+
+  bool ok = breakpoints_ok && transitions_ok;
+  // The two-regime truth is exactly representable per segment, so the
+  // selected model's held-out error is ~0 while the global LSQ basis has
+  // to compromise between regimes.  The floor is deliberately far below
+  // the observed gap.
+  if (!smoke) ok = ok && improvement >= 10.0 && selected_mean < 0.01;
+
+  if (!smoke) {
+    std::ofstream out("BENCH_model.json");
+    out << "{\"bench\":\"model_fit\"";
+    out << ",\"kernels\":" << kernels;
+    out << ",\"heldout_p\":" << static_cast<int>(heldout_p);
+    char num[64];
+    std::snprintf(num, sizeof num, "%.6g", lsq_mean);
+    out << ",\"lsq_heldout_rel_err\":" << num;
+    std::snprintf(num, sizeof num, "%.6g", selected_mean);
+    out << ",\"selected_heldout_rel_err\":" << num;
+    std::snprintf(num, sizeof num, "%.1f", improvement);
+    out << ",\"improvement_x\":" << num;
+    out << ",\"breakpoints_ok\":" << (breakpoints_ok ? "true" : "false");
+    std::snprintf(num, sizeof num, "%.3f", fit_ms);
+    out << ",\"piecewise_fit_ms\":" << num;
+    std::snprintf(num, sizeof num, "%.3f", lsq_ms);
+    out << ",\"lsq_fit_ms\":" << num;
+    out << ",\"transition_series\":" << series;
+    out << ",\"transitions_found\":" << transitions.size();
+    std::snprintf(num, sizeof num, "%.3f", 1e3 * detect_wall);
+    out << ",\"detect_ms\":" << num;
+    out << "}\n";
+    std::printf("wrote BENCH_model.json\n");
+  }
+
+  if (!ok) {
+    std::fprintf(stderr, "ext_model_fit: assertions failed\n");
+    return 1;
+  }
+  return 0;
+}

@@ -103,9 +103,60 @@ KernelScalingModel KernelScalingModel::fit(
   return m;
 }
 
+KernelScalingModel KernelScalingModel::fit_or_constant(
+    ScalingBasis basis, std::span<const ScalingSample> samples) {
+  if (samples.empty()) {
+    throw std::invalid_argument("scaling fit: no samples");
+  }
+  if (samples.size() >= basis.size()) {
+    try {
+      KernelScalingModel m = fit(basis, samples);
+      bool finite = true;
+      for (const double c : m.coefficients()) {
+        if (!std::isfinite(c)) finite = false;
+      }
+      if (finite) return m;
+    } catch (const std::invalid_argument&) {
+      // Singular normal equations: fall through to the constant model.
+    }
+  }
+  std::size_t constant_index = basis.size();
+  for (std::size_t j = 0; j < basis.names.size(); ++j) {
+    if (basis.names[j] == "1") constant_index = j;
+  }
+  if (constant_index == basis.size()) {
+    throw std::invalid_argument(
+        "scaling fit: basis has no constant term for the degenerate "
+        "fallback");
+  }
+  // Weighted mean with the same 1/y^2 weights fit() uses — the exact
+  // least-squares solution restricted to the constant column.
+  double sw = 0.0;
+  double swy = 0.0;
+  for (const ScalingSample& s : samples) {
+    const double w = s.seconds != 0.0 ? 1.0 / (s.seconds * s.seconds) : 1.0;
+    sw += w;
+    swy += w * s.seconds;
+  }
+  KernelScalingModel m;
+  m.basis_ = std::move(basis);
+  m.coefficients_.assign(m.basis_.size(), 0.0);
+  m.coefficients_[constant_index] = swy / sw;
+  m.degenerate_ = true;
+  double err2 = 0.0;
+  for (const ScalingSample& s : samples) {
+    const double pred = m.coefficients_[constant_index];
+    const double rel =
+        s.seconds != 0.0 ? (pred - s.seconds) / s.seconds : pred;
+    err2 += rel * rel;
+  }
+  m.fit_error_ = std::sqrt(err2 / static_cast<double>(samples.size()));
+  return m;
+}
+
 KernelScalingModel KernelScalingModel::from_parts(
     ScalingBasis basis, std::vector<double> coefficients,
-    double fit_rms_relative_error) {
+    double fit_rms_relative_error, bool degenerate) {
   if (basis.size() != coefficients.size()) {
     throw std::invalid_argument(
         "scaling model from_parts: coefficient count does not match basis");
@@ -114,6 +165,7 @@ KernelScalingModel KernelScalingModel::from_parts(
   m.basis_ = std::move(basis);
   m.coefficients_ = std::move(coefficients);
   m.fit_error_ = fit_rms_relative_error;
+  m.degenerate_ = degenerate;
   return m;
 }
 

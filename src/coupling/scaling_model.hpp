@@ -47,13 +47,24 @@ class KernelScalingModel {
   [[nodiscard]] static KernelScalingModel fit(
       ScalingBasis basis, std::span<const ScalingSample> samples);
 
+  /// fit(), degrading gracefully: degenerate inputs — too few samples,
+  /// duplicate (n, P) points making the normal equations singular, or a
+  /// solve that produces non-finite coefficients — yield a *flagged
+  /// constant model* (the weighted mean on the basis's "1" term, all other
+  /// coefficients zero, degenerate() == true) instead of throwing.  NaN
+  /// coefficients can never be silently baked into a snapshot.  Throws
+  /// std::invalid_argument only when `samples` is empty or the basis has
+  /// no "1" term to carry the constant.
+  [[nodiscard]] static KernelScalingModel fit_or_constant(
+      ScalingBasis basis, std::span<const ScalingSample> samples);
+
   /// Reassemble a previously fitted model from its serialized parts (the
   /// packed-snapshot loader stores coefficients, not samples — refitting
   /// would need the original measurements).  Throws std::invalid_argument
   /// when the coefficient count does not match the basis size.
   [[nodiscard]] static KernelScalingModel from_parts(
       ScalingBasis basis, std::vector<double> coefficients,
-      double fit_rms_relative_error);
+      double fit_rms_relative_error, bool degenerate = false);
 
   [[nodiscard]] double evaluate(double n, double p) const;
 
@@ -63,6 +74,9 @@ class KernelScalingModel {
   /// Root-mean-square relative error of the fit over its own samples.
   [[nodiscard]] double fit_rms_relative_error() const { return fit_error_; }
   [[nodiscard]] const ScalingBasis& basis() const { return basis_; }
+  /// True when fit_or_constant() fell back to the flagged constant model —
+  /// the prediction carries no scaling information, only the sample mean.
+  [[nodiscard]] bool degenerate() const { return degenerate_; }
 
   /// Human-readable "c0 * n^3/P + c1 * ..." form for reports.
   [[nodiscard]] std::string to_string() const;
@@ -71,6 +85,7 @@ class KernelScalingModel {
   ScalingBasis basis_;
   std::vector<double> coefficients_;
   double fit_error_ = 0.0;
+  bool degenerate_ = false;
 };
 
 /// Solve the dense linear system A x = b (row-major, k x k) with partial

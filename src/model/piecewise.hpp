@@ -1,0 +1,77 @@
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "model/select.hpp"
+
+namespace kcoup::model {
+
+/// One P-range of a piecewise model with its selected per-range form.
+/// p_min/p_max record the sample range the segment was fitted from (both
+/// inclusive); routing between segments uses PiecewiseModel::breakpoints.
+struct ModelSegment {
+  double p_min = 0;
+  double p_max = 0;
+  /// Samples the segment was fitted from — the weight of its CV score in
+  /// the combined PiecewiseModel::cv_rmse.
+  std::size_t sample_count = 0;
+  SelectedModel model;
+};
+
+/// A per-kernel model that is allowed to change form at a small number of
+/// processor-count breakpoints — the paper's "finite number of coupling
+/// transitions" observation applied to the kernel scaling models.
+struct PiecewiseModel {
+  /// Ascending boundary values in P; segment i covers
+  /// (breakpoints[i-1], breakpoints[i]] with the first segment open below
+  /// and the last open above (so extrapolation past the data uses the
+  /// outermost segment's form).  Empty for a single global model.
+  std::vector<double> breakpoints;
+  /// breakpoints.size() + 1 entries, in ascending P order.
+  std::vector<ModelSegment> segments;
+
+  [[nodiscard]] double evaluate(double n, double p) const;
+  /// The segment responsible for processor count p.
+  [[nodiscard]] const ModelSegment& segment_for(double p) const;
+
+  /// Sample-count-weighted RMS of the per-segment CV scores (NaN when any
+  /// segment is degenerate).
+  [[nodiscard]] double cv_rmse() const;
+  /// "P<=6: 1+n^3/P | P>6: 1+n^2/P" — coefficient-free form string for
+  /// golden pins; a single segment prints just its term names.
+  [[nodiscard]] std::string term_names() const;
+  [[nodiscard]] std::string to_string() const;
+};
+
+struct PiecewiseOptions {
+  SelectOptions select;
+  /// Each side of a candidate split must keep at least this many distinct
+  /// processor counts (2 is the minimum that still constrains a P-term).
+  std::size_t min_distinct_p = 2;
+  /// A split is accepted only when the combined CV score improves on the
+  /// parent segment's score by this relative margin — the deterministic
+  /// brake that keeps dense well-modeled data in one segment.
+  double min_relative_gain = 0.25;
+  /// Upper bound on segments (the paper observes a *finite, small* number
+  /// of transitions; 3 covers every hierarchy boundary it reports).
+  std::size_t max_segments = 3;
+};
+
+/// Recursive binary changepoint search over the distinct processor counts:
+/// fit the whole range with select_model, try every admissible boundary
+/// between adjacent distinct P values, and keep the best split only if its
+/// sample-weighted combined CV score beats the unsplit score by
+/// min_relative_gain.  Accepted splits recurse on both sides until the
+/// segment budget is spent.
+///
+/// Deterministic: samples are processed in sorted (P, n, seconds) order,
+/// boundaries are scanned in ascending order with strict-improvement
+/// comparison (ties keep the lowest boundary), and the per-range selection
+/// is select_model's deterministic search.
+[[nodiscard]] PiecewiseModel fit_piecewise(
+    std::span<const ModelSample> samples,
+    const PiecewiseOptions& options = {});
+
+}  // namespace kcoup::model

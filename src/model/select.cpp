@@ -1,0 +1,214 @@
+#include "model/select.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <set>
+#include <utility>
+
+#include "coupling/scaling_model.hpp"
+
+namespace kcoup::model {
+
+namespace {
+
+/// Scores at or below this clamp to exactly 0: an exact fit's residual is
+/// last-ulp noise, and without the clamp two exact candidates would rank by
+/// that noise instead of tying (and resolving to the simpler form).
+constexpr double kExactScoreClamp = 1e-12;
+
+struct Design {
+  std::vector<std::vector<double>> rows;  ///< rows[i][t]: term t at sample i
+  std::vector<double> w;                  ///< 1/y^2 (1 when y == 0)
+  std::vector<double> y;
+};
+
+Design build_design(std::span<const ModelSample> samples) {
+  const auto registry = term_registry();
+  Design d;
+  d.rows.reserve(samples.size());
+  d.w.reserve(samples.size());
+  d.y.reserve(samples.size());
+  for (const ModelSample& s : samples) {
+    std::vector<double> row(registry.size());
+    for (const Term& t : registry) row[t.id] = t.eval(s.n, s.p);
+    d.rows.push_back(std::move(row));
+    d.w.push_back(s.seconds != 0.0 ? 1.0 / (s.seconds * s.seconds) : 1.0);
+    d.y.push_back(s.seconds);
+  }
+  return d;
+}
+
+constexpr std::size_t kNoSkip = static_cast<std::size_t>(-1);
+
+/// Weighted least squares over the candidate columns, optionally leaving
+/// sample `skip` out.  False when the normal equations are singular or the
+/// solution is non-finite.
+bool fit_candidate(const Design& d, std::span<const std::uint32_t> ids,
+                   std::size_t skip, std::vector<double>* coefficients) {
+  const std::size_t k = ids.size();
+  std::vector<double> ata(k * k, 0.0);
+  std::vector<double> atb(k, 0.0);
+  for (std::size_t s = 0; s < d.rows.size(); ++s) {
+    if (s == skip) continue;
+    const std::vector<double>& full_row = d.rows[s];
+    for (std::size_t i = 0; i < k; ++i) {
+      const double ri = full_row[ids[i]];
+      atb[i] += d.w[s] * ri * d.y[s];
+      for (std::size_t j = 0; j < k; ++j) {
+        ata[i * k + j] += d.w[s] * ri * full_row[ids[j]];
+      }
+    }
+  }
+  if (!coupling::solve_dense(ata, atb, k)) return false;
+  for (const double c : atb) {
+    if (!std::isfinite(c)) return false;
+  }
+  *coefficients = std::move(atb);
+  return true;
+}
+
+double predict_row(const Design& d, std::size_t s,
+                   std::span<const std::uint32_t> ids,
+                   std::span<const double> coefficients) {
+  double t = 0.0;
+  for (std::size_t j = 0; j < ids.size(); ++j) {
+    t += coefficients[j] * d.rows[s][ids[j]];
+  }
+  return t;
+}
+
+/// RMS relative error of `coefficients` over every sample (absolute where
+/// y == 0, matching the fit's weighting).
+double rms_relative_error(const Design& d, std::span<const std::uint32_t> ids,
+                          std::span<const double> coefficients) {
+  double err2 = 0.0;
+  for (std::size_t s = 0; s < d.rows.size(); ++s) {
+    const double pred = predict_row(d, s, ids, coefficients);
+    const double rel =
+        d.y[s] != 0.0 ? (pred - d.y[s]) / d.y[s] : pred;
+    err2 += rel * rel;
+  }
+  return std::sqrt(err2 / static_cast<double>(d.rows.size()));
+}
+
+SelectedModel constant_fallback(const Design& d) {
+  // The weighted least-squares solution for the lone constant column —
+  // always well defined, always finite.
+  double sw = 0.0;
+  double swy = 0.0;
+  for (std::size_t s = 0; s < d.rows.size(); ++s) {
+    sw += d.w[s];
+    swy += d.w[s] * d.y[s];
+  }
+  SelectedModel m;
+  m.degenerate = true;
+  m.terms = {{kConstantTermId, sw > 0.0 ? swy / sw : 0.0}};
+  const std::uint32_t ids[] = {kConstantTermId};
+  const double coefficients[] = {m.terms[0].coefficient};
+  m.fit_rmse = d.rows.empty() ? 0.0 : rms_relative_error(d, ids, coefficients);
+  return m;
+}
+
+}  // namespace
+
+double SelectedModel::evaluate(double n, double p) const {
+  double t = 0.0;
+  for (const FittedTerm& ft : terms) {
+    t += ft.coefficient * term_at(ft.id).eval(n, p);
+  }
+  return t;
+}
+
+std::string SelectedModel::term_names() const {
+  std::string s;
+  for (const FittedTerm& ft : terms) {
+    if (!s.empty()) s += '+';
+    s += term_at(ft.id).name;
+  }
+  return s;
+}
+
+std::string SelectedModel::to_string() const {
+  std::string s;
+  for (const FittedTerm& ft : terms) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%s%.3e*%s", s.empty() ? "" : " + ",
+                  ft.coefficient, term_at(ft.id).name);
+    s += buf;
+  }
+  if (degenerate) s += " [degenerate]";
+  return s;
+}
+
+SelectedModel select_model(std::span<const ModelSample> samples,
+                           const SelectOptions& options) {
+  const Design d = build_design(samples);
+
+  std::set<std::pair<double, double>> distinct;
+  for (const ModelSample& s : samples) distinct.insert({s.n, s.p});
+  if (distinct.size() < 2) return constant_fallback(d);
+
+  const std::size_t registry_size = term_registry().size();
+  SelectedModel best;
+  double best_cv = std::numeric_limits<double>::infinity();
+  std::vector<double> coefficients;
+  std::vector<double> loo;
+
+  const std::size_t max_terms = std::min(options.max_terms, registry_size);
+  for (std::size_t k = 1; k <= max_terms; ++k) {
+    // Leave-one-out fits use m-1 samples; require strictly more samples
+    // than terms so no fold is underdetermined by count alone.
+    if (samples.size() < k + 1 || distinct.size() < k) continue;
+    std::vector<std::uint32_t> ids(k);
+    for (std::size_t i = 0; i < k; ++i) ids[i] = static_cast<std::uint32_t>(i);
+    bool more = true;
+    while (more) {
+      if (fit_candidate(d, ids, kNoSkip, &coefficients)) {
+        double cv2 = 0.0;
+        bool valid = true;
+        for (std::size_t s = 0; s < samples.size(); ++s) {
+          if (!fit_candidate(d, ids, s, &loo)) {
+            valid = false;
+            break;
+          }
+          const double pred = predict_row(d, s, ids, loo);
+          const double rel =
+              d.y[s] != 0.0 ? (pred - d.y[s]) / d.y[s] : pred;
+          cv2 += rel * rel;
+        }
+        if (valid) {
+          double cv = std::sqrt(cv2 / static_cast<double>(samples.size()));
+          if (cv <= kExactScoreClamp) cv = 0.0;
+          // Strict <: the enumeration order (size ascending, ids
+          // lexicographic) makes the first of any tie — fewest terms, then
+          // smallest id set — the deterministic winner.
+          if (std::isfinite(cv) && cv < best_cv) {
+            best_cv = cv;
+            best.terms.clear();
+            for (std::size_t i = 0; i < k; ++i) {
+              best.terms.push_back({ids[i], coefficients[i]});
+            }
+            best.cv_rmse = cv;
+            best.fit_rmse = rms_relative_error(d, ids, coefficients);
+            best.degenerate = false;
+          }
+        }
+      }
+      more = false;
+      for (std::size_t i = k; i-- > 0;) {
+        if (ids[i] + (k - i) < registry_size) {
+          ++ids[i];
+          for (std::size_t j = i + 1; j < k; ++j) ids[j] = ids[j - 1] + 1;
+          more = true;
+          break;
+        }
+      }
+    }
+  }
+
+  if (best.terms.empty()) return constant_fallback(d);
+  return best;
+}
+
+}  // namespace kcoup::model

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace kcoup::model {
+
+/// One candidate basis term phi(n, P) of the multi-parameter model search
+/// (Extra-P-style selection over problem size n and processor count P).
+///
+/// Term ids are a serialization contract: the packed-snapshot format stores
+/// fitted models as (term id, coefficient) pairs, so an id, once assigned,
+/// must never be renumbered or given a different function — new terms are
+/// appended with fresh ids and the snapshot format version is bumped.
+struct Term {
+  std::uint32_t id = 0;
+  const char* name = "";
+  double (*eval)(double n, double p) = nullptr;
+};
+
+/// The fixed candidate-term registry, in id order (registry()[i].id == i).
+/// Spans the shapes the NPB-style kernels and their communication exhibit:
+/// constants, log/linear/superlinear P growth, 1/P-family strong-scaling
+/// decay, and size terms n..n^3 alone and divided across P.
+[[nodiscard]] std::span<const Term> term_registry();
+
+/// The registry entry for `id`; throws std::out_of_range on unknown ids
+/// (the packed-snapshot loader turns that into a format error).
+[[nodiscard]] const Term& term_at(std::uint32_t id);
+
+/// Id of the constant term "1" — the flagged fallback form for degenerate
+/// sample sets.
+inline constexpr std::uint32_t kConstantTermId = 0;
+
+/// The registry's term names in id order (the pinned name list the packed
+/// format stores so a file can prove it pairs with this registry).
+[[nodiscard]] std::vector<std::string> term_names();
+
+}  // namespace kcoup::model

@@ -1,0 +1,149 @@
+#include "model/transitions.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <tuple>
+#include <utility>
+
+namespace kcoup::model {
+
+namespace {
+
+/// Mean and sum of squares around the mean over series[lo, hi).
+std::pair<double, double> mean_sse(std::span<const SeriesPoint> series,
+                                   std::size_t lo, std::size_t hi) {
+  double sum = 0.0;
+  for (std::size_t i = lo; i < hi; ++i) sum += series[i].value;
+  const double mean = sum / static_cast<double>(hi - lo);
+  double sse = 0.0;
+  for (std::size_t i = lo; i < hi; ++i) {
+    const double d = series[i].value - mean;
+    sse += d * d;
+  }
+  return {mean, sse};
+}
+
+void segment_range(std::span<const SeriesPoint> series, std::size_t lo,
+                   std::size_t hi, const ChangepointOptions& options,
+                   std::size_t* splits_left, std::vector<std::size_t>* cuts) {
+  if (*splits_left == 0 ||
+      hi - lo < 2 * options.min_segment_points) {
+    return;
+  }
+  const auto [parent_mean, parent_sse] = mean_sse(series, lo, hi);
+  (void)parent_mean;
+  if (parent_sse <= 0.0) return;
+
+  double best_sse = std::numeric_limits<double>::infinity();
+  std::size_t best_cut = 0;
+  double best_left_mean = 0.0;
+  double best_right_mean = 0.0;
+  for (std::size_t b = lo + options.min_segment_points;
+       b + options.min_segment_points <= hi; ++b) {
+    const auto [ml, sl] = mean_sse(series, lo, b);
+    const auto [mr, sr] = mean_sse(series, b, hi);
+    // Strict <: ties keep the lowest boundary — deterministic.
+    if (sl + sr < best_sse) {
+      best_sse = sl + sr;
+      best_cut = b;
+      best_left_mean = ml;
+      best_right_mean = mr;
+    }
+  }
+  if (best_cut == 0) return;
+  const double gain = parent_sse - best_sse;
+  if (gain < options.min_relative_gain * parent_sse) return;
+  const double scale =
+      std::max(1e-12, (std::fabs(best_left_mean) +
+                       std::fabs(best_right_mean)) / 2.0);
+  if (std::fabs(best_right_mean - best_left_mean) <
+      options.min_jump * scale) {
+    return;
+  }
+  --*splits_left;
+  // In-order recursion keeps `cuts` ascending; the left side may claim
+  // remaining split budget before the right side is visited.
+  segment_range(series, lo, best_cut, options, splits_left, cuts);
+  cuts->push_back(best_cut);
+  segment_range(series, best_cut, hi, options, splits_left, cuts);
+}
+
+}  // namespace
+
+std::vector<Changepoint> detect_changepoints(
+    std::span<const SeriesPoint> series, const ChangepointOptions& options) {
+  std::vector<Changepoint> out;
+  if (series.size() < 2 * options.min_segment_points) return out;
+  std::size_t splits_left = options.max_changepoints;
+  std::vector<std::size_t> cuts;
+  segment_range(series, 0, series.size(), options, &splits_left, &cuts);
+  if (cuts.empty()) return out;
+
+  // Final segment boundaries: [0, cuts..., n].  The reported before/after
+  // levels are the means of the segments *adjacent to each cut* after all
+  // recursion, not the coarse two-sided means at accept time.
+  std::vector<std::size_t> bounds;
+  bounds.push_back(0);
+  bounds.insert(bounds.end(), cuts.begin(), cuts.end());
+  bounds.push_back(series.size());
+  out.reserve(cuts.size());
+  for (std::size_t c = 0; c < cuts.size(); ++c) {
+    const std::size_t cut = cuts[c];
+    const std::size_t seg_lo = bounds[c];
+    const std::size_t seg_hi = bounds[c + 2];
+    Changepoint cp;
+    cp.x_lo = series[cut - 1].x;
+    cp.x_hi = series[cut].x;
+    cp.boundary = (cp.x_lo + cp.x_hi) / 2.0;
+    cp.before = mean_sse(series, seg_lo, cut).first;
+    cp.after = mean_sse(series, cut, seg_hi).first;
+    out.push_back(cp);
+  }
+  return out;
+}
+
+std::vector<CouplingTransition> detect_coupling_transitions(
+    const coupling::CouplingDatabase& db, const ChangepointOptions& options) {
+  using SeriesKey = std::tuple<std::string, std::string, std::size_t,
+                               std::size_t>;
+  std::map<SeriesKey, std::vector<std::pair<int, double>>> by_series;
+  for (const coupling::CouplingRecord& r : db.records()) {
+    const double c = r.coupling();
+    if (!std::isfinite(c)) continue;
+    by_series[SeriesKey{r.key.application, r.key.config, r.key.chain_length,
+                        r.key.chain_start}]
+        .emplace_back(r.key.ranks, c);
+  }
+
+  std::vector<CouplingTransition> out;
+  for (auto& [key, points] : by_series) {
+    // The database holds one record per full key, so ranks are unique
+    // within a series; sorting by ranks fixes the sweep order.
+    std::sort(points.begin(), points.end());
+    std::vector<SeriesPoint> series;
+    series.reserve(points.size());
+    for (const auto& [ranks, c] : points) {
+      series.push_back({static_cast<double>(ranks), c});
+    }
+    for (const Changepoint& cp : detect_changepoints(series, options)) {
+      CouplingTransition t;
+      t.application = std::get<0>(key);
+      t.config = std::get<1>(key);
+      t.chain_length = std::get<2>(key);
+      t.chain_start = std::get<3>(key);
+      t.ranks_lo = static_cast<int>(cp.x_lo);
+      t.ranks_hi = static_cast<int>(cp.x_hi);
+      t.boundary = cp.boundary;
+      t.coupling_before = cp.before;
+      t.coupling_after = cp.after;
+      out.push_back(std::move(t));
+    }
+  }
+  // by_series iteration is sorted and detect_changepoints reports cuts in
+  // ascending order, so `out` is already canonical.
+  return out;
+}
+
+}  // namespace kcoup::model

@@ -1,0 +1,81 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "coupling/database.hpp"
+
+namespace kcoup::model {
+
+/// One point of a 1-D series the changepoint detector segments: x is the
+/// sweep coordinate (here: processor count), value the observed coupling.
+struct SeriesPoint {
+  double x = 0;
+  double value = 0;
+};
+
+struct ChangepointOptions {
+  /// Minimum points per segment; 2 means a series needs >= 4 points before
+  /// any transition can be claimed.
+  std::size_t min_segment_points = 2;
+  /// A split must remove at least this fraction of the segment's
+  /// sum-of-squares around its mean.
+  double min_relative_gain = 0.5;
+  /// The level jump across the boundary must be at least this fraction of
+  /// the mean magnitude of the two segment levels — couplings hover near
+  /// 1.0, so 0.02 means "a 2% shift in coupling", well above measurement
+  /// jitter but below any memory-hierarchy transition the paper reports.
+  double min_jump = 0.02;
+  /// Upper bound on reported changepoints per series.
+  std::size_t max_changepoints = 4;
+};
+
+/// One detected level shift in a series: the boundary lies between grid
+/// neighbors x_lo and x_hi (so it is located "within one grid step" by
+/// construction), with the piecewise-constant levels on either side.
+struct Changepoint {
+  double x_lo = 0;
+  double x_hi = 0;
+  double boundary = 0;  ///< midpoint of (x_lo, x_hi)
+  double before = 0;    ///< segment mean left of the boundary
+  double after = 0;     ///< segment mean right of the boundary
+};
+
+/// Piecewise-constant changepoint detection by recursive binary
+/// segmentation: the split minimizing the two-sided sum of squares wins,
+/// and is kept only when it clears both the SSE gain and the level-jump
+/// thresholds.  `series` must be sorted by x with distinct x values.
+/// Deterministic: ties on the SSE score keep the lowest boundary.
+[[nodiscard]] std::vector<Changepoint> detect_changepoints(
+    std::span<const SeriesPoint> series, const ChangepointOptions& options = {});
+
+/// A coupling transition surfaced as first-class data: for one
+/// (application, config, chain_length, chain_start) series swept over
+/// ranks, the coupling C_S = chain_time / isolated_sum shifts levels
+/// between ranks_lo and ranks_hi — the paper's memory-hierarchy boundary
+/// made visible.
+struct CouplingTransition {
+  std::string application;
+  std::string config;
+  std::size_t chain_length = 0;
+  std::size_t chain_start = 0;
+  int ranks_lo = 0;
+  int ranks_hi = 0;
+  double boundary = 0;
+  double coupling_before = 0;
+  double coupling_after = 0;
+};
+
+/// Scan every (application, config, chain_length, chain_start) series of
+/// the database, ordered by ranks, and report all detected coupling
+/// transitions in canonical order: (application, config, chain_length,
+/// chain_start, boundary) ascending.  Records with undefined coupling
+/// (isolated_sum == 0) are skipped.  Purely a function of the database —
+/// no workload, no measurements.
+[[nodiscard]] std::vector<CouplingTransition> detect_coupling_transitions(
+    const coupling::CouplingDatabase& db,
+    const ChangepointOptions& options = {});
+
+}  // namespace kcoup::model

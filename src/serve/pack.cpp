@@ -11,9 +11,11 @@
 #include <iterator>
 #include <set>
 #include <stdexcept>
+#include <tuple>
 #include <utility>
 #include <vector>
 
+#include "model/terms.hpp"
 #include "support/atomic_file.hpp"
 
 namespace kcoup::serve {
@@ -111,9 +113,65 @@ std::string pack_scaling_models(const std::vector<std::string>& strings,
             " uses a non-default scaling basis");
       }
       binfmt::append_u64(&out, m.coefficients().size());
+      binfmt::append_u32(&out, m.degenerate() ? 1u : 0u);
       binfmt::append_f64(&out, m.fit_rms_relative_error());
       for (const double c : m.coefficients()) binfmt::append_f64(&out, c);
     }
+  }
+  return out;
+}
+
+std::string pack_fitted_models(const std::vector<std::string>& strings,
+                               const PredictorSnapshot& snapshot) {
+  std::string out;
+  // The registry term names are the contract pairing the file's
+  // (term id, coefficient) pairs with this build's term functions — like
+  // the scaling basis above, a renamed or reordered registry must bump the
+  // format version.
+  const std::vector<std::string> names = model::term_names();
+  binfmt::append_u64(&out, names.size());
+  for (const std::string& name : names) {
+    binfmt::append_u32(&out, string_index(strings, name));
+  }
+  binfmt::append_u64(&out, snapshot.fitted_models().size());
+  for (const auto& [application, kernels] : snapshot.fitted_models()) {
+    binfmt::append_u32(&out, string_index(strings, application));
+    binfmt::append_u64(&out, kernels.size());
+    for (const model::PiecewiseModel& pw : kernels) {
+      binfmt::append_u64(&out, pw.segments.size());
+      for (const double b : pw.breakpoints) binfmt::append_f64(&out, b);
+      for (const model::ModelSegment& seg : pw.segments) {
+        binfmt::append_f64(&out, seg.p_min);
+        binfmt::append_f64(&out, seg.p_max);
+        binfmt::append_u64(&out, seg.sample_count);
+        binfmt::append_u32(&out, seg.model.degenerate ? 1u : 0u);
+        binfmt::append_f64(&out, seg.model.cv_rmse);
+        binfmt::append_f64(&out, seg.model.fit_rmse);
+        binfmt::append_u64(&out, seg.model.terms.size());
+        for (const model::FittedTerm& t : seg.model.terms) {
+          binfmt::append_u32(&out, t.id);
+          binfmt::append_f64(&out, t.coefficient);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+std::string pack_transitions(const std::vector<std::string>& strings,
+                             const PredictorSnapshot& snapshot) {
+  std::string out;
+  binfmt::append_u64(&out, snapshot.transitions().size());
+  for (const model::CouplingTransition& t : snapshot.transitions()) {
+    binfmt::append_u32(&out, string_index(strings, t.application));
+    binfmt::append_u32(&out, string_index(strings, t.config));
+    binfmt::append_u64(&out, t.chain_length);
+    binfmt::append_u64(&out, t.chain_start);
+    binfmt::append_i32(&out, t.ranks_lo);
+    binfmt::append_i32(&out, t.ranks_hi);
+    binfmt::append_f64(&out, t.boundary);
+    binfmt::append_f64(&out, t.coupling_before);
+    binfmt::append_f64(&out, t.coupling_after);
   }
   return out;
 }
@@ -140,7 +198,7 @@ struct SectionEntry {
   std::uint64_t checksum = 0;
 };
 
-/// Validate header + section table and return the four section entries in
+/// Validate header + section table and return the six section entries in
 /// kind order.  Every check throws a named SnapshotFormatError; the order
 /// (size, magic, endianness, version, header checksum, ...) is chosen so a
 /// future-version file reports "unsupported version", not a checksum
@@ -234,10 +292,11 @@ std::vector<SectionEntry> parse_envelope(const unsigned char* p,
         origin + ": sections end at " + std::to_string(expected_offset) +
             " of " + std::to_string(size));
   }
-  if (section_count != 4) {
+  if (section_count != binfmt::kSectionCount) {
     throw SnapshotFormatError(
         "unexpected section count",
-        origin + ": " + std::to_string(section_count) + ", expected 4");
+        origin + ": " + std::to_string(section_count) + ", expected " +
+            std::to_string(binfmt::kSectionCount));
   }
   for (std::uint32_t i = 0; i < section_count; ++i) {
     if (entries[i].kind != i + 1) {
@@ -415,6 +474,12 @@ decode_scaling_models(binfmt::Cursor cur,
     kernels.reserve(kernel_count);
     for (std::uint64_t k = 0; k < kernel_count; ++k) {
       const std::uint64_t coeff_count = cur.u64();
+      const std::uint32_t flags = cur.u32();
+      if (flags > 1) {
+        throw SnapshotFormatError(
+            "bad scaling model",
+            origin + ": unknown model flags " + std::to_string(flags));
+      }
       const double fit_error = cur.f64();
       cur.check_count(coeff_count, 8, "coefficient count");
       std::vector<double> coefficients;
@@ -425,7 +490,7 @@ decode_scaling_models(binfmt::Cursor cur,
       try {
         kernels.push_back(coupling::KernelScalingModel::from_parts(
             coupling::ScalingBasis::npb_default(), std::move(coefficients),
-            fit_error));
+            fit_error, (flags & 1u) != 0));
       } catch (const std::invalid_argument& e) {
         throw SnapshotFormatError("bad scaling model",
                                   origin + ": " + e.what());
@@ -438,6 +503,143 @@ decode_scaling_models(binfmt::Cursor cur,
   }
   cur.expect_exhausted();
   return models;
+}
+
+std::vector<std::pair<std::string, std::vector<model::PiecewiseModel>>>
+decode_fitted_models(binfmt::Cursor cur,
+                     const std::vector<std::string>& strings,
+                     const std::string& origin) {
+  const std::vector<std::string> reference = model::term_names();
+  const std::uint64_t term_count = cur.u64();
+  cur.check_count(term_count, 4, "registry term count");
+  std::vector<std::string> names;
+  names.reserve(term_count);
+  for (std::uint64_t i = 0; i < term_count; ++i) {
+    names.push_back(string_at(strings, cur.u32(), origin));
+  }
+  // Term functions cannot live in a file; the pinned registry name list is
+  // the proof that the stored term ids mean what this build's registry
+  // evaluates.  A renamed, reordered or truncated registry must bump the
+  // format version.
+  if (names != reference) {
+    throw SnapshotFormatError("unknown model term registry", origin);
+  }
+  const std::uint64_t app_count = cur.u64();
+  cur.check_count(app_count, 4 + 8, "fitted application count");
+  std::vector<std::pair<std::string, std::vector<model::PiecewiseModel>>>
+      fitted;
+  fitted.reserve(app_count);
+  for (std::uint64_t a = 0; a < app_count; ++a) {
+    const std::string& application = string_at(strings, cur.u32(), origin);
+    const std::uint64_t kernel_count = cur.u64();
+    cur.check_count(kernel_count, 8, "fitted kernel count");
+    std::vector<model::PiecewiseModel> kernels;
+    kernels.reserve(kernel_count);
+    for (std::uint64_t k = 0; k < kernel_count; ++k) {
+      const std::uint64_t segment_count = cur.u64();
+      if (segment_count == 0) {
+        throw SnapshotFormatError(
+            "bad fitted model shape",
+            origin + ": piecewise model with zero segments");
+      }
+      // Per segment at minimum: p_min/p_max/sample_count/flags/cv/fit/terms
+      // = 8+8+8+4+8+8+8 bytes; the breakpoints add 8 per boundary.
+      cur.check_count(segment_count, 8 + 8 + 8 + 4 + 8 + 8 + 8,
+                      "segment count");
+      model::PiecewiseModel pw;
+      pw.breakpoints.reserve(segment_count - 1);
+      for (std::uint64_t b = 0; b + 1 < segment_count; ++b) {
+        pw.breakpoints.push_back(cur.f64());
+        if (pw.breakpoints.size() > 1 &&
+            !(pw.breakpoints[pw.breakpoints.size() - 2] <
+              pw.breakpoints.back())) {
+          throw SnapshotFormatError(
+              "bad fitted model shape",
+              origin + ": breakpoints not strictly ascending");
+        }
+      }
+      pw.segments.reserve(segment_count);
+      for (std::uint64_t sgi = 0; sgi < segment_count; ++sgi) {
+        model::ModelSegment seg;
+        seg.p_min = cur.f64();
+        seg.p_max = cur.f64();
+        seg.sample_count = static_cast<std::size_t>(cur.u64());
+        const std::uint32_t flags = cur.u32();
+        if (flags > 1) {
+          throw SnapshotFormatError(
+              "bad fitted model shape",
+              origin + ": unknown segment flags " + std::to_string(flags));
+        }
+        seg.model.degenerate = (flags & 1u) != 0;
+        seg.model.cv_rmse = cur.f64();
+        seg.model.fit_rmse = cur.f64();
+        const std::uint64_t seg_terms = cur.u64();
+        cur.check_count(seg_terms, 4 + 8, "segment term count");
+        seg.model.terms.reserve(seg_terms);
+        for (std::uint64_t t = 0; t < seg_terms; ++t) {
+          model::FittedTerm term;
+          term.id = cur.u32();
+          term.coefficient = cur.f64();
+          if (term.id >= reference.size()) {
+            throw SnapshotFormatError(
+                "bad fitted model shape",
+                origin + ": term id " + std::to_string(term.id) +
+                    " out of registry range");
+          }
+          if (!seg.model.terms.empty() &&
+              !(seg.model.terms.back().id < term.id)) {
+            throw SnapshotFormatError(
+                "bad fitted model shape",
+                origin + ": term ids not strictly ascending");
+          }
+          seg.model.terms.push_back(term);
+        }
+        pw.segments.push_back(std::move(seg));
+      }
+      kernels.push_back(std::move(pw));
+    }
+    if (!fitted.empty() && !(fitted.back().first < application)) {
+      throw SnapshotFormatError("unsorted fitted models", origin);
+    }
+    fitted.emplace_back(application, std::move(kernels));
+  }
+  cur.expect_exhausted();
+  return fitted;
+}
+
+std::vector<model::CouplingTransition> decode_transitions(
+    binfmt::Cursor cur, const std::vector<std::string>& strings,
+    const std::string& origin) {
+  const std::uint64_t count = cur.u64();
+  cur.check_count(count, 4 + 4 + 8 + 8 + 4 + 4 + 8 + 8 + 8,
+                  "transition count");
+  std::vector<model::CouplingTransition> out;
+  out.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    model::CouplingTransition t;
+    t.application = string_at(strings, cur.u32(), origin);
+    t.config = string_at(strings, cur.u32(), origin);
+    t.chain_length = static_cast<std::size_t>(cur.u64());
+    t.chain_start = static_cast<std::size_t>(cur.u64());
+    t.ranks_lo = cur.i32();
+    t.ranks_hi = cur.i32();
+    t.boundary = cur.f64();
+    t.coupling_before = cur.f64();
+    t.coupling_after = cur.f64();
+    if (!out.empty()) {
+      const model::CouplingTransition& prev = out.back();
+      const auto key = [](const model::CouplingTransition& x) {
+        return std::tie(x.application, x.config, x.chain_length,
+                        x.chain_start, x.boundary);
+      };
+      if (!(key(prev) < key(t))) {
+        throw SnapshotFormatError("unsorted transitions", origin);
+      }
+    }
+    out.push_back(std::move(t));
+  }
+  cur.expect_exhausted();
+  return out;
 }
 
 }  // namespace
@@ -459,6 +661,14 @@ std::string pack_snapshot(const PredictorSnapshot& snapshot) {
   for (const auto& [application, models] : snapshot.scaling_models()) {
     string_set.insert(application);
   }
+  for (const auto& name : model::term_names()) string_set.insert(name);
+  for (const auto& [application, kernels] : snapshot.fitted_models()) {
+    string_set.insert(application);
+  }
+  for (const auto& t : snapshot.transitions()) {
+    string_set.insert(t.application);
+    string_set.insert(t.config);
+  }
   const std::vector<std::string> strings(string_set.begin(), string_set.end());
 
   const std::pair<binfmt::SectionKind, std::string> sections[] = {
@@ -469,6 +679,10 @@ std::string pack_snapshot(const PredictorSnapshot& snapshot) {
        pack_alpha_groups(strings, snapshot)},
       {binfmt::SectionKind::kScalingModels,
        pack_scaling_models(strings, snapshot)},
+      {binfmt::SectionKind::kFittedModels,
+       pack_fitted_models(strings, snapshot)},
+      {binfmt::SectionKind::kTransitions,
+       pack_transitions(strings, snapshot)},
   };
   const std::size_t section_count = std::size(sections);
 
@@ -511,6 +725,8 @@ PackStats pack_snapshot_file(const PredictorSnapshot& snapshot,
   stats.records = snapshot.database().records().size();
   stats.alpha_groups = snapshot.alpha_group_count();
   stats.modeled_applications = snapshot.modeled_application_count();
+  stats.fitted_applications = snapshot.fitted_application_count();
+  stats.transitions = snapshot.transition_count();
   stats.bytes = packed.size();
   stats.format_version = binfmt::kFormatVersion;
   return stats;
@@ -547,6 +763,10 @@ std::shared_ptr<const PredictorSnapshot> load_packed_snapshot_bytes(
   pre.groups = decode_alpha_groups(cursor(2, "alpha groups"), strings, origin);
   pre.models =
       decode_scaling_models(cursor(3, "scaling models"), strings, origin);
+  pre.fitted =
+      decode_fitted_models(cursor(4, "fitted models"), strings, origin);
+  pre.transitions =
+      decode_transitions(cursor(5, "transitions"), strings, origin);
   return std::make_shared<const PredictorSnapshot>(std::move(db), version,
                                                    std::move(pre));
 }
@@ -592,6 +812,8 @@ PackStats verify_packed_snapshot(const std::string& path) {
   stats.records = snapshot->database().records().size();
   stats.alpha_groups = snapshot->alpha_group_count();
   stats.modeled_applications = snapshot->modeled_application_count();
+  stats.fitted_applications = snapshot->fitted_application_count();
+  stats.transitions = snapshot->transition_count();
   stats.bytes = static_cast<std::size_t>(st.st_size);
   stats.format_version = binfmt::kFormatVersion;
   return stats;

@@ -16,6 +16,8 @@ struct PackStats {
   std::size_t records = 0;
   std::size_t alpha_groups = 0;
   std::size_t modeled_applications = 0;
+  std::size_t fitted_applications = 0;
+  std::size_t transitions = 0;
   std::size_t bytes = 0;
   std::uint32_t format_version = 0;
 };

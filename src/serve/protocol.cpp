@@ -312,6 +312,8 @@ std::string prediction_json(const Prediction& p) {
   append_number(out, "summation_err", p.summation_error);
   if (!p.alpha_source.empty()) append_string(out, "alpha", p.alpha_source);
   if (!p.inputs_source.empty()) append_string(out, "inputs", p.inputs_source);
+  if (!p.source.empty()) append_string(out, "source", p.source);
+  if (!p.model_form.empty()) append_string(out, "model_form", p.model_form);
   append_string(out, "cache", p.cache_hit ? "hit" : "miss");
   out += ",\"snapshot\":" + std::to_string(p.snapshot_version);
   out += '}';
@@ -359,6 +361,8 @@ std::optional<Prediction> parse_prediction(const std::string& json) {
   }
   if (const auto v = json_string_field(json, "alpha")) p.alpha_source = *v;
   if (const auto v = json_string_field(json, "inputs")) p.inputs_source = *v;
+  if (const auto v = json_string_field(json, "source")) p.source = *v;
+  if (const auto v = json_string_field(json, "model_form")) p.model_form = *v;
   if (const auto v = json_string_field(json, "cache")) {
     p.cache_hit = (*v == "hit");
   }

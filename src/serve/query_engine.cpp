@@ -78,9 +78,10 @@ Prediction QueryEngine::predict(const PredictorSnapshot& snapshot,
     p.summation_s = scratch.cell.summation_s;
     p.inputs_source = "measured";
   } else {
+    const auto* fitted = snapshot.fitted_models_for(p.key.application);
     const auto* models = snapshot.models_for(p.key.application);
     const auto shape = workload_->shape(p.key.application, p.key.config);
-    if (models == nullptr || !shape.has_value()) {
+    if ((fitted == nullptr && models == nullptr) || !shape.has_value()) {
       p.error = "cell " + p.key.application + "/" + p.key.config + "/P=" +
                 std::to_string(p.key.ranks) +
                 " cannot be measured and no scaling models are fitted";
@@ -93,12 +94,24 @@ Prediction QueryEngine::predict(const PredictorSnapshot& snapshot,
     mi.isolated_means.clear();
     mi.prologue_s = 0.0;
     mi.epilogue_s = 0.0;
-    loop_size = models->size();
     mi.iterations = shape->iterations;
-    mi.isolated_means.reserve(loop_size);
-    for (const coupling::KernelScalingModel& m : *models) {
-      mi.isolated_means.push_back(
-          m.evaluate(shape->grid_extent, static_cast<double>(p.key.ranks)));
+    const double ranks_d = static_cast<double>(p.key.ranks);
+    if (fitted != nullptr && !fitted->empty()) {
+      // The cross-validated piecewise models: the segment covering the
+      // queried P supplies both the extrapolation and the reported form.
+      loop_size = fitted->size();
+      mi.isolated_means.reserve(loop_size);
+      for (const model::PiecewiseModel& pw : *fitted) {
+        mi.isolated_means.push_back(pw.evaluate(shape->grid_extent, ranks_d));
+        if (!p.model_form.empty()) p.model_form += ',';
+        p.model_form += pw.segment_for(ranks_d).model.term_names();
+      }
+    } else {
+      loop_size = models->size();
+      mi.isolated_means.reserve(loop_size);
+      for (const coupling::KernelScalingModel& m : *models) {
+        mi.isolated_means.push_back(m.evaluate(shape->grid_extent, ranks_d));
+      }
     }
     p.summation_s = coupling::summation_prediction(mi);
     p.inputs_source = "model";
@@ -132,6 +145,14 @@ Prediction QueryEngine::predict(const PredictorSnapshot& snapshot,
   if (std::isfinite(p.actual_s) && p.actual_s > 0.0) {
     p.coupling_error = trace::relative_error(p.coupling_s, p.actual_s);
     p.summation_error = trace::relative_error(p.summation_s, p.actual_s);
+  }
+  // One client-facing name for the fallback path that answered: model
+  // extrapolation dominates (the inputs carry no measurement), otherwise
+  // the alpha provenance decides between exact and nearest-donor reuse.
+  if (p.inputs_source == "model") {
+    p.source = "model";
+  } else {
+    p.source = p.alpha_source == "exact" ? "exact" : "nearest-donor";
   }
   p.ok = true;
   return p;

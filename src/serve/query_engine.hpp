@@ -37,6 +37,16 @@ struct Prediction {
   double summation_error = std::numeric_limits<double>::quiet_NaN();
   std::string alpha_source;   ///< "exact" | "nearest" | ""
   std::string inputs_source;  ///< "measured" | "model" | ""
+  /// Which fallback path produced the prediction, as one client-facing
+  /// name: "exact" (measured cell + precomputed alpha), "nearest-donor"
+  /// (measured cell, donor chains from another rank count), or "model"
+  /// (cell inputs extrapolated from the fitted scaling models).  Empty on
+  /// errors.
+  std::string source;
+  /// The selected model form(s) behind a "model"-sourced prediction: the
+  /// per-kernel term names of the piecewise segment active at the queried
+  /// P, comma-joined in loop order.  Empty unless source == "model".
+  std::string model_form;
   bool cache_hit = false;     ///< cell inputs served from the memo cache
   std::uint64_t snapshot_version = 0;
 };

@@ -88,12 +88,23 @@ PredictorSnapshot::PredictorSnapshot(coupling::CouplingDatabase db,
     groups_.emplace_back(key, std::move(group));
   }
 
+  if (options.detect_transitions) {
+    // Purely record-derived: the coupling series over ranks for every
+    // (application, config, chain_length, chain_start), segmented for
+    // level shifts — the paper's memory-hierarchy transitions.
+    transitions_ = model::detect_coupling_transitions(db_);
+  }
+
   if (!options.fit_scaling_models || !cell_fn) return;
 
   // Fit per-application scaling models from the database's measurable
   // cells.  Samples pool across configs and rank counts (n varies with the
-  // problem class, P with the ranks); applications with fewer distinct
-  // samples than basis terms — or a singular fit — simply get no models.
+  // problem class, P with the ranks).  Two model families are built from
+  // the same samples: the legacy fixed-basis LSQ models (kept for format
+  // compatibility and as the fallback of last resort) and the
+  // cross-validated piecewise models the query engine prefers.  Degenerate
+  // sample sets yield flagged constant models, never a silently-NaN fit
+  // and never a silently modelless application.
   std::map<std::string, std::set<std::pair<std::string, int>>> cells_by_app;
   for (const coupling::CouplingRecord& r : db_.records()) {
     cells_by_app[r.key.application].insert({r.key.config, r.key.ranks});
@@ -111,20 +122,24 @@ PredictorSnapshot::PredictorSnapshot(coupling::CouplingDatabase db,
                               cell->inputs.isolated_means[k]});
       }
     }
-    const coupling::ScalingBasis basis = coupling::ScalingBasis::npb_default();
-    if (samples.empty() || samples.front().size() < basis.size()) continue;
+    if (samples.empty() || samples.front().empty()) continue;
     std::vector<coupling::KernelScalingModel> models;
+    std::vector<model::PiecewiseModel> fitted;
     models.reserve(samples.size());
-    try {
-      for (const auto& kernel_samples : samples) {
-        models.push_back(coupling::KernelScalingModel::fit(
-            coupling::ScalingBasis::npb_default(), kernel_samples));
+    fitted.reserve(samples.size());
+    for (const auto& kernel_samples : samples) {
+      models.push_back(coupling::KernelScalingModel::fit_or_constant(
+          coupling::ScalingBasis::npb_default(), kernel_samples));
+      std::vector<model::ModelSample> ms;
+      ms.reserve(kernel_samples.size());
+      for (const coupling::ScalingSample& s : kernel_samples) {
+        ms.push_back({s.n, s.p, s.seconds});
       }
-    } catch (const std::invalid_argument&) {
-      continue;  // singular fit (e.g. all samples identical): no models
+      fitted.push_back(model::fit_piecewise(ms));
     }
     // cells_by_app is a std::map: sorted application order, as above.
     models_.emplace_back(application, std::move(models));
+    fitted_.emplace_back(application, std::move(fitted));
   }
 }
 
@@ -134,7 +149,9 @@ PredictorSnapshot::PredictorSnapshot(coupling::CouplingDatabase db,
     : db_(std::move(db)),
       version_(version),
       groups_(std::move(precomputed.groups)),
-      models_(std::move(precomputed.models)) {}
+      models_(std::move(precomputed.models)),
+      fitted_(std::move(precomputed.fitted)),
+      transitions_(std::move(precomputed.transitions)) {}
 
 const AlphaGroup* PredictorSnapshot::find_alpha(const std::string& application,
                                                 const std::string& config,
@@ -162,6 +179,17 @@ const std::vector<coupling::KernelScalingModel>* PredictorSnapshot::models_for(
         return entry.first < app;
       });
   if (it == models_.end() || it->first != application) return nullptr;
+  return &it->second;
+}
+
+const std::vector<model::PiecewiseModel>* PredictorSnapshot::fitted_models_for(
+    const std::string& application) const {
+  const auto it = std::lower_bound(
+      fitted_.begin(), fitted_.end(), application,
+      [](const auto& entry, const std::string& app) {
+        return entry.first < app;
+      });
+  if (it == fitted_.end() || it->first != application) return nullptr;
   return &it->second;
 }
 

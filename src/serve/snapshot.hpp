@@ -17,6 +17,8 @@
 
 #include "coupling/database.hpp"
 #include "coupling/scaling_model.hpp"
+#include "model/piecewise.hpp"
+#include "model/transitions.hpp"
 #include "serve/workload.hpp"
 
 namespace kcoup::serve {
@@ -45,7 +47,13 @@ struct SnapshotOptions {
   /// Fit per-kernel scaling models E_k(n, P) from the database's measurable
   /// cells at build time (enables predictions for configurations that
   /// cannot run, e.g. BT at a non-square rank count).  Requires a CellFn.
+  /// Covers both the legacy fixed-basis LSQ models and the cross-validated
+  /// piecewise models that supersede them on the query path.
   bool fit_scaling_models = true;
+  /// Run the coupling-transition changepoint scan over the database's
+  /// (application, config, chain_length, chain_start) series at build
+  /// time.  Purely record-derived — needs no CellFn.
+  bool detect_transitions = true;
 };
 
 /// An immutable, internally consistent bundle of everything the query
@@ -68,6 +76,13 @@ class PredictorSnapshot {
     std::vector<std::pair<GroupKey, AlphaGroup>> groups;
     std::vector<std::pair<std::string, std::vector<coupling::KernelScalingModel>>>
         models;
+    /// Cross-validated piecewise per-kernel models, sorted by application —
+    /// the selection the query engine's model fallback prefers.
+    std::vector<std::pair<std::string, std::vector<model::PiecewiseModel>>>
+        fitted;
+    /// Detected coupling transitions in canonical order (application,
+    /// config, chain_length, chain_start, boundary).
+    std::vector<model::CouplingTransition> transitions;
   };
 
   /// Derive alpha groups (and optionally scaling models) from the database.
@@ -95,11 +110,23 @@ class PredictorSnapshot {
   [[nodiscard]] const std::vector<coupling::KernelScalingModel>* models_for(
       const std::string& application) const;
 
+  /// Cross-validated piecewise per-kernel models (loop order) for an
+  /// application, or nullptr when none were fitted.  The query engine
+  /// prefers these over the legacy models_for() basis.
+  [[nodiscard]] const std::vector<model::PiecewiseModel>* fitted_models_for(
+      const std::string& application) const;
+
   [[nodiscard]] std::size_t alpha_group_count() const {
     return groups_.size();
   }
   [[nodiscard]] std::size_t modeled_application_count() const {
     return models_.size();
+  }
+  [[nodiscard]] std::size_t fitted_application_count() const {
+    return fitted_.size();
+  }
+  [[nodiscard]] std::size_t transition_count() const {
+    return transitions_.size();
   }
 
   /// All precomputed groups / models, sorted by key — the serialization
@@ -113,6 +140,17 @@ class PredictorSnapshot {
   scaling_models() const {
     return models_;
   }
+  [[nodiscard]] const std::vector<
+      std::pair<std::string, std::vector<model::PiecewiseModel>>>&
+  fitted_models() const {
+    return fitted_;
+  }
+  /// Detected coupling transitions, canonical order — first-class data
+  /// surfaced through `kcoup fit` and the packed snapshot.
+  [[nodiscard]] const std::vector<model::CouplingTransition>& transitions()
+      const {
+    return transitions_;
+  }
 
  private:
   coupling::CouplingDatabase db_;
@@ -123,6 +161,9 @@ class PredictorSnapshot {
   std::vector<std::pair<GroupKey, AlphaGroup>> groups_;
   std::vector<std::pair<std::string, std::vector<coupling::KernelScalingModel>>>
       models_;
+  std::vector<std::pair<std::string, std::vector<model::PiecewiseModel>>>
+      fitted_;
+  std::vector<model::CouplingTransition> transitions_;
 };
 
 /// Owns the current snapshot and hot-reloads it when the database file

@@ -87,6 +87,52 @@ TEST(ScalingModelTest, RejectsDegenerateInputs) {
                std::invalid_argument);
 }
 
+TEST(ScalingModelTest, FitOrConstantMatchesFitOnGoodData) {
+  const ScalingBasis basis = ScalingBasis::npb_default();
+  std::vector<ScalingSample> samples;
+  for (double n : {12.0, 32.0, 64.0, 102.0}) {
+    for (double p : {1.0, 4.0, 9.0, 16.0}) {
+      samples.push_back({n, p, 2e-9 * n * n * n / p + 3e-3});
+    }
+  }
+  const KernelScalingModel fitted = KernelScalingModel::fit(basis, samples);
+  const KernelScalingModel safe =
+      KernelScalingModel::fit_or_constant(basis, samples);
+  EXPECT_FALSE(safe.degenerate());
+  ASSERT_EQ(safe.coefficients().size(), fitted.coefficients().size());
+  for (std::size_t i = 0; i < safe.coefficients().size(); ++i) {
+    EXPECT_EQ(safe.coefficients()[i], fitted.coefficients()[i]);
+  }
+}
+
+TEST(ScalingModelTest, FitOrConstantFlagsSingleSample) {
+  const ScalingBasis basis = ScalingBasis::npb_default();
+  std::vector<ScalingSample> one{{12, 4, 0.75}};
+  const KernelScalingModel m = KernelScalingModel::fit_or_constant(basis, one);
+  EXPECT_TRUE(m.degenerate());
+  for (double c : m.coefficients()) EXPECT_TRUE(std::isfinite(c));
+  EXPECT_DOUBLE_EQ(m.evaluate(12, 4), 0.75);
+  EXPECT_DOUBLE_EQ(m.evaluate(64, 100), 0.75);  // constant everywhere
+}
+
+TEST(ScalingModelTest, FitOrConstantFlagsDuplicatePoints) {
+  const ScalingBasis basis = ScalingBasis::npb_default();
+  // Duplicate (n, P): singular normal equations that fit() rejects must
+  // become a flagged constant, never NaN coefficients in a snapshot.
+  std::vector<ScalingSample> degenerate(6, ScalingSample{12, 4, 0.5});
+  const KernelScalingModel m =
+      KernelScalingModel::fit_or_constant(basis, degenerate);
+  EXPECT_TRUE(m.degenerate());
+  for (double c : m.coefficients()) EXPECT_TRUE(std::isfinite(c));
+  EXPECT_DOUBLE_EQ(m.evaluate(12, 4), 0.5);
+}
+
+TEST(ScalingModelTest, FitOrConstantRejectsEmptySamples) {
+  const ScalingBasis basis = ScalingBasis::npb_default();
+  EXPECT_THROW((void)KernelScalingModel::fit_or_constant(basis, {}),
+               std::invalid_argument);
+}
+
 TEST(ScalingModelTest, ToStringListsBasisTerms) {
   const ScalingBasis basis = ScalingBasis::npb_default();
   std::vector<ScalingSample> samples;

@@ -230,6 +230,7 @@ TEST(Protocol, PredictionSurvivesRoundTripBitIdentically) {
   p.summation_error = 0.10000000000000001;
   p.alpha_source = "exact";
   p.inputs_source = "measured";
+  p.source = "exact";
   p.cache_hit = true;
   p.snapshot_version = 7;
 
@@ -244,8 +245,40 @@ TEST(Protocol, PredictionSurvivesRoundTripBitIdentically) {
   EXPECT_EQ(back->summation_error, p.summation_error);
   EXPECT_EQ(back->alpha_source, "exact");
   EXPECT_EQ(back->inputs_source, "measured");
+  EXPECT_EQ(back->source, "exact");
   EXPECT_TRUE(back->cache_hit);
   EXPECT_EQ(back->snapshot_version, 7u);
+}
+
+TEST(Protocol, SourceAndModelFormFieldsRoundTrip) {
+  serve::Prediction p;
+  p.ok = true;
+  p.key = {"BT", "C", 1024, 2};
+  p.coupling_s = 0.25;
+  p.alpha_source = "nearest";
+  p.inputs_source = "model";
+  p.source = "model";
+  p.model_form = "1+n^3/P,1/P,1+log2(P)";
+
+  const std::string json = serve::prediction_json(p);
+  // The wire JSON names the fallback path and the selected model forms.
+  EXPECT_NE(json.find("\"source\":\"model\""), std::string::npos);
+  EXPECT_NE(json.find("\"model_form\":\"1+n^3/P,1/P,1+log2(P)\""),
+            std::string::npos);
+  const auto back = serve::parse_prediction(json);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->source, "model");
+  EXPECT_EQ(back->model_form, "1+n^3/P,1/P,1+log2(P)");
+
+  // Empty source/model_form (error predictions) must stay absent, so old
+  // clients see exactly the pre-field wire bytes.
+  serve::Prediction err;
+  err.ok = false;
+  err.error = "nope";
+  err.key = {"BT", "C", 4, 2};
+  const std::string err_json = serve::prediction_json(err);
+  EXPECT_EQ(err_json.find("\"source\""), std::string::npos);
+  EXPECT_EQ(err_json.find("\"model_form\""), std::string::npos);
 }
 
 TEST(Protocol, NonFiniteFieldsComeBackAsNaN) {
@@ -466,6 +499,92 @@ TEST_F(QueryEngineFake, FallsBackToScalingModelsForUnrunnableCells) {
   EXPECT_TRUE(std::isfinite(p.coupling_s));
   EXPECT_TRUE(std::isnan(p.actual_s));  // nothing ran, no error columns
   EXPECT_TRUE(std::isnan(p.coupling_error));
+  // The piecewise models supersede the LSQ ones on the model path: the
+  // closed-form 1/P workload selects exactly {1/P} per kernel, so the
+  // extrapolated inputs are the true means and the form is reported.
+  EXPECT_EQ(p.source, "model");
+  EXPECT_EQ(p.model_form, "1/P,1/P,1/P");
+  const auto* fitted = snapshot.fitted_models_for("APP");
+  ASSERT_NE(fitted, nullptr);
+  ASSERT_EQ(fitted->size(), FakeWorkload::kLoop);
+  for (std::size_t k = 0; k < fitted->size(); ++k) {
+    EXPECT_NEAR((*fitted)[k].evaluate(12.0, 5.0), FakeWorkload::mean(k, 5),
+                1e-9 * FakeWorkload::mean(k, 5));
+  }
+}
+
+TEST_F(QueryEngineFake, SourceNamesEachFallbackPath) {
+  FakeWorkload workload;
+  serve::QueryEngine engine(&workload);
+  coupling::CouplingDatabase db;
+  for (int p : {1, 2, 3, 4}) add_group(&db, p);
+  const serve::PredictorSnapshot snapshot(
+      db, 1,
+      [&engine](const std::string& a, const std::string& c, int p) {
+        return engine.cell(a, c, p);
+      },
+      {true});
+
+  const auto exact = engine.predict(snapshot, {"APP", "X", 4, 2});
+  ASSERT_TRUE(exact.ok) << exact.error;
+  EXPECT_EQ(exact.source, "exact");
+  EXPECT_TRUE(exact.model_form.empty());
+
+  const auto donor = engine.predict(snapshot, {"APP", "X", 6, 2});
+  ASSERT_TRUE(donor.ok) << donor.error;
+  EXPECT_EQ(donor.source, "nearest-donor");
+  EXPECT_TRUE(donor.model_form.empty());
+
+  const auto model = engine.predict(snapshot, {"APP", "X", 5, 2});
+  ASSERT_TRUE(model.ok) << model.error;
+  EXPECT_EQ(model.source, "model");
+  EXPECT_FALSE(model.model_form.empty());
+
+  const auto error = engine.predict(snapshot, {"NOPE", "X", 4, 2});
+  ASSERT_FALSE(error.ok);
+  EXPECT_TRUE(error.source.empty());
+}
+
+/// Property: on the dense (measurable) grid the piecewise models must be
+/// invisible — every prediction that does not need the model fallback has
+/// to serialize byte-identically whether the snapshot fitted models or
+/// not.  Only the unrunnable cell is allowed to differ (error -> answer).
+TEST_F(QueryEngineFake, DenseGridPredictionsUnaffectedByFittedModels) {
+  coupling::CouplingDatabase db;
+  for (int p : {1, 2, 3, 4, 8, 16}) add_group(&db, p);
+  FakeWorkload with_workload;
+  serve::QueryEngine with_engine(&with_workload);
+  const serve::PredictorSnapshot with_models(
+      db, 1,
+      [&with_engine](const std::string& a, const std::string& c, int p) {
+        return with_engine.cell(a, c, p);
+      },
+      {true});
+  const serve::PredictorSnapshot without_models(db, 1, {}, {false});
+  ASSERT_GT(with_models.fitted_application_count(), 0u);
+  ASSERT_EQ(without_models.fitted_application_count(), 0u);
+
+  FakeWorkload bare_workload;
+  serve::QueryEngine without_engine(&bare_workload);
+  // Warm both memos so the cache hit/miss marker matches: the snapshot
+  // build already touched with_engine's cells.
+  for (int ranks = 1; ranks <= 20; ++ranks) {
+    if (ranks == 5) continue;
+    (void)with_engine.cell("APP", "X", ranks);
+    (void)without_engine.cell("APP", "X", ranks);
+  }
+  for (int ranks = 1; ranks <= 20; ++ranks) {
+    if (ranks == 5) continue;  // the one cell that needs the model path
+    for (const std::size_t chain : {std::size_t{1}, std::size_t{2},
+                                    std::size_t{3}}) {
+      const serve::QueryKey q{"APP", "X", ranks, chain};
+      const std::string a =
+          serve::prediction_json(with_engine.predict(with_models, q));
+      const std::string b =
+          serve::prediction_json(without_engine.predict(without_models, q));
+      EXPECT_EQ(a, b) << "P=" << ranks << " q=" << chain;
+    }
+  }
 }
 
 TEST_F(QueryEngineFake, RefusesUnknownCellsAndBadChainLengths) {
@@ -698,6 +817,47 @@ TEST(ServeNpb, PredictionsBitIdenticalToRunStudy) {
     EXPECT_EQ(p.coupling_error, cl.relative_error);
     EXPECT_EQ(p.summation_error, study.summation_error);
   }
+}
+
+/// Golden pin: the cross-validated model selection on the seeded NPB suite
+/// is deterministic, so the chosen form per application/kernel is part of
+/// the observable contract.  A drift here means the selection algorithm,
+/// the term registry, or the modeled workloads changed — all of which must
+/// be deliberate.
+TEST(ServeNpb, SelectedModelFormsArePinned) {
+  const machine::MachineConfig cfg = machine::ibm_sp_p2sc();
+  serve::NpbWorkload workload(cfg);
+  serve::QueryEngine engine(&workload);
+
+  // Seed one record per (app, S, P) so the snapshot's fit loop measures
+  // those cells; the record values themselves never feed the fit.
+  coupling::CouplingDatabase db;
+  for (const char* app : {"BT", "SP", "LU"}) {
+    for (int p : {1, 4, 16}) {
+      db.record({{app, "S", p, 2, 0}, 1.0, 1.0});
+    }
+  }
+  const serve::PredictorSnapshot snapshot(
+      db, 1,
+      [&engine](const std::string& a, const std::string& c, int p) {
+        return engine.cell(a, c, p);
+      },
+      {true});
+  ASSERT_EQ(snapshot.fitted_application_count(), 3u);
+
+  const auto forms = [&](const char* app) {
+    const auto* fitted = snapshot.fitted_models_for(app);
+    EXPECT_NE(fitted, nullptr);
+    std::string joined;
+    for (const model::PiecewiseModel& pw : *fitted) {
+      if (!joined.empty()) joined += ';';
+      joined += pw.term_names();
+    }
+    return joined;
+  };
+  EXPECT_EQ(forms("BT"), "P*log2(P)+1/P;1/P;n/P;n/P;1/P");
+  EXPECT_EQ(forms("SP"), "P*log2(P)+1/P;1/P;1/P;1/sqrt(P);1/sqrt(P);n^2/P");
+  EXPECT_EQ(forms("LU"), "P*log2(P)+1/P;log2(P)+1/sqrt(P);sqrt(P)+n^2/sqrt(P);1");
 }
 
 }  // namespace

@@ -95,8 +95,10 @@ void add_group(coupling::CouplingDatabase* db, int ranks) {
 }
 
 /// The canonical test snapshot: four complete groups (enough samples for
-/// the scaling-model fit), models fitted from the closed-form workload.
-/// Everything is deterministic, so its packed bytes pin the format.
+/// the scaling-model fit), models fitted from the closed-form workload,
+/// and a second application whose coupling series carries a level shift so
+/// the transitions section pins non-trivial content.  Everything is
+/// deterministic, so its packed bytes pin the format.
 serve::PredictorSnapshot make_canonical_snapshot() {
   coupling::CouplingDatabase db;
   for (int p : {1, 2, 3, 4}) add_group(&db, p);
@@ -106,6 +108,14 @@ serve::PredictorSnapshot make_canonical_snapshot() {
   partial.chain_time = 0.01;
   partial.isolated_sum = 0.01;
   db.record(partial);
+  // Unmodelable app (no measurable cells) with a coupling transition
+  // between P = 8 and P = 16: exercises the kTransitions section.
+  for (int p : {1, 2, 4, 8}) {
+    db.record({{"TRANS", "Y", p, 2, 0}, 1.02, 1.0});
+  }
+  for (int p : {16, 32, 64}) {
+    db.record({{"TRANS", "Y", p, 2, 0}, 1.4, 1.0});
+  }
 
   PackWorkload workload;
   return serve::PredictorSnapshot(
@@ -204,6 +214,56 @@ void expect_models_equal(const serve::PredictorSnapshot& a,
   }
 }
 
+void expect_fitted_equal(const serve::PredictorSnapshot& a,
+                         const serve::PredictorSnapshot& b) {
+  ASSERT_EQ(a.fitted_models().size(), b.fitted_models().size());
+  for (std::size_t i = 0; i < a.fitted_models().size(); ++i) {
+    const auto& [na, fa] = a.fitted_models()[i];
+    const auto& [nb, fb] = b.fitted_models()[i];
+    EXPECT_EQ(na, nb);
+    ASSERT_EQ(fa.size(), fb.size());
+    for (std::size_t k = 0; k < fa.size(); ++k) {
+      EXPECT_EQ(fa[k].breakpoints, fb[k].breakpoints);
+      ASSERT_EQ(fa[k].segments.size(), fb[k].segments.size());
+      for (std::size_t s = 0; s < fa[k].segments.size(); ++s) {
+        const model::ModelSegment& sa = fa[k].segments[s];
+        const model::ModelSegment& sb = fb[k].segments[s];
+        EXPECT_EQ(sa.p_min, sb.p_min);
+        EXPECT_EQ(sa.p_max, sb.p_max);
+        EXPECT_EQ(sa.sample_count, sb.sample_count);
+        EXPECT_EQ(sa.model.degenerate, sb.model.degenerate);
+        // NaN cv_rmse (degenerate models) must round-trip bit-identically.
+        EXPECT_EQ(std::memcmp(&sa.model.cv_rmse, &sb.model.cv_rmse, 8), 0);
+        EXPECT_EQ(std::memcmp(&sa.model.fit_rmse, &sb.model.fit_rmse, 8), 0);
+        ASSERT_EQ(sa.model.terms.size(), sb.model.terms.size());
+        for (std::size_t t = 0; t < sa.model.terms.size(); ++t) {
+          EXPECT_EQ(sa.model.terms[t].id, sb.model.terms[t].id);
+          EXPECT_EQ(sa.model.terms[t].coefficient,
+                    sb.model.terms[t].coefficient);
+        }
+      }
+    }
+  }
+}
+
+void expect_transitions_equal(const serve::PredictorSnapshot& a,
+                              const serve::PredictorSnapshot& b) {
+  ASSERT_EQ(a.transitions().size(), b.transitions().size());
+  for (std::size_t i = 0; i < a.transitions().size(); ++i) {
+    const model::CouplingTransition& ta = a.transitions()[i];
+    const model::CouplingTransition& tb = b.transitions()[i];
+    EXPECT_EQ(ta.application, tb.application);
+    EXPECT_EQ(ta.config, tb.config);
+    EXPECT_EQ(ta.chain_length, tb.chain_length);
+    EXPECT_EQ(ta.chain_start, tb.chain_start);
+    EXPECT_EQ(ta.ranks_lo, tb.ranks_lo);
+    EXPECT_EQ(ta.ranks_hi, tb.ranks_hi);
+    EXPECT_EQ(ta.boundary, tb.boundary);
+    EXPECT_EQ(ta.coupling_before, tb.coupling_before);
+    EXPECT_EQ(ta.coupling_after, tb.coupling_after);
+  }
+}
+
 // --- Round trip -------------------------------------------------------------
 
 TEST(SnapshotPack, RoundTripIsBitIdentical) {
@@ -216,6 +276,33 @@ TEST(SnapshotPack, RoundTripIsBitIdentical) {
   expect_records_equal(original.database(), loaded->database());
   expect_groups_equal(original, *loaded);
   expect_models_equal(original, *loaded);
+  expect_fitted_equal(original, *loaded);
+  expect_transitions_equal(original, *loaded);
+}
+
+TEST(SnapshotPack, CanonicalSnapshotCarriesFittedModelsAndTransitions) {
+  const serve::PredictorSnapshot snapshot = make_canonical_snapshot();
+  // APP gets piecewise models alongside the legacy LSQ ones.
+  EXPECT_EQ(snapshot.fitted_application_count(), 1u);
+  const auto* fitted = snapshot.fitted_models_for("APP");
+  ASSERT_NE(fitted, nullptr);
+  EXPECT_EQ(fitted->size(), PackWorkload::kLoop);
+  // The closed-form workload is exactly c/P, so every kernel selects 1/P
+  // with no split.
+  for (const model::PiecewiseModel& pw : *fitted) {
+    EXPECT_TRUE(pw.breakpoints.empty());
+    ASSERT_EQ(pw.segments.size(), 1u);
+    EXPECT_FALSE(pw.segments[0].model.degenerate);
+    EXPECT_EQ(pw.segments[0].model.term_names(), "1/P");
+  }
+  // TRANS's level shift between P = 8 and P = 16 is detected and stored.
+  ASSERT_EQ(snapshot.transition_count(), 1u);
+  const model::CouplingTransition& t = snapshot.transitions()[0];
+  EXPECT_EQ(t.application, "TRANS");
+  EXPECT_EQ(t.config, "Y");
+  EXPECT_EQ(t.ranks_lo, 8);
+  EXPECT_EQ(t.ranks_hi, 16);
+  EXPECT_DOUBLE_EQ(t.boundary, 12.0);
 }
 
 TEST(SnapshotPack, PackIsDeterministicAndRepackStable) {
@@ -384,16 +471,22 @@ TEST_F(SnapshotPackFileTest, PackVerifyLoadRoundTrip) {
   EXPECT_EQ(packed.alpha_groups, snapshot.alpha_group_count());
   EXPECT_EQ(packed.modeled_applications,
             snapshot.modeled_application_count());
+  EXPECT_EQ(packed.fitted_applications, snapshot.fitted_application_count());
+  EXPECT_EQ(packed.transitions, snapshot.transition_count());
   EXPECT_TRUE(serve::is_packed_snapshot_file(path));
 
   const serve::PackStats verified = serve::verify_packed_snapshot(path);
   EXPECT_EQ(verified.records, packed.records);
   EXPECT_EQ(verified.bytes, packed.bytes);
+  EXPECT_EQ(verified.fitted_applications, packed.fitted_applications);
+  EXPECT_EQ(verified.transitions, packed.transitions);
 
   const auto loaded = serve::load_packed_snapshot(path, 3);
   EXPECT_EQ(loaded->version(), 3u);
   expect_groups_equal(snapshot, *loaded);
   expect_models_equal(snapshot, *loaded);
+  expect_fitted_equal(snapshot, *loaded);
+  expect_transitions_equal(snapshot, *loaded);
 }
 
 TEST_F(SnapshotPackFileTest, SnapshotSourceSniffsPackedFormat) {
@@ -600,7 +693,7 @@ TEST_F(SnapshotFuzzTest, CorruptCountFieldFailsBeforeAllocating) {
   // rejected by the bounds check, not by attempting a huge reserve.
   std::uint64_t records_off = 0;
   std::uint32_t kind = 0;
-  for (std::uint32_t i = 0; i < 4; ++i) {
+  for (std::uint32_t i = 0; i < serve::binfmt::kSectionCount; ++i) {
     const std::size_t entry =
         serve::binfmt::kHeaderBytes + i * serve::binfmt::kSectionEntryBytes;
     std::memcpy(&kind, bytes_.data() + entry, sizeof kind);
@@ -615,7 +708,7 @@ TEST_F(SnapshotFuzzTest, CorruptCountFieldFailsBeforeAllocating) {
   std::memcpy(m.data() + records_off, &huge, sizeof huge);
   // Re-sign the records section checksum, the table, then the header, so
   // the decode actually reaches the count check.
-  for (std::uint32_t i = 0; i < 4; ++i) {
+  for (std::uint32_t i = 0; i < serve::binfmt::kSectionCount; ++i) {
     const std::size_t entry =
         serve::binfmt::kHeaderBytes + i * serve::binfmt::kSectionEntryBytes;
     std::memcpy(&kind, m.data() + entry, sizeof kind);

@@ -1089,9 +1089,11 @@ int cmd_pack(const Args& args) {
     if (!quiet) {
       std::printf(
           "kcoup pack: %s ok (format v%u, %zu bytes, %zu records, "
-          "%zu alpha groups, %zu modeled apps)\n",
+          "%zu alpha groups, %zu modeled apps, %zu fitted apps, "
+          "%zu transitions)\n",
           path.c_str(), stats.format_version, stats.bytes, stats.records,
-          stats.alpha_groups, stats.modeled_applications);
+          stats.alpha_groups, stats.modeled_applications,
+          stats.fitted_applications, stats.transitions);
     }
     return 0;
   }
@@ -1137,10 +1139,175 @@ int cmd_pack(const Args& args) {
   if (!quiet) {
     std::printf(
         "kcoup pack: %s -> %s (format v%u, %zu bytes, %zu records, "
-        "%zu alpha groups, %zu modeled apps)\n",
+        "%zu alpha groups, %zu modeled apps, %zu fitted apps, "
+        "%zu transitions)\n",
         in_path.c_str(), out_path.c_str(), stats.format_version, stats.bytes,
-        stats.records, stats.alpha_groups, stats.modeled_applications);
+        stats.records, stats.alpha_groups, stats.modeled_applications,
+        stats.fitted_applications, stats.transitions);
   }
+  return 0;
+}
+
+// --- Model-fit / transition inspection --------------------------------------
+
+void append_json_number(std::string* out, double v) {
+  if (!std::isfinite(v)) {
+    *out += "null";
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  *out += buf;
+}
+
+/// `kcoup fit db.csv|db.kcs`: surface what the modeling subsystem selected —
+/// per-kernel piecewise model forms with coefficients and LOO-CV error, and
+/// the detected coupling transitions.  A CSV is fitted on the spot (same
+/// workload and machine model as `kcoup serve`/`kcoup pack`); a packed
+/// snapshot reports the sections it already carries.
+int cmd_fit(const Args& args) {
+  if (args.positionals().size() != 1) {
+    throw std::runtime_error(
+        "fit: expected exactly one database path (.csv or .kcs)");
+  }
+  const std::string path = args.positionals().front();
+  const machine::MachineConfig cfg =
+      parse_machine(args.get("machine", "ibm-sp"));
+  const bool no_models = args.flag("no-models");
+  const bool json = args.flag("json");
+  args.check_all_used();
+
+  serve::NpbWorkload workload(cfg);
+  serve::QueryEngine engine(&workload);
+  std::shared_ptr<const serve::PredictorSnapshot> loaded;
+  std::optional<serve::PredictorSnapshot> built;
+  const serve::PredictorSnapshot* snapshot = nullptr;
+  if (serve::is_packed_snapshot_file(path)) {
+    loaded = serve::load_packed_snapshot(path, 0);
+    snapshot = loaded.get();
+  } else {
+    coupling::CouplingDatabase db;
+    db.load_csv_file(path);
+    serve::SnapshotOptions options;
+    options.fit_scaling_models = !no_models;
+    built.emplace(
+        std::move(db), 0,
+        [&engine](const std::string& a, const std::string& c, int p) {
+          return engine.cell(a, c, p);
+        },
+        options);
+    snapshot = &*built;
+  }
+
+  if (json) {
+    std::string out = "{\"models\":[";
+    bool first_app = true;
+    for (const auto& [app, kernels] : snapshot->fitted_models()) {
+      if (!first_app) out += ',';
+      first_app = false;
+      out += "{\"app\":\"" + app + "\",\"kernels\":[";
+      for (std::size_t k = 0; k < kernels.size(); ++k) {
+        const model::PiecewiseModel& pw = kernels[k];
+        if (k > 0) out += ',';
+        out += "{\"kernel\":" + std::to_string(k) + ",\"cv_rmse\":";
+        append_json_number(&out, pw.cv_rmse());
+        out += ",\"breakpoints\":[";
+        for (std::size_t b = 0; b < pw.breakpoints.size(); ++b) {
+          if (b > 0) out += ',';
+          append_json_number(&out, pw.breakpoints[b]);
+        }
+        out += "],\"segments\":[";
+        for (std::size_t s = 0; s < pw.segments.size(); ++s) {
+          const model::ModelSegment& seg = pw.segments[s];
+          if (s > 0) out += ',';
+          out += "{\"p_min\":";
+          append_json_number(&out, seg.p_min);
+          out += ",\"p_max\":";
+          append_json_number(&out, seg.p_max);
+          out += ",\"samples\":" + std::to_string(seg.sample_count);
+          out += ",\"form\":\"" + seg.model.term_names() + "\"";
+          out += ",\"degenerate\":";
+          out += seg.model.degenerate ? "true" : "false";
+          out += ",\"cv_rmse\":";
+          append_json_number(&out, seg.model.cv_rmse);
+          out += ",\"terms\":[";
+          for (std::size_t t = 0; t < seg.model.terms.size(); ++t) {
+            const model::FittedTerm& term = seg.model.terms[t];
+            if (t > 0) out += ',';
+            out += "{\"id\":" + std::to_string(term.id) + ",\"name\":\"" +
+                   std::string(model::term_at(term.id).name) +
+                   "\",\"coefficient\":";
+            append_json_number(&out, term.coefficient);
+            out += '}';
+          }
+          out += "]}";
+        }
+        out += "]}";
+      }
+      out += "]}";
+    }
+    out += "],\"transitions\":[";
+    bool first_t = true;
+    for (const model::CouplingTransition& t : snapshot->transitions()) {
+      if (!first_t) out += ',';
+      first_t = false;
+      out += "{\"app\":\"" + t.application + "\",\"config\":\"" + t.config +
+             "\",\"chain\":" + std::to_string(t.chain_length) +
+             ",\"start\":" + std::to_string(t.chain_start) +
+             ",\"ranks_lo\":" + std::to_string(t.ranks_lo) +
+             ",\"ranks_hi\":" + std::to_string(t.ranks_hi) + ",\"boundary\":";
+      append_json_number(&out, t.boundary);
+      out += ",\"coupling_before\":";
+      append_json_number(&out, t.coupling_before);
+      out += ",\"coupling_after\":";
+      append_json_number(&out, t.coupling_after);
+      out += '}';
+    }
+    out += "]}";
+    std::printf("%s\n", out.c_str());
+    return 0;
+  }
+
+  report::Table models("Selected models (" + path + ")");
+  models.set_header({"app", "kernel", "P range", "form", "cv rmse", "model"});
+  for (const auto& [app, kernels] : snapshot->fitted_models()) {
+    for (std::size_t k = 0; k < kernels.size(); ++k) {
+      for (const model::ModelSegment& seg : kernels[k].segments) {
+        char range[64];
+        std::snprintf(range, sizeof range, "%g..%g", seg.p_min, seg.p_max);
+        char cv[32];
+        if (std::isfinite(seg.model.cv_rmse)) {
+          std::snprintf(cv, sizeof cv, "%.3g", seg.model.cv_rmse);
+        } else {
+          std::snprintf(cv, sizeof cv, "-");
+        }
+        models.add_row({app, std::to_string(k), range, seg.model.term_names(),
+                        cv, seg.model.to_string()});
+      }
+    }
+  }
+  std::printf("%s\n", models.to_string().c_str());
+
+  report::Table transitions("Coupling transitions");
+  transitions.set_header({"app", "class", "q", "start", "P lo", "P hi",
+                          "boundary", "before", "after"});
+  for (const model::CouplingTransition& t : snapshot->transitions()) {
+    char boundary[32], before[32], after[32];
+    std::snprintf(boundary, sizeof boundary, "%g", t.boundary);
+    std::snprintf(before, sizeof before, "%.4g", t.coupling_before);
+    std::snprintf(after, sizeof after, "%.4g", t.coupling_after);
+    transitions.add_row({t.application, t.config,
+                         std::to_string(t.chain_length),
+                         std::to_string(t.chain_start),
+                         std::to_string(t.ranks_lo),
+                         std::to_string(t.ranks_hi), boundary, before, after});
+  }
+  std::printf("%s\n", transitions.to_string().c_str());
+  std::printf(
+      "kcoup fit: %zu modeled app(s), %zu transition(s), format-stable "
+      "term registry of %zu terms\n",
+      snapshot->fitted_application_count(), snapshot->transition_count(),
+      model::term_registry().size());
   return 0;
 }
 
@@ -1193,7 +1360,7 @@ int cmd_query(const Args& args) {
   report::Table t("Served predictions (" + host + ":" + std::to_string(port) +
                   ")");
   t.set_header({"app", "class", "P", "q", "actual", "summation", "coupling",
-                "alpha", "inputs"});
+                "source", "model"});
   bool any_failed = false;
   for (const serve::Prediction& p : *results) {
     if (!p.ok) {
@@ -1208,7 +1375,7 @@ int cmd_query(const Args& args) {
                report::format_seconds(p.actual_s),
                report::format_prediction(p.summation_s, p.summation_error),
                report::format_prediction(p.coupling_s, p.coupling_error),
-               p.alpha_source, p.inputs_source});
+               p.source, p.model_form.empty() ? "-" : p.model_form});
   }
   std::printf("%s\n", t.to_string().c_str());
   return any_failed ? 1 : 0;
@@ -1364,6 +1531,8 @@ void usage() {
       "  kcoup pack        db.csv [-o db.kcs] [--no-models] [--quiet]\n"
       "                    [--machine ibm-sp|generic-smp]\n"
       "  kcoup pack        --verify db.kcs [--quiet]\n"
+      "  kcoup fit         db.csv|db.kcs [--json] [--no-models]\n"
+      "                    [--machine ibm-sp|generic-smp]\n"
       "  kcoup query       --port P [--host H] --app bt|sp|lu --class C\n"
       "                    [--procs 4,9] [--chains 2,3] [--raw]\n"
       "  kcoup query       --port P [--host H] --stats\n"
@@ -1400,6 +1569,7 @@ int main(int argc, char** argv) {
     if (cmd == "serve") bool_flags = {"no-models", "quiet", "force-poll"};
     if (cmd == "query") bool_flags = {"stats", "raw"};
     if (cmd == "stats") bool_flags = {"raw"};
+    if (cmd == "fit") bool_flags = {"json", "no-models"};
     if (cmd == "pack") {
       bool_flags = {"verify", "quiet", "no-models"};
       // -o is the conventional short spelling for the converter's output;
@@ -1411,7 +1581,7 @@ int main(int argc, char** argv) {
       }
     }
     const Args args(argc, argv, std::move(bool_flags),
-                    cmd == "merge" || cmd == "pack");
+                    cmd == "merge" || cmd == "pack" || cmd == "fit");
     if (cmd == "study") return cmd_study(args);
     if (cmd == "transitions") return cmd_transitions(args);
     if (cmd == "reuse") return cmd_reuse(args);
@@ -1420,6 +1590,7 @@ int main(int argc, char** argv) {
     if (cmd == "merge") return cmd_merge(args);
     if (cmd == "serve") return cmd_serve(args);
     if (cmd == "pack") return cmd_pack(args);
+    if (cmd == "fit") return cmd_fit(args);
     if (cmd == "query") return cmd_query(args);
     if (cmd == "stats") return cmd_stats(args);
     if (cmd == "machines") return cmd_machines(args);
