@@ -1,0 +1,99 @@
+#include "obs/prom.hpp"
+
+#include <cstdint>
+
+#include "support/latency_histogram.hpp"
+#include "support/num_format.hpp"
+
+namespace kcoup::obs {
+
+namespace {
+
+using support::LatencyHistogram;
+
+void append_sample(std::string& out, const std::string& name,
+                   const char* type, const std::string& value) {
+  out += "# TYPE ";
+  out += name;
+  out += ' ';
+  out += type;
+  out += '\n';
+  out += name;
+  out += ' ';
+  out += value;
+  out += '\n';
+}
+
+void append_histogram(std::string& out, const std::string& name,
+                      const LatencyHistogram& h) {
+  out += "# TYPE ";
+  out += name;
+  out += " histogram\n";
+  // One `le` boundary per octave keeps the series readable (29 lines, not
+  // 448) while preserving the quantile resolution operators actually look
+  // at on a dashboard; the exact sub-bucket detail stays available through
+  // the stats op.  Buckets are cumulative, as the format requires.
+  std::uint64_t cumulative = 0;
+  for (std::size_t octave = 0;
+       octave < LatencyHistogram::kBuckets / LatencyHistogram::kSubBuckets;
+       ++octave) {
+    for (std::size_t sub = 0; sub < LatencyHistogram::kSubBuckets; ++sub) {
+      cumulative +=
+          h.bucket_count(octave * LatencyHistogram::kSubBuckets + sub);
+    }
+    const double upper = LatencyHistogram::bucket_upper(
+        (octave + 1) * LatencyHistogram::kSubBuckets - 1);
+    out += name;
+    out += "_bucket{le=\"";
+    out += support::format_double(upper);
+    out += "\"} ";
+    out += std::to_string(cumulative);
+    out += '\n';
+  }
+  out += name;
+  out += "_bucket{le=\"+Inf\"} ";
+  out += std::to_string(h.count());
+  out += '\n';
+  out += name;
+  out += "_sum ";
+  out += support::format_double(h.sum());
+  out += '\n';
+  out += name;
+  out += "_count ";
+  out += std::to_string(h.count());
+  out += '\n';
+}
+
+}  // namespace
+
+std::string prometheus_name(const std::string& name) {
+  std::string out;
+  out.reserve(name.size() + 1);
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  if (!out.empty() && out.front() >= '0' && out.front() <= '9') {
+    out.insert(out.begin(), '_');
+  }
+  return out;
+}
+
+std::string render_prometheus(const MetricsSnapshot& snapshot) {
+  std::string out;
+  for (const auto& [name, value] : snapshot.counters) {
+    append_sample(out, prometheus_name(name), "counter",
+                  std::to_string(value));
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    append_sample(out, prometheus_name(name), "gauge",
+                  support::format_double(value));
+  }
+  for (const auto& [name, histogram] : snapshot.histograms) {
+    append_histogram(out, prometheus_name(name), histogram);
+  }
+  return out;
+}
+
+}  // namespace kcoup::obs

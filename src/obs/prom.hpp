@@ -1,0 +1,28 @@
+#pragma once
+
+#include <string>
+
+#include "obs/metrics.hpp"
+
+namespace kcoup::obs {
+
+/// A registry metric name as a Prometheus metric name: every byte outside
+/// [a-zA-Z0-9_:] (the dots in "serve.requests") becomes '_'; a leading
+/// digit gains a '_' prefix.
+[[nodiscard]] std::string prometheus_name(const std::string& name);
+
+/// Render a metrics snapshot as Prometheus text exposition format
+/// (version 0.0.4): counters and gauges as single samples, histograms as
+/// cumulative `_bucket{le="..."}` series (one boundary per octave of the
+/// log-bucketed support::LatencyHistogram, plus `+Inf`) with `_sum` and
+/// `_count`.
+///
+/// Deterministic by construction: names come out sorted (MetricsSnapshot
+/// is name-sorted), doubles use support::format_double (classic locale, 17
+/// significant digits), and nothing depends on time or iteration order —
+/// the same snapshot always renders byte-identically, which is what lets
+/// tests pin the exposition and `kcoup stats --prom` mirror the server's
+/// `metrics` op bit-exactly.
+[[nodiscard]] std::string render_prometheus(const MetricsSnapshot& snapshot);
+
+}  // namespace kcoup::obs

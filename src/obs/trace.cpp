@@ -6,6 +6,7 @@
 #include <fstream>
 #include <ostream>
 
+#include "obs/metrics.hpp"
 #include "support/num_format.hpp"
 
 namespace kcoup::obs {
@@ -205,6 +206,14 @@ bool Tracer::write_chrome_trace_file(const std::string& path) const {
     return false;
   }
   return true;
+}
+
+void export_tracer_metrics(MetricsRegistry& registry) {
+  Tracer& tracer = Tracer::instance();
+  registry.gauge("obs.trace.spans_recorded")
+      .set(static_cast<double>(tracer.spans_recorded()));
+  registry.gauge("obs.trace.dropped_spans")
+      .set(static_cast<double>(tracer.spans_dropped()));
 }
 
 // --- ScopedSpan --------------------------------------------------------------

@@ -147,6 +147,16 @@ class Tracer {
   std::atomic<bool> epoch_set_{false};
 };
 
+class MetricsRegistry;
+
+/// Mirror the tracer's span accounting into a registry so silent span loss
+/// under load is visible wherever metrics are scraped:
+/// "obs.trace.spans_recorded" and "obs.trace.dropped_spans" gauges (levels
+/// of monotone tracer-side totals — gauges because the registry's counters
+/// are add-only and the tracer already owns the canonical count).  The
+/// server refreshes these on every stats/metrics read.
+void export_tracer_metrics(MetricsRegistry& registry);
+
 /// RAII span: construction samples the start time, destruction publishes the
 /// span into the calling thread's ring.  When the tracer is disabled at
 /// construction the object is inert — no clock read, no ring access — and

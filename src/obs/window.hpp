@@ -1,0 +1,120 @@
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+#include "support/latency_histogram.hpp"
+
+namespace kcoup::obs {
+
+/// Rolling-window metric stores: a ring of one-second time buckets indexed
+/// by `now_s % kSlots`, where `now_s` is a caller-supplied *monotonic*
+/// second count (the server derives it from std::chrono::steady_clock, so a
+/// wall-clock step can never smear or duplicate a window; tests drive it
+/// directly for determinism).
+///
+/// Concurrency contract: each instance has exactly ONE writer (the server
+/// keeps one per event-loop shard, written only by the shard thread) and
+/// any number of readers.  Every slot field is an atomic, so reads are
+/// race-free; a reader that overlaps the once-per-second slot recycle can
+/// at worst attribute a handful of samples to the wrong edge bucket —
+/// monitoring-grade accuracy, never a torn value and never a double count:
+/// a sample lands in exactly one (slot, epoch) pair, and sum() counts a
+/// slot iff its epoch lies inside the window.
+///
+/// The record path is a fixed-size array walk with relaxed atomics — no
+/// locks, no allocation — matching the serve hot path's scratch/arena
+/// no-allocation discipline.
+
+/// Event counts per second, summed over a trailing window.
+class WindowedCounter {
+ public:
+  /// 64 one-second slots: enough for the 60 s window plus recycle slack.
+  static constexpr std::size_t kSlots = 64;
+
+  /// Record `n` events at monotonic second `now_s` (single writer).
+  void add(std::int64_t now_s, std::uint64_t n = 1) {
+    Slot& slot = slots_[index(now_s)];
+    if (slot.epoch.load(std::memory_order_relaxed) != now_s) {
+      slot.count.store(0, std::memory_order_relaxed);
+      slot.epoch.store(now_s, std::memory_order_release);
+    }
+    slot.count.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  /// Events in the window (now_s - window_s, now_s] — the current
+  /// (partial) second plus the window_s - 1 before it.  Any thread.
+  [[nodiscard]] std::uint64_t sum(std::int64_t now_s,
+                                  std::int64_t window_s) const {
+    std::uint64_t total = 0;
+    for (const Slot& slot : slots_) {
+      const std::int64_t e = slot.epoch.load(std::memory_order_acquire);
+      if (e > now_s - window_s && e <= now_s) {
+        total += slot.count.load(std::memory_order_relaxed);
+      }
+    }
+    return total;
+  }
+
+ private:
+  struct Slot {
+    std::atomic<std::int64_t> epoch{-1};
+    std::atomic<std::uint64_t> count{0};
+  };
+  [[nodiscard]] static std::size_t index(std::int64_t now_s) {
+    return static_cast<std::size_t>(now_s) % kSlots;
+  }
+  std::array<Slot, kSlots> slots_{};
+};
+
+/// Latency distribution per second: each slot carries the same log-bucket
+/// layout as support::LatencyHistogram, stored as atomics so readers can
+/// merge a trailing window while the writer records.  collect() folds the
+/// in-window slots into a LatencyHistogram (via add_bucket), which supplies
+/// the rolling p50/p95/p99.
+class WindowedHistogram {
+ public:
+  static constexpr std::size_t kSlots = WindowedCounter::kSlots;
+  static constexpr std::size_t kBuckets = support::LatencyHistogram::kBuckets;
+
+  /// Record one sample at monotonic second `now_s` (single writer).
+  void record(std::int64_t now_s, double seconds) {
+    if (!(seconds >= 0.0)) return;  // NaN / negative: drop, never corrupt
+    Slot& slot = slots_[index(now_s)];
+    if (slot.epoch.load(std::memory_order_relaxed) != now_s) {
+      for (auto& c : slot.counts) c.store(0, std::memory_order_relaxed);
+      slot.epoch.store(now_s, std::memory_order_release);
+    }
+    const std::size_t bucket =
+        support::LatencyHistogram::bucket_index(seconds);
+    slot.counts[bucket].fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Merge the window (now_s - window_s, now_s] into `*out` (not cleared
+  /// first, so several shards' windows can fold into one histogram).  Any
+  /// thread.
+  void collect(std::int64_t now_s, std::int64_t window_s,
+               support::LatencyHistogram* out) const {
+    for (const Slot& slot : slots_) {
+      const std::int64_t e = slot.epoch.load(std::memory_order_acquire);
+      if (e <= now_s - window_s || e > now_s) continue;
+      for (std::size_t b = 0; b < kBuckets; ++b) {
+        out->add_bucket(b, slot.counts[b].load(std::memory_order_relaxed));
+      }
+    }
+  }
+
+ private:
+  struct Slot {
+    std::atomic<std::int64_t> epoch{-1};
+    std::array<std::atomic<std::uint32_t>, kBuckets> counts{};
+  };
+  [[nodiscard]] static std::size_t index(std::int64_t now_s) {
+    return static_cast<std::size_t>(now_s) % kSlots;
+  }
+  std::array<Slot, kSlots> slots_{};
+};
+
+}  // namespace kcoup::obs

@@ -10,6 +10,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/trace.hpp"
 #include "serve/framing.hpp"
 #include "serve/protocol.hpp"
 
@@ -126,21 +127,71 @@ bool Client::send_request(const std::string& payload) {
   return send_all(fd_, encode_frame(payload));
 }
 
+void Client::set_trace_id(std::string id) {
+  trace_id_ = std::move(id);
+  if (trace_id_.size() > kMaxTraceIdBytes) {
+    trace_id_.resize(kMaxTraceIdBytes);
+  }
+  auto_prefix_.clear();
+}
+
+void Client::auto_trace_ids(std::string prefix) {
+  if (prefix.empty()) {
+    prefix = "c" + std::to_string(static_cast<long long>(::getpid()));
+  }
+  auto_prefix_ = std::move(prefix);
+  trace_id_.clear();
+}
+
+const std::string& Client::next_trace_id() {
+  if (!auto_prefix_.empty()) {
+    last_trace_id_ = auto_prefix_ + "-" + std::to_string(++auto_seq_);
+    if (last_trace_id_.size() > kMaxTraceIdBytes) {
+      last_trace_id_.resize(kMaxTraceIdBytes);
+    }
+  } else {
+    last_trace_id_ = trace_id_;
+  }
+  return last_trace_id_;
+}
+
+namespace {
+
+/// One client-side span per typed call, annotated to pair with the
+/// server-side "request" span carrying the same trace id.
+void annotate_request(obs::ScopedSpan& span, const char* op,
+                      const std::string& trace_id) {
+  if (!span.active()) return;
+  span.annotate("op", op);
+  if (!trace_id.empty()) span.annotate("trace_id", trace_id);
+}
+
+}  // namespace
+
 bool Client::ping() {
-  const auto response = roundtrip(ping_request());
+  const std::string& id = next_trace_id();
+  obs::ScopedSpan span("request", "client");
+  annotate_request(span, "ping", id);
+  const auto response = roundtrip(ping_request(id));
   return response.has_value() &&
          response->find("\"ok\":true") != std::string::npos;
 }
 
 std::optional<Prediction> Client::predict(const QueryKey& query) {
-  const auto response = roundtrip(predict_request(query));
+  const std::string& id = next_trace_id();
+  obs::ScopedSpan span("request", "client");
+  annotate_request(span, "predict", id);
+  const auto response = roundtrip(predict_request(query, id));
   if (!response.has_value()) return std::nullopt;
   return parse_prediction(*response);
 }
 
 std::optional<std::vector<Prediction>> Client::predict_batch(
     const std::vector<QueryKey>& queries) {
-  const auto response = roundtrip(batch_request(queries));
+  const std::string& id = next_trace_id();
+  obs::ScopedSpan span("request", "client");
+  annotate_request(span, "batch", id);
+  const auto response = roundtrip(batch_request(queries, id));
   if (!response.has_value()) return std::nullopt;
   const auto elements = split_json_array(*response, "results");
   if (!elements.has_value()) return std::nullopt;
@@ -155,7 +206,24 @@ std::optional<std::vector<Prediction>> Client::predict_batch(
 }
 
 std::optional<std::string> Client::stats() {
-  return roundtrip(stats_request());
+  const std::string& id = next_trace_id();
+  obs::ScopedSpan span("request", "client");
+  annotate_request(span, "stats", id);
+  return roundtrip(stats_request(id));
+}
+
+std::optional<std::string> Client::metrics() {
+  const std::string& id = next_trace_id();
+  obs::ScopedSpan span("request", "client");
+  annotate_request(span, "metrics", id);
+  return roundtrip(metrics_request(id));
+}
+
+std::optional<std::string> Client::slowlog() {
+  const std::string& id = next_trace_id();
+  obs::ScopedSpan span("request", "client");
+  annotate_request(span, "slowlog", id);
+  return roundtrip(slowlog_request(id));
 }
 
 }  // namespace kcoup::serve

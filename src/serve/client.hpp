@@ -51,11 +51,42 @@ class Client {
       const std::vector<QueryKey>& queries);
   /// The server's metrics JSONL record, verbatim.
   [[nodiscard]] std::optional<std::string> stats();
+  /// The server's Prometheus text exposition (`metrics` op), verbatim.
+  [[nodiscard]] std::optional<std::string> metrics();
+  /// The server's slow-request log (`slowlog` op), verbatim JSON.
+  [[nodiscard]] std::optional<std::string> slowlog();
+
+  // --- Trace-context propagation -------------------------------------------
+  //
+  // A set or auto-generated trace id is attached to every typed request
+  // (ping/predict/predict_batch/stats/metrics/slowlog) as the "trace_id"
+  // field; the server annotates its per-request span with it and echoes it
+  // in the response.  The same id is annotated on the client-side span each
+  // typed call records (when obs::Tracer is enabled), so a client trace
+  // export and the server's --trace-out stitch into one timeline.
+
+  /// Use this exact id for every subsequent request (empty = none).
+  /// Overrides auto-generation.
+  void set_trace_id(std::string id);
+  /// Generate a fresh `<prefix>-<n>` id per request; an empty prefix picks
+  /// a process-unique default ("c<pid>").
+  void auto_trace_ids(std::string prefix = {});
+  /// The id attached to the most recent typed request ("" when none).
+  [[nodiscard]] const std::string& last_trace_id() const {
+    return last_trace_id_;
+  }
 
  private:
   [[nodiscard]] std::optional<std::string> read_frame();
+  /// The trace id for the next request: the fixed id, a generated one, or
+  /// "".  Records it as last_trace_id().
+  [[nodiscard]] const std::string& next_trace_id();
 
   int fd_ = -1;
+  std::string trace_id_;
+  std::string auto_prefix_;
+  std::uint64_t auto_seq_ = 0;
+  std::string last_trace_id_;
 };
 
 }  // namespace kcoup::serve

@@ -1,0 +1,67 @@
+#include "serve/drift.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "serve/snapshot.hpp"
+#include "support/num_format.hpp"
+
+namespace kcoup::serve {
+
+namespace {
+
+/// ceil(q * n)-th smallest (1-based), matching LatencyHistogram::quantile's
+/// rank convention.
+double quantile_of_sorted(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(q * static_cast<double>(sorted.size())));
+  return sorted[rank == 0 ? 0 : rank - 1];
+}
+
+}  // namespace
+
+DriftReport compute_drift(const PredictorSnapshot& outgoing,
+                          const coupling::CouplingDatabase& incoming,
+                          std::uint64_t incoming_version) {
+  DriftReport report;
+  report.from_version = outgoing.version();
+  report.to_version = incoming_version;
+
+  std::vector<double> errors;
+  for (const coupling::CouplingRecord& r : incoming.records()) {
+    if (outgoing.database().find(r.key).has_value()) continue;  // not new
+    ++report.new_records;
+    const coupling::CouplingRecord* donor =
+        outgoing.database().find_nearest_ranks_ref(r.key);
+    if (donor == nullptr) continue;  // old snapshot had no answer for it
+    const double predicted = donor->coupling();
+    const double measured = r.coupling();
+    if (!std::isfinite(predicted) || !std::isfinite(measured) ||
+        measured == 0.0) {
+      continue;
+    }
+    errors.push_back(std::abs(predicted - measured) / std::abs(measured));
+    ++report.compared;
+  }
+  std::sort(errors.begin(), errors.end());
+  report.p50 = quantile_of_sorted(errors, 0.50);
+  report.p95 = quantile_of_sorted(errors, 0.95);
+  report.max = errors.empty() ? 0.0 : errors.back();
+  return report;
+}
+
+std::string DriftReport::to_json() const {
+  std::string out = "{\"from\":" + std::to_string(from_version) +
+                    ",\"to\":" + std::to_string(to_version) +
+                    ",\"new_records\":" + std::to_string(new_records) +
+                    ",\"compared\":" + std::to_string(compared);
+  out += ",\"p50\":" + support::format_double(p50);
+  out += ",\"p95\":" + support::format_double(p95);
+  out += ",\"max\":" + support::format_double(max);
+  out += '}';
+  return out;
+}
+
+}  // namespace kcoup::serve

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "coupling/database.hpp"
+
+namespace kcoup::serve {
+
+class PredictorSnapshot;
+
+/// Continuous-validation summary computed at snapshot reload: how far the
+/// *outgoing* snapshot's coupling predictions are from the measurements
+/// that the *incoming* database newly added.  Each new record carries a
+/// measured coupling value C = chain_time / isolated_sum; the outgoing
+/// snapshot would have answered that key through its nearest-ranks donor,
+/// so |predicted − measured| / |measured| over the new records is exactly
+/// the accuracy the server was shipping right before the reload — the
+/// paper's predicted-vs-measured validation, run automatically on every
+/// data refresh.
+struct DriftReport {
+  std::uint64_t from_version = 0;  ///< outgoing snapshot
+  std::uint64_t to_version = 0;    ///< incoming snapshot
+  std::uint64_t new_records = 0;   ///< records in incoming but not outgoing
+  std::uint64_t compared = 0;      ///< new records the old snapshot could predict
+  double p50 = 0.0;                ///< relative-error quantiles over `compared`
+  double p95 = 0.0;
+  double max = 0.0;
+
+  /// {"from":...,"to":...,"new_records":...,"compared":...,"p50":...,...}
+  [[nodiscard]] std::string to_json() const;
+};
+
+/// Compare `outgoing`'s donor-based coupling predictions against the
+/// records present in `incoming` but absent from `outgoing`'s database.
+/// Deterministic for a fixed snapshot pair: errors are sorted before the
+/// quantile reads and nothing depends on iteration order or time.
+[[nodiscard]] DriftReport compute_drift(
+    const PredictorSnapshot& outgoing,
+    const coupling::CouplingDatabase& incoming,
+    std::uint64_t incoming_version);
+
+}  // namespace kcoup::serve

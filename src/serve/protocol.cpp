@@ -247,12 +247,25 @@ std::optional<Request> parse_request(const std::string& json) {
   const auto op = json_string_field(json, "op");
   if (!op.has_value()) return std::nullopt;
   Request req;
+  if (const auto id = json_string_field(json, "trace_id")) {
+    // Truncate here, not at annotation time, so the echoed id and the
+    // span's id can never disagree.
+    req.trace_id = id->substr(0, kMaxTraceIdBytes);
+  }
   if (*op == "ping") {
     req.op = RequestOp::kPing;
     return req;
   }
   if (*op == "stats") {
     req.op = RequestOp::kStats;
+    return req;
+  }
+  if (*op == "metrics") {
+    req.op = RequestOp::kMetrics;
+    return req;
+  }
+  if (*op == "slowlog") {
+    req.op = RequestOp::kSlowlog;
     return req;
   }
   if (*op == "predict") {
@@ -276,26 +289,47 @@ std::optional<Request> parse_request(const std::string& json) {
   return std::nullopt;
 }
 
-std::string ping_request() { return "{\"op\":\"ping\"}"; }
-std::string stats_request() { return "{\"op\":\"stats\"}"; }
+std::string attach_trace_id(std::string json, const std::string& trace_id) {
+  if (trace_id.empty() || json.empty() || json.back() != '}') return json;
+  json.pop_back();
+  json += ",\"trace_id\":\"";
+  json += json_escape(trace_id);
+  json += "\"}";
+  return json;
+}
 
-std::string predict_request(const QueryKey& query) {
+std::string ping_request(const std::string& trace_id) {
+  return attach_trace_id("{\"op\":\"ping\"}", trace_id);
+}
+std::string stats_request(const std::string& trace_id) {
+  return attach_trace_id("{\"op\":\"stats\"}", trace_id);
+}
+std::string metrics_request(const std::string& trace_id) {
+  return attach_trace_id("{\"op\":\"metrics\"}", trace_id);
+}
+std::string slowlog_request(const std::string& trace_id) {
+  return attach_trace_id("{\"op\":\"slowlog\"}", trace_id);
+}
+
+std::string predict_request(const QueryKey& query,
+                            const std::string& trace_id) {
   std::string out = "{\"op\":\"predict\",\"app\":\"" +
                     json_escape(query.application) + "\",\"config\":\"" +
                     json_escape(query.config) +
                     "\",\"ranks\":" + std::to_string(query.ranks) +
                     ",\"chain\":" + std::to_string(query.chain_length) + "}";
-  return out;
+  return attach_trace_id(std::move(out), trace_id);
 }
 
-std::string batch_request(const std::vector<QueryKey>& queries) {
+std::string batch_request(const std::vector<QueryKey>& queries,
+                          const std::string& trace_id) {
   std::string out = "{\"op\":\"batch\",\"queries\":[";
   for (std::size_t i = 0; i < queries.size(); ++i) {
     if (i != 0) out += ',';
     out += query_json(queries[i]);
   }
   out += "]}";
-  return out;
+  return attach_trace_id(std::move(out), trace_id);
 }
 
 std::string prediction_json(const Prediction& p) {
@@ -314,6 +348,9 @@ std::string prediction_json(const Prediction& p) {
   if (!p.inputs_source.empty()) append_string(out, "inputs", p.inputs_source);
   if (!p.source.empty()) append_string(out, "source", p.source);
   if (!p.model_form.empty()) append_string(out, "model_form", p.model_form);
+  if (p.donor_ranks > 0) {
+    out += ",\"donor_ranks\":" + std::to_string(p.donor_ranks);
+  }
   append_string(out, "cache", p.cache_hit ? "hit" : "miss");
   out += ",\"snapshot\":" + std::to_string(p.snapshot_version);
   out += '}';
@@ -363,6 +400,9 @@ std::optional<Prediction> parse_prediction(const std::string& json) {
   if (const auto v = json_string_field(json, "inputs")) p.inputs_source = *v;
   if (const auto v = json_string_field(json, "source")) p.source = *v;
   if (const auto v = json_string_field(json, "model_form")) p.model_form = *v;
+  if (const auto v = json_number_field(json, "donor_ranks")) {
+    p.donor_ranks = static_cast<int>(*v);
+  }
   if (const auto v = json_string_field(json, "cache")) {
     p.cache_hit = (*v == "hit");
   }

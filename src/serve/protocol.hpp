@@ -23,21 +23,45 @@ namespace kcoup::serve {
 
 // --- Requests ---------------------------------------------------------------
 
-enum class RequestOp { kPing, kStats, kPredict, kBatch };
+enum class RequestOp { kPing, kStats, kMetrics, kSlowlog, kPredict, kBatch };
+
+/// Longest accepted trace id, chosen to fit a span annotation value buffer
+/// (obs::SpanAnnotation) without truncation; longer ids are cut here so the
+/// id echoed in the response always matches the one in the server's spans.
+inline constexpr std::size_t kMaxTraceIdBytes = 40;
 
 struct Request {
   RequestOp op = RequestOp::kPing;
   std::vector<QueryKey> queries;  ///< one for kPredict, many for kBatch
+  /// Optional caller-supplied trace context: annotated onto the server's
+  /// per-request span and echoed in the response, so a client-side trace
+  /// export and the server's --trace-out stitch into one timeline.
+  std::string trace_id;
 };
 
 /// Parse a request payload; nullopt on anything malformed.
 [[nodiscard]] std::optional<Request> parse_request(const std::string& json);
 
-/// Serialize requests (used by the client).
-[[nodiscard]] std::string ping_request();
-[[nodiscard]] std::string stats_request();
-[[nodiscard]] std::string predict_request(const QueryKey& query);
-[[nodiscard]] std::string batch_request(const std::vector<QueryKey>& queries);
+/// Serialize requests (used by the client).  A non-empty `trace_id` is
+/// attached as the optional "trace_id" field.
+[[nodiscard]] std::string ping_request(const std::string& trace_id = {});
+[[nodiscard]] std::string stats_request(const std::string& trace_id = {});
+/// `metrics` op: the response frame is Prometheus text exposition (the one
+/// non-JSON payload in the protocol), rendered from the server's registry.
+[[nodiscard]] std::string metrics_request(const std::string& trace_id = {});
+/// `slowlog` op: {"ok":true,"slowest":[...],"failed":[...]}.
+[[nodiscard]] std::string slowlog_request(const std::string& trace_id = {});
+[[nodiscard]] std::string predict_request(const QueryKey& query,
+                                          const std::string& trace_id = {});
+[[nodiscard]] std::string batch_request(const std::vector<QueryKey>& queries,
+                                        const std::string& trace_id = {});
+
+/// Splice `,"trace_id":"..."` in front of a JSON object's closing brace —
+/// how the server echoes the request's trace context in its response.  A
+/// payload that is not a JSON object (the metrics exposition) or an empty
+/// trace id returns the payload unchanged.
+[[nodiscard]] std::string attach_trace_id(std::string json,
+                                          const std::string& trace_id);
 
 // --- Responses --------------------------------------------------------------
 

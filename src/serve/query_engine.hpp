@@ -47,6 +47,11 @@ struct Prediction {
   /// per-kernel term names of the piecewise segment active at the queried
   /// P, comma-joined in loop order.  Empty unless source == "model".
   std::string model_form;
+  /// Rank count of the donor record behind a nearest-donor answer (the
+  /// chain_start=0 donor stands in for the group); 0 when the alpha came
+  /// from an exact group or a model.  Feeds the server's donor
+  /// rank-distance histogram and the "donor_ranks" wire field.
+  int donor_ranks = 0;
   bool cache_hit = false;     ///< cell inputs served from the memo cache
   std::uint64_t snapshot_version = 0;
 };
@@ -117,6 +122,7 @@ class QueryEngine {
     CellInputs cell;
     coupling::PredictionInputs model_inputs;
     std::vector<coupling::ChainCoupling> donor;
+    coupling::CouplingKey donor_probe;  ///< warm buffers for the donor lookup
   };
 
   bool cell_into(const CellKey& key, CellInputs* out, bool* was_hit);

@@ -15,8 +15,12 @@
 #include <span>
 #include <utility>
 
+#include <cmath>
+
+#include "obs/prom.hpp"
 #include "serve/protocol.hpp"
 #include "support/arena.hpp"
+#include "support/num_format.hpp"
 
 namespace kcoup::serve {
 
@@ -25,6 +29,14 @@ namespace {
 bool set_nonblocking(int fd) {
   const int flags = ::fcntl(fd, F_GETFL, 0);
   return flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+/// Monotonic second count for the rolling windows: steady_clock, so a
+/// wall-clock step can never smear or duplicate a window slot.
+std::int64_t steady_now_s() {
+  return std::chrono::duration_cast<std::chrono::seconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
 }
 
 constexpr std::size_t kReadChunk = 64 * 1024;
@@ -50,10 +62,19 @@ Server::Server(SnapshotSource* source, QueryEngine* engine,
       c_rejected_overload_(registry_.counter("serve.rejected_overload")),
       c_malformed_frames_(registry_.counter("serve.malformed_frames")),
       c_oversized_frames_(registry_.counter("serve.oversized_frames")),
-      h_latency_(registry_.histogram("serve.request_seconds")) {
+      h_latency_(registry_.histogram("serve.request_seconds")),
+      c_source_exact_(registry_.counter("serve.source.exact")),
+      c_source_nearest_(registry_.counter("serve.source.nearest_donor")),
+      c_source_model_(registry_.counter("serve.source.model")),
+      h_donor_distance_(registry_.histogram("serve.donor.rank_distance")),
+      slowlog_(config_.slowlog_slowest, config_.slowlog_failed) {
   if (config_.workers == 0) config_.workers = 1;
   if (config_.max_inflight == 0) config_.max_inflight = 2 * config_.workers;
   if (config_.max_pipeline == 0) config_.max_pipeline = 1;
+  windows_.reserve(config_.workers);
+  for (std::size_t i = 0; i < config_.workers; ++i) {
+    windows_.push_back(std::make_unique<ShardWindows>());
+  }
 }
 
 Server::~Server() { stop(); }
@@ -102,6 +123,7 @@ void Server::start() {
   next_shard_ = 0;
   for (std::size_t i = 0; i < config_.workers; ++i) {
     auto shard = std::make_unique<Shard>(config_.force_poll);
+    shard->index = i;
     int pipefd[2] = {-1, -1};
     if (::pipe(pipefd) != 0 || !set_nonblocking(pipefd[0]) ||
         !set_nonblocking(pipefd[1])) {
@@ -218,7 +240,7 @@ void Server::shard_loop(Shard& shard) {
       Conn& conn = it->second;
       if ((event.readable || event.hangup) && !conn.close_after_flush) {
         read_into(conn);
-        process_frames(conn);
+        process_frames(shard, conn);
       }
       if (!flush(conn)) {
         close_conn(shard, event.fd);
@@ -279,7 +301,7 @@ void Server::read_into(Conn& conn) {
   }
 }
 
-void Server::process_frames(Conn& conn) {
+void Server::process_frames(Shard& shard, Conn& conn) {
   std::vector<std::string> window;
   for (;;) {
     window.clear();
@@ -294,7 +316,7 @@ void Server::process_frames(Conn& conn) {
     // Frames ahead of a framing error still get their answers; the error
     // frame goes out last and the connection closes once it is flushed
     // (the length prefix cannot be trusted to resynchronize the stream).
-    if (!window.empty()) handle_window(conn, window);
+    if (!window.empty()) handle_window(shard, conn, window);
     if (status == FrameDecodeStatus::kMalformed) {
       c_malformed_frames_.add(1);
       conn.wbuf += encode_frame(error_json("malformed frame", 400));
@@ -322,9 +344,10 @@ void Server::process_frames(Conn& conn) {
   }
 }
 
-void Server::handle_window(Conn& conn,
+void Server::handle_window(Shard& shard, Conn& conn,
                            const std::vector<std::string>& payloads) {
   const auto t0 = std::chrono::steady_clock::now();
+  ShardWindows& windows = *windows_[shard.index];
 
   // Per-shard-thread arena backing the window's frame/query vectors: after
   // a few windows the arena settles at the high-water size and the window
@@ -372,31 +395,55 @@ void Server::handle_window(Conn& conn,
   for (std::size_t i = 0; i < payloads.size(); ++i) {
     obs::ScopedSpan span("request", "serve");
     const Frame& frame = frames[i];
+    // Slow-log fields gathered as the frame is handled; the Entry itself
+    // is only built when would_admit() says so (its strings allocate).
+    const char* op_name = "malformed";
+    const std::string* source = nullptr;
+    bool frame_ok = true;
     std::string response;
+    if (frame.request.has_value() && span.active() &&
+        !frame.request->trace_id.empty()) {
+      span.annotate("trace_id", frame.request->trace_id);
+    }
     if (!frame.request.has_value()) {
       c_errors_.add(1);
+      frame_ok = false;
       if (span.active()) span.annotate("op", "malformed");
       response = error_json("malformed request", 400);
     } else {
       switch (frame.request->op) {
         case RequestOp::kPing:
+          op_name = "ping";
           if (span.active()) span.annotate("op", "ping");
           response = "{\"ok\":true,\"op\":\"ping\"}";
           break;
         case RequestOp::kStats: {
+          op_name = "stats";
           if (span.active()) span.annotate("op", "stats");
-          response = metrics().to_jsonl();
-          if (!response.empty() && response.back() == '\n') {
-            response.pop_back();
-          }
+          response = stats_json();
+          break;
+        }
+        case RequestOp::kMetrics: {
+          op_name = "metrics";
+          if (span.active()) span.annotate("op", "metrics");
+          // The one non-JSON payload on the wire: raw Prometheus text.
+          response = prometheus();
+          break;
+        }
+        case RequestOp::kSlowlog: {
+          op_name = "slowlog";
+          if (span.active()) span.annotate("op", "slowlog");
+          response = slowlog_.to_json();
           break;
         }
         case RequestOp::kPredict:
         case RequestOp::kBatch: {
           const bool single = frame.request->op == RequestOp::kPredict;
-          if (span.active()) span.annotate("op", single ? "predict" : "batch");
+          op_name = single ? "predict" : "batch";
+          if (span.active()) span.annotate("op", op_name);
           if (snapshot == nullptr) {
             c_errors_.add(1);
+            frame_ok = false;
             response = error_json("no snapshot loaded", 503);
             break;
           }
@@ -412,6 +459,11 @@ void Server::handle_window(Conn& conn,
             if (p.cache_hit) ++cache_hits;
           }
           if (failed != 0) c_errors_.add(failed);
+          frame_ok = failed == 0;
+          record_prediction_quality(*snapshot, slice);
+          if (!slice.empty() && !slice.front().source.empty()) {
+            source = &slice.front().source;
+          }
           if (span.active()) {
             span.annotate("cache_hits", cache_hits);
             span.annotate("ok", failed == 0);
@@ -430,13 +482,76 @@ void Server::handle_window(Conn& conn,
           break;
         }
       }
+      // Echo the client's trace context so its export and ours stitch into
+      // one timeline.  The metrics payload is raw Prometheus text, not
+      // JSON — nothing to splice into.
+      if (frame.request->op != RequestOp::kMetrics) {
+        response = attach_trace_id(std::move(response),
+                                   frame.request->trace_id);
+      }
     }
     conn.wbuf += encode_frame(response);
     c_requests_.add(1);
     const std::chrono::duration<double> elapsed =
         std::chrono::steady_clock::now() - t0;
     h_latency_.record(elapsed.count());
+    const std::int64_t now_s = steady_now_s();
+    windows.requests.add(now_s);
+    if (!frame_ok) windows.errors.add(now_s);
+    windows.latency.record(now_s, elapsed.count());
+    if (slowlog_.would_admit(frame_ok, elapsed.count())) {
+      SlowLog::Entry entry;
+      entry.latency_s = elapsed.count();
+      entry.shard = shard.index;
+      entry.ok = frame_ok;
+      entry.op = op_name;
+      if (source != nullptr) entry.source = *source;
+      if (frame.request.has_value()) {
+        entry.trace_id = frame.request->trace_id;
+      }
+      entry.request = SlowLog::truncate_request(payloads[i]);
+      slowlog_.record(std::move(entry));
+    }
     span.finish();
+  }
+}
+
+void Server::record_prediction_quality(const PredictorSnapshot& snapshot,
+                                       std::span<const Prediction> slice) {
+  if (slice.empty()) return;
+  if (mix_.version.load(std::memory_order_acquire) != snapshot.version()) {
+    std::lock_guard<std::mutex> lock(mix_mutex_);
+    if (mix_.version.load(std::memory_order_relaxed) != snapshot.version()) {
+      mix_.exact.store(0, std::memory_order_relaxed);
+      mix_.nearest.store(0, std::memory_order_relaxed);
+      mix_.model.store(0, std::memory_order_relaxed);
+      mix_.none.store(0, std::memory_order_relaxed);
+      mix_.version.store(snapshot.version(), std::memory_order_release);
+    }
+  }
+  for (const Prediction& p : slice) {
+    // Donor distance is about the coupling donor, whatever the inputs tier:
+    // |log2(donor_P / requested_P)|, the log-scale metric the donor search
+    // itself minimizes.
+    if (p.donor_ranks > 0 && p.key.ranks > 0) {
+      const double distance =
+          std::abs(std::log2(static_cast<double>(p.donor_ranks) /
+                             static_cast<double>(p.key.ranks)));
+      h_donor_distance_.record(distance);
+    }
+    if (p.source == "exact") {
+      c_source_exact_.add(1);
+      mix_.exact.fetch_add(1, std::memory_order_relaxed);
+    } else if (p.source == "nearest-donor") {
+      c_source_nearest_.add(1);
+      mix_.nearest.fetch_add(1, std::memory_order_relaxed);
+    } else if (p.source == "model") {
+      c_source_model_.add(1);
+      mix_.model.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      // Failed predictions never picked a tier.
+      mix_.none.fetch_add(1, std::memory_order_relaxed);
+    }
   }
 }
 
@@ -485,7 +600,7 @@ void Server::drain_shard(Shard& shard) {
     if (conn.close_after_flush) continue;
     read_into(conn);
     ::shutdown(fd, SHUT_RD);
-    process_frames(conn);
+    process_frames(shard, conn);
   }
   for (auto& [fd, conn] : shard.conns) {
     while (conn.wpos < conn.wbuf.size()) {
@@ -545,6 +660,116 @@ ServeMetrics Server::metrics() const {
     m.latency_max_s = merged.max();
   }
   return m;
+}
+
+namespace {
+
+/// One rolling-window object: {"requests":..,"errors":..,"rps":..,
+/// "error_rate":..,"p50_s":..,"p95_s":..,"p99_s":..}.
+void append_window_json(std::string& out, std::uint64_t requests,
+                        std::uint64_t errors, std::int64_t window_s,
+                        const support::LatencyHistogram& latency) {
+  out += "{\"requests\":" + std::to_string(requests);
+  out += ",\"errors\":" + std::to_string(errors);
+  out += ",\"rps\":" + support::format_double(
+                           static_cast<double>(requests) /
+                           static_cast<double>(window_s));
+  const double error_rate =
+      requests == 0 ? 0.0
+                    : static_cast<double>(errors) / static_cast<double>(requests);
+  out += ",\"error_rate\":" + support::format_double(error_rate);
+  const bool have = latency.count() != 0;
+  out += ",\"p50_s\":" + support::format_double(have ? latency.quantile(0.50) : 0.0);
+  out += ",\"p95_s\":" + support::format_double(have ? latency.quantile(0.95) : 0.0);
+  out += ",\"p99_s\":" + support::format_double(have ? latency.quantile(0.99) : 0.0);
+  out += '}';
+}
+
+}  // namespace
+
+std::string Server::stats_json() {
+  std::string out = metrics().to_jsonl();
+  while (!out.empty() && out.back() == '\n') out.pop_back();
+  if (!out.empty() && out.back() == '}') out.pop_back();
+
+  // Rolling windows, merged across every shard at one shared now_s so the
+  // three windows are nested views of the same instant.
+  const std::int64_t now_s = steady_now_s();
+  static constexpr std::int64_t kWindows[] = {1, 10, 60};
+  static constexpr const char* kWindowNames[] = {"1s", "10s", "60s"};
+  out += ",\"windows\":{";
+  for (std::size_t w = 0; w < 3; ++w) {
+    std::uint64_t requests = 0;
+    std::uint64_t errors = 0;
+    support::LatencyHistogram latency;
+    for (const auto& shard_windows : windows_) {
+      requests += shard_windows->requests.sum(now_s, kWindows[w]);
+      errors += shard_windows->errors.sum(now_s, kWindows[w]);
+      shard_windows->latency.collect(now_s, kWindows[w], &latency);
+    }
+    if (w != 0) out += ',';
+    out += '"';
+    out += kWindowNames[w];
+    out += "\":";
+    append_window_json(out, requests, errors, kWindows[w], latency);
+  }
+  out += '}';
+
+  out += ",\"sources\":{\"snapshot_version\":" +
+         std::to_string(mix_.version.load(std::memory_order_acquire));
+  out += ",\"exact\":" +
+         std::to_string(mix_.exact.load(std::memory_order_relaxed));
+  out += ",\"nearest_donor\":" +
+         std::to_string(mix_.nearest.load(std::memory_order_relaxed));
+  out += ",\"model\":" +
+         std::to_string(mix_.model.load(std::memory_order_relaxed));
+  out += ",\"none\":" +
+         std::to_string(mix_.none.load(std::memory_order_relaxed));
+  out += '}';
+
+  out += ",\"drift\":";
+  if (const auto drift = source_->last_drift()) {
+    out += drift->to_json();
+  } else {
+    out += "null";
+  }
+  out += '}';
+  return out;
+}
+
+std::string Server::prometheus() {
+  // Sync derived values into the registry so the exposition is
+  // self-contained; everything below is deterministic given the metric
+  // state, and render_prometheus is a name-sorted bit-exact render.
+  if (started_.load(std::memory_order_acquire)) {
+    registry_.gauge("serve.uptime_seconds")
+        .set(std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                           start_time_)
+                 .count());
+  }
+  obs::export_tracer_metrics(registry_);
+  const CacheStats cache = engine_->cache_stats();
+  registry_.gauge("serve.cache.hits").set(static_cast<double>(cache.hits));
+  registry_.gauge("serve.cache.misses")
+      .set(static_cast<double>(cache.misses));
+  registry_.gauge("serve.snapshot.reloads")
+      .set(static_cast<double>(source_->reloads()));
+  registry_.gauge("serve.snapshot.reload_failures")
+      .set(static_cast<double>(source_->reload_failures()));
+  if (const auto snapshot = source_->current()) {
+    registry_.gauge("serve.snapshot.version")
+        .set(static_cast<double>(snapshot->version()));
+  }
+  if (const auto drift = source_->last_drift()) {
+    registry_.gauge("serve.drift.p50").set(drift->p50);
+    registry_.gauge("serve.drift.p95").set(drift->p95);
+    registry_.gauge("serve.drift.max").set(drift->max);
+    registry_.gauge("serve.drift.new_records")
+        .set(static_cast<double>(drift->new_records));
+    registry_.gauge("serve.drift.compared")
+        .set(static_cast<double>(drift->compared));
+  }
+  return obs::render_prometheus(registry_.snapshot());
 }
 
 }  // namespace kcoup::serve

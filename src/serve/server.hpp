@@ -6,6 +6,7 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <stdexcept>
 #include <string>
 #include <thread>
@@ -14,10 +15,12 @@
 
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "obs/window.hpp"
 #include "serve/framing.hpp"
 #include "serve/metrics.hpp"
 #include "serve/poller.hpp"
 #include "serve/query_engine.hpp"
+#include "serve/slowlog.hpp"
 #include "serve/snapshot.hpp"
 
 namespace kcoup::serve {
@@ -43,6 +46,10 @@ struct ServerConfig {
   /// Use the poll(2) backend even where epoll is available (tests keep the
   /// fallback honest on Linux).
   bool force_poll = false;
+  /// Slow-request log capacities (see serve/slowlog.hpp): how many slowest
+  /// requests to keep, and the ring size for failed requests.
+  std::size_t slowlog_slowest = 32;
+  std::size_t slowlog_failed = 64;
 };
 
 /// Thrown when the listening socket cannot be created/bound; the CLI maps
@@ -79,7 +86,20 @@ class BindError : public std::runtime_error {
 /// with the hot-path references bound once at construction; request
 /// latencies land in the "serve.request_seconds" histogram.  When
 /// obs::Tracer is enabled every request frame emits a span (category
-/// "serve") annotated with the op, cache hits and fallback kind.
+/// "serve") annotated with the op, cache hits, fallback kind and the
+/// client-supplied trace_id (which is also echoed in the response frame, so
+/// client- and server-side trace exports stitch into one timeline).
+///
+/// Beyond the cumulative registry, each shard owns a set of rolling
+/// one-second windows (obs::WindowedCounter / WindowedHistogram, written
+/// only by the shard thread — the single-writer contract) that the stats op
+/// merges into 1s/10s/60s rps, error-rate and latency quantiles; a SlowLog
+/// keeps the K slowest plus recent failed requests for the slowlog op; and
+/// the metrics op renders the whole registry as Prometheus text exposition.
+/// Prediction-quality telemetry rides along: per-snapshot fallback-source
+/// counters, a donor rank-distance histogram
+/// ("serve.donor.rank_distance"), and the SnapshotSource's reload drift
+/// report exported as serve.drift.* gauges.
 class Server {
  public:
   Server(SnapshotSource* source, QueryEngine* engine, ServerConfig config);
@@ -114,6 +134,13 @@ class Server {
   /// "serve.request_seconds" histogram update as requests are handled.
   [[nodiscard]] obs::MetricsRegistry& registry() { return registry_; }
 
+  /// Prometheus text exposition (format 0.0.4) of the whole registry,
+  /// bit-exact for a given metric state: derived gauges (uptime, tracer
+  /// span/drop counts, serve.drift.*) are synced into the registry first,
+  /// then obs::render_prometheus does a deterministic name-sorted render.
+  /// This is the payload of the "metrics" wire op.
+  [[nodiscard]] std::string prometheus();
+
  private:
   /// One connection owned by one shard thread: unconsumed request bytes in
   /// rbuf (rpos = decode offset), unflushed response bytes in wbuf (wpos =
@@ -136,6 +163,7 @@ class Server {
   struct Shard {
     explicit Shard(bool force_poll) : poller(force_poll) {}
     Poller poller;
+    std::size_t index = 0;  ///< position in shards_ / windows_
     int wake_rd = -1;
     int wake_wr = -1;
     std::thread thread;
@@ -143,6 +171,28 @@ class Server {
     std::vector<int> incoming;  ///< accepted fds waiting to be adopted
     bool stop = false;
     std::unordered_map<int, Conn> conns;
+  };
+
+  /// Rolling windows for one shard.  Written only by the shard thread
+  /// (including the drain path, which runs on it) — the WindowedCounter /
+  /// WindowedHistogram single-writer contract; read from any thread by the
+  /// stats op's merge.
+  struct ShardWindows {
+    obs::WindowedCounter requests;
+    obs::WindowedCounter errors;
+    obs::WindowedHistogram latency;
+  };
+
+  /// Fallback-source mix scoped to the currently published snapshot:
+  /// reset (under mix_mutex_) when a window first observes a new snapshot
+  /// version, so the mix answers "how is *this* snapshot answering", not
+  /// "how has the process ever answered".
+  struct SourceMix {
+    std::atomic<std::uint64_t> version{0};
+    std::atomic<std::uint64_t> exact{0};
+    std::atomic<std::uint64_t> nearest{0};
+    std::atomic<std::uint64_t> model{0};
+    std::atomic<std::uint64_t> none{0};
   };
 
   void accept_loop();
@@ -154,10 +204,17 @@ class Server {
   void read_into(Conn& conn);
   /// Decode + handle every complete frame currently buffered (in windows
   /// of max_pipeline), appending responses to wbuf.
-  void process_frames(Conn& conn);
+  void process_frames(Shard& shard, Conn& conn);
   /// Handle one pipelined window: parse all payloads, run every query in
   /// one predict_batch, serialize responses in request order.
-  void handle_window(Conn& conn, const std::vector<std::string>& payloads);
+  void handle_window(Shard& shard, Conn& conn,
+                     const std::vector<std::string>& payloads);
+  /// The stats-op payload: ServeMetrics flat JSON extended with nested
+  /// "windows" (1s/10s/60s merged across shards), "sources" and "drift".
+  [[nodiscard]] std::string stats_json();
+  /// Classify one batch slice into the source mix + donor histogram.
+  void record_prediction_quality(const PredictorSnapshot& snapshot,
+                                 std::span<const Prediction> slice);
   /// Non-blocking flush of wbuf; returns false when the connection died.
   [[nodiscard]] bool flush(Conn& conn);
   void update_interest(Shard& shard, Conn& conn);
@@ -191,6 +248,22 @@ class Server {
   obs::Counter& c_malformed_frames_;
   obs::Counter& c_oversized_frames_;
   obs::Histogram& h_latency_;
+  /// Cumulative fallback-source counters (the per-snapshot mix is in
+  /// mix_); "none" counts failed predictions with no source at all.
+  obs::Counter& c_source_exact_;
+  obs::Counter& c_source_nearest_;
+  obs::Counter& c_source_model_;
+  /// |log2(donor_ranks / requested_ranks)| of every nearest-donor answer —
+  /// the log-scale distance the donor search minimizes; a drifting
+  /// distribution means the database is thinning around the query mix.
+  obs::Histogram& h_donor_distance_;
+
+  /// One rolling-window set per shard, index-aligned with shards_.  Sized
+  /// once in the constructor; never resized while threads run.
+  std::vector<std::unique_ptr<ShardWindows>> windows_;
+  SlowLog slowlog_;
+  SourceMix mix_;
+  std::mutex mix_mutex_;  ///< serializes the reset-on-new-version path
 
   std::chrono::steady_clock::time_point start_time_{};
   std::atomic<bool> started_{false};

@@ -233,6 +233,18 @@ void SnapshotSource::load_and_publish(const FileProbe& seen) {
                   static_cast<std::uint64_t>(
                       snapshot->database().records().size()));
   }
+  // Continuous validation: before the swap, score the outgoing snapshot
+  // against whatever the incoming database newly measured.  Runs on the
+  // (rare) reload path only; readers keep serving the old snapshot
+  // throughout.
+  if (const auto outgoing = current_.load(std::memory_order_acquire)) {
+    auto drift = std::make_shared<const DriftReport>(compute_drift(
+        *outgoing, snapshot->database(), snapshot->version()));
+    if (span.active()) {
+      span.annotate("drift_new", drift->new_records);
+    }
+    last_drift_.store(std::move(drift), std::memory_order_release);
+  }
   current_.store(std::move(snapshot), std::memory_order_release);
   ++next_version_;
   last_probe_ = seen;

@@ -19,6 +19,7 @@
 #include "coupling/scaling_model.hpp"
 #include "model/piecewise.hpp"
 #include "model/transitions.hpp"
+#include "serve/drift.hpp"
 #include "serve/workload.hpp"
 
 namespace kcoup::serve {
@@ -207,6 +208,15 @@ class SnapshotSource {
     return reload_failures_.load(std::memory_order_relaxed);
   }
 
+  /// The drift report computed at the most recent reload that replaced a
+  /// live snapshot (see serve/drift.hpp): how far the outgoing snapshot's
+  /// predictions were from the incoming database's new records.  nullptr
+  /// until the first such reload.  Lock-free read; the server exports it as
+  /// the serve.drift.* quantiles.
+  [[nodiscard]] std::shared_ptr<const DriftReport> last_drift() const {
+    return last_drift_.load(std::memory_order_acquire);
+  }
+
  private:
   /// Change fingerprint from stat(2).  Nanosecond mtime plus inode and
   /// device: save_csv_file() writes a temp file and rename(2)s it into
@@ -229,6 +239,7 @@ class SnapshotSource {
   CellFn cell_fn_;
   SnapshotOptions options_;
   std::atomic<std::shared_ptr<const PredictorSnapshot>> current_{nullptr};
+  std::atomic<std::shared_ptr<const DriftReport>> last_drift_{nullptr};
   std::optional<FileProbe> last_probe_;
   std::uint64_t next_version_ = 1;
   std::atomic<std::uint64_t> reloads_{0};

@@ -75,7 +75,32 @@ class LatencyHistogram {
     return max();
   }
 
- private:
+  /// Raw per-bucket count — the export surface for renderers (Prometheus
+  /// exposition) and for windowed stores that keep their own atomic bucket
+  /// arrays and rebuild a histogram on read via add_bucket().
+  [[nodiscard]] std::uint64_t bucket_count(std::size_t index) const {
+    return counts_[index];
+  }
+
+  /// Exact sum of recorded values (add_bucket() contributions use bucket
+  /// midpoints, the same approximation quantile() reports).
+  [[nodiscard]] double sum() const { return sum_; }
+
+  /// Merge `n` samples known only by bucket: count/sum/min/max are updated
+  /// from the bucket bounds (midpoint sum, bound-clamped min/max), which is
+  /// how a windowed store's atomic bucket array folds back into a full
+  /// histogram without per-sample values.
+  void add_bucket(std::size_t index, std::uint64_t n) {
+    if (n == 0) return;
+    counts_[index] += n;
+    const double lo = bucket_lower(index);
+    const double hi = bucket_upper(index);
+    sum_ += 0.5 * (lo + hi) * static_cast<double>(n);
+    if (count_ == 0 || lo < min_) min_ = lo;
+    if (hi > max_) max_ = hi;
+    count_ += n;
+  }
+
   [[nodiscard]] static std::size_t bucket_index(double seconds) {
     int exp = 0;
     const double frac = std::frexp(seconds, &exp);  // seconds = frac * 2^exp
@@ -105,6 +130,7 @@ class LatencyHistogram {
                       octave);
   }
 
+ private:
   std::array<std::uint64_t, kBuckets> counts_{};
   std::uint64_t count_ = 0;
   double sum_ = 0.0;

@@ -13,12 +13,17 @@
 #include <thread>
 #include <vector>
 
+#include <atomic>
+#include <cstdint>
+
 #include "campaign/campaign.hpp"
 #include "campaign/executor.hpp"
 #include "campaign/planner.hpp"
 #include "coupling/study.hpp"
 #include "obs/metrics.hpp"
+#include "obs/prom.hpp"
 #include "obs/trace.hpp"
+#include "obs/window.hpp"
 #include "support/latency_histogram.hpp"
 
 namespace kcoup::obs {
@@ -418,6 +423,174 @@ TEST(LatencyHistogramEdgeTest, MergePreservesMinMaxWhenOneSideIsEmpty) {
   EXPECT_EQ(target.min(), 0.125);
   EXPECT_EQ(target.max(), 4.0);
   EXPECT_EQ(target.mean(), (0.25 + 2.0 + 0.125 + 4.0) / 4.0);
+}
+
+// --- Windowed stores --------------------------------------------------------
+//
+// now_s is caller-supplied (monotonic seconds), so these tests drive time
+// deterministically instead of sleeping.
+
+TEST(WindowedCounterTest, SumsOnlyEpochsInsideTheWindow) {
+  WindowedCounter c;
+  c.add(10, 3);
+  c.add(11, 5);
+  c.add(19, 7);
+  // Window (now - w, now]: at now=19 the 1 s window is just second 19.
+  EXPECT_EQ(c.sum(19, 1), 7u);
+  EXPECT_EQ(c.sum(19, 10), 15u);  // seconds 10..19: 11 and 19 → 5 + 7
+  EXPECT_EQ(c.sum(19, 60), 15u);
+  EXPECT_EQ(c.sum(20, 10), 12u);  // second 10 ages out
+  EXPECT_EQ(c.sum(100, 60), 0u);  // everything aged out
+}
+
+TEST(WindowedCounterTest, SlotRecycleReplacesStaleEpochNotAccumulates) {
+  WindowedCounter c;
+  c.add(5, 100);
+  // 64 slots: second 69 lands on the same slot as second 5 and must reset
+  // it, not add to it.
+  c.add(5 + WindowedCounter::kSlots, 1);
+  EXPECT_EQ(c.sum(5 + WindowedCounter::kSlots, 1), 1u);
+  EXPECT_EQ(c.sum(5 + WindowedCounter::kSlots, 60), 1u);
+}
+
+TEST(WindowedHistogramTest, CollectMergesShardsWithoutDoubleCounting) {
+  WindowedHistogram shard_a;
+  WindowedHistogram shard_b;
+  for (int i = 0; i < 10; ++i) shard_a.record(100, 0.001);
+  for (int i = 0; i < 20; ++i) shard_b.record(100, 0.004);
+  support::LatencyHistogram merged;
+  shard_a.collect(100, 10, &merged);
+  shard_b.collect(100, 10, &merged);
+  EXPECT_EQ(merged.count(), 30u);
+  // A second independent read sees the identical window — reading never
+  // consumes or double-counts.
+  support::LatencyHistogram again;
+  shard_a.collect(100, 10, &again);
+  shard_b.collect(100, 10, &again);
+  EXPECT_EQ(again.count(), 30u);
+  EXPECT_EQ(again.quantile(0.5), merged.quantile(0.5));
+}
+
+TEST(WindowedHistogramTest, RollingQuantileShedsWarmupCumulativeStaysPolluted) {
+  // The reason rolling windows exist: a slow warmup phase pollutes the
+  // cumulative p99 forever, while the rolling 10 s p99 converges to the
+  // injected steady-state latency once the warmup ages out.
+  WindowedHistogram rolling;
+  support::LatencyHistogram cumulative;
+  for (std::int64_t t = 0; t < 10; ++t) {  // warmup: 0.5 s requests
+    for (int i = 0; i < 20; ++i) {
+      rolling.record(t, 0.5);
+      cumulative.record(0.5);
+    }
+  }
+  for (std::int64_t t = 30; t <= 50; ++t) {  // steady state: 2 ms injected
+    for (int i = 0; i < 200; ++i) {
+      rolling.record(t, 0.002);
+      cumulative.record(0.002);
+    }
+  }
+  support::LatencyHistogram window;
+  rolling.collect(50, 10, &window);
+  EXPECT_EQ(window.count(), 2000u);
+  EXPECT_NEAR(window.quantile(0.99), 0.002, 0.002 * 0.07);  // converged
+  // Cumulative: 200 of 4400 samples are warmup (4.5 %), so its p99 still
+  // sits in the warmup mass.
+  EXPECT_GT(cumulative.quantile(0.99), 0.4);
+}
+
+TEST(WindowedStoresConcurrentReaderTest, ReadsRaceFreeAgainstOneWriter) {
+  // Single-writer / any-reader contract: a reader merging the window while
+  // the writer records must be race-free (TSan) and never observe torn
+  // values.  Totals are checked after the writer finishes.
+  WindowedCounter counter;
+  WindowedHistogram histogram;
+  std::atomic<bool> done{false};
+  std::thread reader([&] {
+    while (!done.load(std::memory_order_acquire)) {
+      (void)counter.sum(5, 60);
+      support::LatencyHistogram h;
+      histogram.collect(5, 60, &h);
+    }
+  });
+  for (int i = 0; i < 20000; ++i) {
+    const std::int64_t now_s = i % 8;  // a few distinct seconds, no aging
+    counter.add(now_s);
+    histogram.record(now_s, 0.001);
+  }
+  done.store(true, std::memory_order_release);
+  reader.join();
+  EXPECT_EQ(counter.sum(7, 60), 20000u);
+  support::LatencyHistogram all;
+  histogram.collect(7, 60, &all);
+  EXPECT_EQ(all.count(), 20000u);
+}
+
+// --- Prometheus text exposition ---------------------------------------------
+
+TEST(PrometheusTest, NameMappingFollowsTheMetricCharset) {
+  EXPECT_EQ(prometheus_name("serve.request_seconds"),
+            "serve_request_seconds");
+  EXPECT_EQ(prometheus_name("a:b_c9"), "a:b_c9");  // legal chars unchanged
+  EXPECT_EQ(prometheus_name("9lives"), "_9lives");  // leading digit guarded
+  EXPECT_EQ(prometheus_name("sp ace-dash"), "sp_ace_dash");
+}
+
+TEST(PrometheusTest, CounterAndGaugeRenderIsBitExact) {
+  MetricsRegistry registry;
+  registry.counter("serve.requests").add(3);
+  registry.gauge("serve.uptime_seconds").set(1.5);
+  const std::string out = render_prometheus(registry.snapshot());
+  EXPECT_EQ(out,
+            "# TYPE serve_requests counter\n"
+            "serve_requests 3\n"
+            "# TYPE serve_uptime_seconds gauge\n"
+            "serve_uptime_seconds 1.5\n");
+  // Deterministic: an identical snapshot renders identical bytes.
+  EXPECT_EQ(out, render_prometheus(registry.snapshot()));
+}
+
+TEST(PrometheusTest, HistogramBucketsAreCumulativeAndComplete) {
+  MetricsRegistry registry;
+  Histogram& h = registry.histogram("serve.request_seconds");
+  h.record(0.001);
+  h.record(0.004);
+  h.record(2.0);
+  const std::string out = render_prometheus(registry.snapshot());
+  EXPECT_NE(out.find("# TYPE serve_request_seconds histogram\n"),
+            std::string::npos);
+  EXPECT_NE(out.find("serve_request_seconds_bucket{le=\"+Inf\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(out.find("serve_request_seconds_count 3\n"), std::string::npos);
+  EXPECT_NE(out.find("serve_request_seconds_sum "), std::string::npos);
+  // Cumulative invariant: bucket counts never decrease as le grows.
+  std::uint64_t last = 0;
+  std::size_t at = 0;
+  const std::string needle = "serve_request_seconds_bucket{le=\"";
+  while ((at = out.find(needle, at)) != std::string::npos) {
+    const std::size_t space = out.find("} ", at);
+    ASSERT_NE(space, std::string::npos);
+    const std::uint64_t n = std::stoull(out.substr(space + 2));
+    EXPECT_GE(n, last);
+    last = n;
+    at = space;
+  }
+  EXPECT_EQ(last, 3u);  // the +Inf bucket holds every sample
+}
+
+// --- Tracer metrics export (SpanRing wrap accounting) ------------------------
+
+TEST_F(TracerTest, ExportTracerMetricsPublishesRingWrapDrops) {
+  Tracer::instance().enable();
+  const std::uint64_t total = SpanRing::kCapacity + 123;
+  for (std::uint64_t i = 0; i < total; ++i) {
+    ScopedSpan span("wrap_export", "test");
+  }
+  Tracer::instance().disable();
+  MetricsRegistry registry;
+  export_tracer_metrics(registry);
+  EXPECT_EQ(registry.gauge("obs.trace.spans_recorded").value(),
+            static_cast<double>(total));
+  EXPECT_EQ(registry.gauge("obs.trace.dropped_spans").value(), 123.0);
 }
 
 }  // namespace

@@ -12,6 +12,8 @@
 // Every command runs against the modeled IBM SP by default; pass
 // --machine generic-smp (or edit machine presets) for other architectures.
 
+#include <unistd.h>
+
 #include <atomic>
 #include <chrono>
 #include <csignal>
@@ -985,6 +987,10 @@ int cmd_serve(const Args& args) {
       parse_int_arg("cache-capacity", args.get("cache-capacity", "1024"));
   const int max_requests =
       parse_int_arg("max-requests", args.get("max-requests", "0"));
+  const int slowlog_slowest =
+      parse_int_arg("slowlog-slowest", args.get("slowlog-slowest", "32"));
+  const int slowlog_failed =
+      parse_int_arg("slowlog-failed", args.get("slowlog-failed", "64"));
   const machine::MachineConfig cfg =
       parse_machine(args.get("machine", "ibm-sp"));
   const bool no_models = args.flag("no-models");
@@ -1002,6 +1008,10 @@ int cmd_serve(const Args& args) {
   if (poll_ms < 0) throw std::runtime_error("--poll-ms must be >= 0");
   if (cache_capacity < 0) {
     throw std::runtime_error("--cache-capacity must be >= 0");
+  }
+  if (slowlog_slowest < 1 || slowlog_failed < 1) {
+    throw std::runtime_error(
+        "--slowlog-slowest/--slowlog-failed must be >= 1");
   }
 
   const TraceGuard trace_guard(trace_out);
@@ -1025,6 +1035,8 @@ int cmd_serve(const Args& args) {
   config.max_inflight = static_cast<std::size_t>(max_inflight);
   config.max_pipeline = static_cast<std::size_t>(max_pipeline);
   config.force_poll = force_poll;
+  config.slowlog_slowest = static_cast<std::size_t>(slowlog_slowest);
+  config.slowlog_failed = static_cast<std::size_t>(slowlog_failed);
   serve::Server server(&source, &engine, config);
   server.start();  // throws serve::BindError -> exit code 4 (see main)
   if (poll_ms > 0) source.start_polling(std::chrono::milliseconds(poll_ms));
@@ -1317,7 +1329,21 @@ int cmd_query(const Args& args) {
   const bool stats = args.flag("stats");
   const bool raw = args.flag("raw");
 
+  // Trace context: --trace-out enables the client-side Tracer and exports
+  // its spans on exit; --trace-id pins the id sent with every request
+  // (otherwise ids are auto-generated per request when tracing is on).
+  // The server echoes the id and annotates its own span with it, so this
+  // export and the server's --trace-out stitch into one timeline.
+  const std::optional<std::string> trace_out = args.maybe("trace-out");
+  const std::optional<std::string> trace_id = args.maybe("trace-id");
+  TraceGuard trace_guard(trace_out);
+
   serve::Client client;
+  if (trace_id.has_value()) {
+    client.set_trace_id(*trace_id);
+  } else if (trace_out.has_value()) {
+    client.auto_trace_ids();
+  }
   if (stats) {
     args.check_all_used();
     client.connect(host, port);
@@ -1381,14 +1407,43 @@ int cmd_query(const Args& args) {
   return any_failed ? 1 : 0;
 }
 
-/// Pull every `"name":<number>` pair out of a flat JSON object — exactly
-/// the shape of the server's stats frame.  Non-numeric values are skipped.
+/// Pull every *top-level* `"name":<number>` pair out of a JSON object —
+/// the flat shape of the server's stats frame.  The scanner tracks nesting
+/// depth, so nested objects and arrays (the stats frame's "windows" /
+/// "sources" / "drift" sections, or any field a future server adds) are
+/// skipped whole rather than having their inner keys mistaken for
+/// top-level fields.  Strings are skipped string-aware: a brace or quote
+/// inside a quoted value never changes depth.  Non-numeric values are
+/// skipped.
 std::map<std::string, double> parse_flat_json_numbers(const std::string& s) {
   std::map<std::string, double> out;
+  int depth = 0;
   std::size_t i = 0;
-  while ((i = s.find('"', i)) != std::string::npos) {
-    const std::size_t end = s.find('"', i + 1);
-    if (end == std::string::npos) break;
+  while (i < s.size()) {
+    const char c = s[i];
+    if (c == '{' || c == '[') {
+      ++depth;
+      ++i;
+      continue;
+    }
+    if (c == '}' || c == ']') {
+      --depth;
+      ++i;
+      continue;
+    }
+    if (c != '"') {
+      ++i;
+      continue;
+    }
+    std::size_t end = i + 1;
+    while (end < s.size() && s[end] != '"') {
+      end += s[end] == '\\' ? 2 : 1;
+    }
+    if (end >= s.size()) break;
+    if (depth != 1) {  // a string inside a nested value: not a flat key
+      i = end + 1;
+      continue;
+    }
     const std::string key = s.substr(i + 1, end - i - 1);
     std::size_t j = end + 1;
     while (j < s.size() && s[j] == ' ') ++j;
@@ -1408,6 +1463,38 @@ std::map<std::string, double> parse_flat_json_numbers(const std::string& s) {
   return out;
 }
 
+/// The balanced `{...}` value of the first `"key":{` occurrence (any
+/// depth), or "" when absent — how `kcoup top` digs the nested "windows" /
+/// "sources" / "drift" sections out of the stats frame before handing each
+/// one back to parse_flat_json_numbers.
+std::string extract_json_object(const std::string& s, const std::string& key) {
+  const std::string needle = "\"" + key + "\":{";
+  const std::size_t at = s.find(needle);
+  if (at == std::string::npos) return {};
+  const std::size_t open = at + needle.size() - 1;
+  int depth = 0;
+  bool in_string = false;
+  for (std::size_t j = open; j < s.size(); ++j) {
+    const char c = s[j];
+    if (in_string) {
+      if (c == '\\') {
+        ++j;
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    if (c == '"') {
+      in_string = true;
+    } else if (c == '{') {
+      ++depth;
+    } else if (c == '}') {
+      if (--depth == 0) return s.substr(open, j - open + 1);
+    }
+  }
+  return {};
+}
+
 // Fetch a live server's stats frame and render it as the ServeMetrics table
 // (or the raw JSON with --raw).  The frame is the extended wire response:
 // request/refusal counters, cache stats, snapshot generation + reload
@@ -1416,10 +1503,22 @@ int cmd_stats(const Args& args) {
   const std::string host = args.get("host", "127.0.0.1");
   const int port = parse_int_arg("port", args.get("port"));
   const bool raw = args.flag("raw");
+  const bool prom = args.flag("prom");
   args.check_all_used();
 
   serve::Client client;
   client.connect(host, port);
+  if (prom) {
+    // The metrics op: the server's whole registry as Prometheus text
+    // exposition, printed verbatim (it is already scrape-ready).
+    const auto exposition = client.metrics();
+    if (!exposition.has_value()) {
+      throw std::runtime_error("stats: no metrics response from " + host +
+                               ":" + std::to_string(port));
+    }
+    std::fputs(exposition->c_str(), stdout);
+    return 0;
+  }
   const auto response = client.stats();
   if (!response.has_value()) {
     throw std::runtime_error("stats: no response from " + host + ":" +
@@ -1465,6 +1564,121 @@ int cmd_stats(const Args& args) {
   m.latency_max_s = num("latency_max_s");
   m.uptime_s = num("uptime_s");
   std::printf("%s\n", m.to_table().to_string().c_str());
+  return 0;
+}
+
+// Fetch a live server's slow-request log (the K slowest plus recent failed
+// requests) and print it verbatim — the payload is compact JSON with one
+// entry object per request, ready for jq or the test harness.
+int cmd_slowlog(const Args& args) {
+  const std::string host = args.get("host", "127.0.0.1");
+  const int port = parse_int_arg("port", args.get("port"));
+  args.check_all_used();
+
+  serve::Client client;
+  client.connect(host, port);
+  const auto response = client.slowlog();
+  if (!response.has_value()) {
+    throw std::runtime_error("slowlog: no response from " + host + ":" +
+                             std::to_string(port));
+  }
+  std::printf("%s\n", response->c_str());
+  return 0;
+}
+
+// Live rolling-stats view: poll the stats op every --interval-ms and render
+// the 1s/10s/60s windows (rps, error rate, latency quantiles), the
+// per-snapshot source mix and the last reload's drift line.  On a tty each
+// refresh clears the screen (ANSI); piped output just appends, so
+// `kcoup top --count 1` is also the scriptable one-shot form.
+int cmd_top(const Args& args) {
+  const std::string host = args.get("host", "127.0.0.1");
+  const int port = parse_int_arg("port", args.get("port"));
+  const int interval_ms = require_min(
+      "interval-ms",
+      parse_int_arg("interval-ms", args.get("interval-ms", "1000")), 50);
+  const int count = parse_int_arg("count", args.get("count", "0"));
+  args.check_all_used();
+
+  serve::Client client;
+  client.connect(host, port);
+  const bool tty = ::isatty(STDOUT_FILENO) != 0;
+  for (int iter = 0; count == 0 || iter < count; ++iter) {
+    if (iter != 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+    }
+    const auto response = client.stats();
+    if (!response.has_value()) {
+      throw std::runtime_error("top: no response from " + host + ":" +
+                               std::to_string(port));
+    }
+    const std::map<std::string, double> totals =
+        parse_flat_json_numbers(*response);
+    auto total = [&totals](const char* key) -> double {
+      const auto it = totals.find(key);
+      return it == totals.end() ? 0.0 : it->second;
+    };
+    if (tty) std::printf("\033[2J\033[H");
+    std::printf(
+        "kcoup top — %s:%d  uptime %.1fs  snapshot v%.0f  "
+        "requests %.0f  errors %.0f\n",
+        host.c_str(), port, total("uptime_s"), total("snapshot_version"),
+        total("requests"), total("errors"));
+
+    report::Table t("rolling windows");
+    t.set_header({"window", "rps", "requests", "errors", "err%", "p50",
+                  "p95", "p99"});
+    const std::string windows = extract_json_object(*response, "windows");
+    for (const char* name : {"1s", "10s", "60s"}) {
+      const std::map<std::string, double> w =
+          parse_flat_json_numbers(extract_json_object(windows, name));
+      auto field = [&w](const char* key) -> double {
+        const auto it = w.find(key);
+        return it == w.end() ? 0.0 : it->second;
+      };
+      char rps[32];
+      std::snprintf(rps, sizeof(rps), "%.1f", field("rps"));
+      char err_pct[32];
+      std::snprintf(err_pct, sizeof(err_pct), "%.1f",
+                    100.0 * field("error_rate"));
+      t.add_row({name, rps, std::to_string(
+                               static_cast<std::uint64_t>(field("requests"))),
+                 std::to_string(static_cast<std::uint64_t>(field("errors"))),
+                 err_pct, report::format_seconds(field("p50_s")),
+                 report::format_seconds(field("p95_s")),
+                 report::format_seconds(field("p99_s"))});
+    }
+    std::printf("%s\n", t.to_string().c_str());
+
+    const std::map<std::string, double> sources =
+        parse_flat_json_numbers(extract_json_object(*response, "sources"));
+    auto source = [&sources](const char* key) -> double {
+      const auto it = sources.find(key);
+      return it == sources.end() ? 0.0 : it->second;
+    };
+    std::printf(
+        "sources (snapshot v%.0f): exact %.0f  nearest-donor %.0f  "
+        "model %.0f  none %.0f\n",
+        source("snapshot_version"), source("exact"), source("nearest_donor"),
+        source("model"), source("none"));
+
+    const std::string drift = extract_json_object(*response, "drift");
+    if (!drift.empty()) {
+      const std::map<std::string, double> d = parse_flat_json_numbers(drift);
+      auto dv = [&d](const char* key) -> double {
+        const auto it = d.find(key);
+        return it == d.end() ? 0.0 : it->second;
+      };
+      std::printf(
+          "drift v%.0f→v%.0f: %.0f new records, %.0f compared, "
+          "rel-err p50 %.3g p95 %.3g max %.3g\n",
+          dv("from"), dv("to"), dv("new_records"), dv("compared"), dv("p50"),
+          dv("p95"), dv("max"));
+    } else {
+      std::printf("drift: (no reload observed yet)\n");
+    }
+    std::fflush(stdout);
+  }
   return 0;
 }
 
@@ -1525,6 +1739,7 @@ void usage() {
       "                    [--force-poll] [--poll-ms MS]\n"
       "                    [--cache-capacity N] [--no-models] [--quiet]\n"
       "                    [--max-requests N] [--port-file path]\n"
+      "                    [--slowlog-slowest K] [--slowlog-failed N]\n"
       "                    [--metrics-csv path] [--metrics-jsonl path]\n"
       "                    [--trace-out trace.json]\n"
       "                    [--machine ibm-sp|generic-smp]\n"
@@ -1535,8 +1750,12 @@ void usage() {
       "                    [--machine ibm-sp|generic-smp]\n"
       "  kcoup query       --port P [--host H] --app bt|sp|lu --class C\n"
       "                    [--procs 4,9] [--chains 2,3] [--raw]\n"
+      "                    [--trace-id ID] [--trace-out trace.json]\n"
       "  kcoup query       --port P [--host H] --stats\n"
-      "  kcoup stats       --port P [--host H] [--raw]\n"
+      "  kcoup stats       --port P [--host H] [--raw | --prom]\n"
+      "  kcoup slowlog     --port P [--host H]\n"
+      "  kcoup top         --port P [--host H] [--interval-ms MS]\n"
+      "                    [--count N]\n"
       "  kcoup machines\n"
       "  kcoup --version\n\n"
       "exit codes: 0 success; 1 runtime error (also: any served query\n"
@@ -1568,7 +1787,7 @@ int main(int argc, char** argv) {
     if (cmd == "merge") bool_flags = {"steal", "quiet"};
     if (cmd == "serve") bool_flags = {"no-models", "quiet", "force-poll"};
     if (cmd == "query") bool_flags = {"stats", "raw"};
-    if (cmd == "stats") bool_flags = {"raw"};
+    if (cmd == "stats") bool_flags = {"raw", "prom"};
     if (cmd == "fit") bool_flags = {"json", "no-models"};
     if (cmd == "pack") {
       bool_flags = {"verify", "quiet", "no-models"};
@@ -1593,6 +1812,8 @@ int main(int argc, char** argv) {
     if (cmd == "fit") return cmd_fit(args);
     if (cmd == "query") return cmd_query(args);
     if (cmd == "stats") return cmd_stats(args);
+    if (cmd == "slowlog") return cmd_slowlog(args);
+    if (cmd == "top") return cmd_top(args);
     if (cmd == "machines") return cmd_machines(args);
     if (cmd == "help" || cmd == "--help" || cmd == "-h") {
       usage();
